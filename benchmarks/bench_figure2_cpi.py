@@ -1,0 +1,43 @@
+"""Figure 2 — CPI improvement per trace and BTB2 effectiveness.
+
+Paper reference: max BTB2 benefit 13.8 % (DayTrader DBServ), large-BTB1
+benefit 20.2 % on the same trace, effectiveness 16.6-83.4 % (mean 52 %).
+Expected reproduced shape: config 3 >= config 2 >= config 1 on every trace;
+effectiveness broadly spread with a mean near one half.
+"""
+
+from repro.experiments.figure2 import render, run_figure2, summarize
+from repro.experiments.tables import render_table3
+
+
+def test_figure2_cpi_improvements(benchmark):
+    rows = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    print()
+    print(render_table3())
+    print()
+    print(render(rows))
+
+    assert len(rows) == 13
+    summary = summarize(rows)
+    # Shape assertions.  (1) The BTB2 essentially never beats its own
+    # ceiling — the unrealistically large BTB1.
+    ceiling_violations = sum(
+        1 for row in rows
+        if row.btb2_gain_percent > row.large_btb1_gain_percent + 0.5
+    )
+    assert ceiling_violations <= 2, f"{ceiling_violations} ceiling violations"
+    # (2) The best trace shows a clear benefit.
+    assert summary["max_btb2_gain_percent"] > 0.5
+    # (3) Wherever the capacity headroom is substantial (the large BTB1
+    # gains at least 2 %), the BTB2 recovers a solid fraction of it — the
+    # paper's ~52 %-mean effectiveness claim.  Traces without headroom can
+    # show noisy or slightly negative ratios (our analog of the paper's
+    # 16.6 % low end) and are excluded from the ratio, not from the print.
+    meaningful = [
+        row.effectiveness_percent
+        for row in rows
+        if row.large_btb1_gain_percent >= 2.0
+    ]
+    assert meaningful, "no trace shows >= 2% capacity headroom"
+    mean_meaningful = sum(meaningful) / len(meaningful)
+    assert 25 <= mean_meaningful <= 110, f"effectiveness {mean_meaningful:.1f}%"

@@ -1,0 +1,24 @@
+"""Figure 3 — benefit of the BTB2 on zEC12 hardware (multi-core proxy).
+
+Paper reference: WASDB+CBW2 gains 5.3 % on one hardware core vs 8.5 % in
+the model; Web CICS/DB2 gains 3.4 % on four cores.  Expected reproduced
+shape: the hardware-proxy gain is positive but smaller than the model gain
+(the proxy's finite/shared memory dilutes the branch-prediction share of
+CPI), and the 4-core run still shows a positive gain.
+"""
+
+from repro.experiments.figure3 import render, run_figure3
+
+
+def test_figure3_hardware_proxy(benchmark):
+    rows = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    print()
+    print(render(rows))
+
+    single, quad = rows
+    assert single.cores == 1 and quad.cores == 4
+    # Hardware-proxy gain below the (infinite-L2) model gain — the paper's
+    # explicitly stated expectation.
+    assert single.hardware_gain_percent < single.model_gain_percent
+    assert single.hardware_gain_percent > 0
+    assert quad.hardware_gain_percent > 0

@@ -1,0 +1,36 @@
+"""Figure 4 — effect of the BTB2 on bad branch outcomes (DayTrader DBServ).
+
+Paper reference: 25.9 % bad outcomes without the BTB2 (21.9 points
+capacity) dropping to 14.3 % with it (capacity to 8.1 points).  Expected
+reproduced shape: capacity is the largest bad-surprise category in the
+baseline and shrinks by the biggest margin when the BTB2 is enabled, while
+compulsory stays identical (the BTB2 cannot invent first sightings).
+"""
+
+from repro.core.events import OutcomeKind
+from repro.experiments.figure4 import render, run_figure4
+
+
+def test_figure4_bad_branch_outcomes(benchmark):
+    columns = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    print()
+    print(render(columns))
+
+    without, with_btb2 = columns
+    capacity = OutcomeKind.SURPRISE_CAPACITY
+    compulsory = OutcomeKind.SURPRISE_COMPULSORY
+
+    assert with_btb2.total_bad < without.total_bad
+    assert with_btb2.fractions[capacity] < without.fractions[capacity]
+    # Compulsory misses are untouched by definition (the BTB2 cannot
+    # invent first sightings).
+    assert abs(
+        with_btb2.fractions[compulsory] - without.fractions[compulsory]
+    ) < 1e-9
+    # The paper's central Figure 4 claim: the reduction comes from the
+    # capacity category — it shrinks more than every other bad category.
+    reductions = {
+        kind: without.fractions[kind] - with_btb2.fractions[kind]
+        for kind in without.fractions
+    }
+    assert reductions[capacity] == max(reductions.values())

@@ -1,0 +1,23 @@
+"""Figure 5 — varying the BTB2 size (mean over the 13 traces).
+
+Paper reference: the sweep "demonstrat[es] the performance opportunity of a
+larger BTB2".  Expected reproduced shape: mean benefit grows with BTB2
+capacity (diminishing returns allowed), with the implemented 24k point
+well inside the rising part of the curve.
+"""
+
+from repro.experiments.figure5 import render, run_figure5
+
+
+def test_figure5_btb2_size_sweep(benchmark):
+    points = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print()
+    print(render(points))
+
+    assert [p.capacity for p in points] == [6144, 12288, 24576, 49152, 98304]
+    implemented = next(p for p in points if p.implemented)
+    assert implemented.capacity == 24576
+    # Bigger is better overall: the largest BTB2 beats the smallest.
+    assert points[-1].mean_gain_percent > points[0].mean_gain_percent
+    # The implemented point captures most of the largest point's benefit.
+    assert implemented.mean_gain_percent > 0.5 * points[-1].mean_gain_percent

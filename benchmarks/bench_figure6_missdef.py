@@ -1,0 +1,24 @@
+"""Figure 6 — varying the definition of a BTB1 miss.
+
+Paper reference: "reporting a BTB1 miss after 4 searches without
+predictions, up to 128 bytes, provides the best results on the studied
+workloads".  Expected reproduced shape: the mean benefit peaks at (or
+statistically near) the 4-search setting — hair-trigger definitions flood
+the BTB2 with false misses, lazy ones start transfers too late.
+"""
+
+from repro.experiments.figure6 import render, run_figure6
+
+
+def test_figure6_miss_definition_sweep(benchmark):
+    points = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    print()
+    print(render(points))
+
+    assert [p.miss_limit for p in points] == [2, 3, 4, 6, 8]
+    by_limit = {p.miss_limit: p.mean_gain_percent for p in points}
+    # The chosen hardware setting is statistically near the sweep optimum
+    # (the curve is shallow at reduced scale, so we bound the shortfall
+    # rather than demand an exact argmax).
+    shortfall = max(by_limit.values()) - by_limit[4]
+    assert shortfall <= 0.4, f"4-search setting trails optimum by {shortfall:.2f}"

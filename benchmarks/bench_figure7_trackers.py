@@ -1,0 +1,22 @@
+"""Figure 7 — varying the number of BTB2 search trackers.
+
+Paper reference: the zEC12 implements three trackers; the sweep supports
+that choice.  Expected reproduced shape: benefit rises from one tracker and
+saturates around the implemented three — beyond that, the single-ported
+BTB2 transfer pipe is the bottleneck, not miss-tracking capacity.
+"""
+
+from repro.experiments.figure7 import render, run_figure7
+
+
+def test_figure7_tracker_sweep(benchmark):
+    points = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    print()
+    print(render(points))
+
+    assert [p.trackers for p in points] == [1, 2, 3, 4, 8]
+    by_count = {p.trackers: p.mean_gain_percent for p in points}
+    # More trackers never hurt much, and three captures nearly all of
+    # eight's benefit (saturation).
+    assert by_count[3] >= by_count[1] - 0.15
+    assert by_count[3] >= by_count[8] - 0.30

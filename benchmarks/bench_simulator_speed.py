@@ -1,0 +1,35 @@
+"""Raw simulator throughput — a true pytest-benchmark measurement.
+
+Unlike the figure benches (which cache results on disk), this measures the
+live simulation rate in records/second on a fixed workload slice under the
+architected configuration, giving a regression guard for the hot path.
+"""
+
+import pytest
+
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
+from repro.engine.simulator import Simulator
+from repro.workloads.catalog import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return workload_by_name("TPF").trace(scale=0.06)
+
+
+def test_speed_baseline_config(benchmark, trace):
+    result = benchmark.pedantic(
+        lambda: Simulator(ZEC12_CONFIG_1).run(trace), rounds=3, iterations=1
+    )
+    rate = len(trace) / benchmark.stats["mean"]
+    print(f"\nconfig 1 simulation rate: {rate:,.0f} records/s")
+    assert result.counters.instructions == len(trace)
+
+
+def test_speed_btb2_config(benchmark, trace):
+    result = benchmark.pedantic(
+        lambda: Simulator(ZEC12_CONFIG_2).run(trace), rounds=3, iterations=1
+    )
+    rate = len(trace) / benchmark.stats["mean"]
+    print(f"\nconfig 2 simulation rate: {rate:,.0f} records/s")
+    assert result.counters.instructions == len(trace)

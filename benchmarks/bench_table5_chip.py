@@ -1,0 +1,28 @@
+"""Table 5 — zEnterprise EC12 chip configuration, and the model's use of it.
+
+The table itself is configuration data; the bench verifies the pieces the
+simulator actually instantiates (the 64 KB 4-way L1I) match it, and times a
+short architected-configuration run as a sanity measurement.
+"""
+
+from repro.core.config import ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING, ZEC12_CHIP_CONFIG
+from repro.engine.simulator import Simulator
+from repro.experiments.tables import render_table5
+from repro.workloads.catalog import workload_by_name
+
+
+def run_short():
+    trace = workload_by_name("TPF").trace(scale=0.05)
+    return Simulator(ZEC12_CONFIG_2).run(trace)
+
+
+def test_table5_chip_configuration(benchmark):
+    result = benchmark.pedantic(run_short, rounds=1, iterations=1)
+    print()
+    print(render_table5())
+
+    assert "64KB (4-way)" in ZEC12_CHIP_CONFIG["L1 Cache"]
+    assert DEFAULT_TIMING.icache_capacity_bytes == 64 * 1024
+    assert DEFAULT_TIMING.icache_ways == 4
+    assert result.icache_stats["misses"] > 0

@@ -1,0 +1,19 @@
+"""Benchmark harness configuration.
+
+Benches regenerate every table and figure of the paper.  By default they
+run at ``REPRO_SCALE=0.35`` (35 % of the full trace lengths — the smallest
+scale at which the capacity-miss phenomenon survives, see
+``repro.workloads.catalog.scaled_functions``) so the whole suite finishes
+in tens of minutes rather than an hour; set ``REPRO_SCALE=1`` to reproduce the
+EXPERIMENTS.md numbers exactly (tens of minutes).
+
+Traces and simulation results are cached in ``.trace_cache/`` and
+``.results_cache/`` — baseline runs are shared between figures, so the
+suite does not re-simulate configuration 1 thirteen times per figure.
+"""
+
+import os
+
+DEFAULT_BENCH_SCALE = "0.35"
+
+os.environ.setdefault("REPRO_SCALE", DEFAULT_BENCH_SCALE)

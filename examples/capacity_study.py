@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Capacity study: where does a second-level BTB start paying off?
+
+The paper's central claim is that large commercial workloads are limited by
+branch-predictor *capacity*, not predictor accuracy.  This example sweeps a
+family of synthetic workloads whose unique-branch population grows from
+"fits in the BTB1" to "several times the BTB1", and reports:
+
+* the baseline bad-outcome fraction split into mispredicts vs capacity
+  surprises (capacity takes over as the footprint grows);
+* the CPI benefit of enabling the 24k BTB2 (the crossover where the second
+  level starts to matter).
+"""
+
+from repro import Simulator, ZEC12_CONFIG_1, ZEC12_CONFIG_2, cpi_improvement
+from repro.core.events import OutcomeKind
+from repro.workloads import ProgramShape, WalkProfile, build_program, generate_trace
+
+
+def make_workload(functions: int, seed: int = 11):
+    """A transaction workload over a pool of ``functions`` functions."""
+    shape = ProgramShape(
+        functions=functions,
+        blocks_per_function=(3, 7),
+        instructions_per_block=(2, 5),
+        call_fraction=0.14,
+        loop_fraction=0.15,
+        loop_trips=(2, 6),
+        indirect_fraction=0.02,
+        forward_taken_bias=0.35,
+        seed=seed,
+    )
+    profile = WalkProfile(uniform_fraction=0.55, burst_mean=2.0,
+                          max_call_depth=4, max_loop_iterations=12,
+                          seed=seed * 7)
+    length = max(150_000, functions * 400)
+    return generate_trace(build_program(shape), length, profile)
+
+
+def main() -> None:
+    print(f"{'functions':>9s} {'uniq taken':>10s} {'mispred %':>9s} "
+          f"{'capacity %':>10s} {'BTB2 gain %':>11s}")
+    for functions in (200, 500, 1000, 2000, 4000):
+        trace = make_workload(functions)
+        baseline = Simulator(ZEC12_CONFIG_1).run(trace)
+        with_btb2 = Simulator(ZEC12_CONFIG_2).run(trace)
+        counters = baseline.counters
+        unique_taken = len({
+            r.address for r in trace if r.is_branch and r.taken
+        })
+        print(
+            f"{functions:9d} {unique_taken:10,d} "
+            f"{100 * counters.mispredict_outcomes / counters.branches:9.2f} "
+            f"{100 * counters.outcome_fraction(OutcomeKind.SURPRISE_CAPACITY):10.2f} "
+            f"{cpi_improvement(baseline.cpi, with_btb2.cpi):11.2f}"
+        )
+    print(
+        "\nReading: once the ever-taken population clears the ~4.8k-entry\n"
+        "first level (BTB1+BTBP), capacity surprises — not mispredicts —\n"
+        "dominate the bad outcomes, and the BTB2's benefit switches on.\n"
+        "That is the paper's Figure 2/4 story in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload with and without the BTB2.
+
+Builds the paper's highest-gain trace (a synthetic calibrated to Z/OS
+DayTrader DBServ, Table 4), runs the Table 3 baseline and BTB2-enabled
+configurations, and prints the CPI improvement plus the bad-branch-outcome
+breakdown — a miniature of the paper's Figures 2 and 4.
+
+Run with a larger ``--scale`` for numbers closer to EXPERIMENTS.md::
+
+    python examples/quickstart.py --scale 0.5
+"""
+
+import argparse
+
+from repro import Simulator, ZEC12_CONFIG_1, ZEC12_CONFIG_2, cpi_improvement
+from repro.metrics.report import format_comparison, format_result
+from repro.workloads import DAYTRADER_DBSERV
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="trace length scale (1.0 = full, default 0.35)")
+    args = parser.parse_args()
+
+    print(f"generating {DAYTRADER_DBSERV.name} trace (scale {args.scale}) ...")
+    trace = DAYTRADER_DBSERV.trace(scale=args.scale)
+    print(f"{len(trace):,} records\n")
+
+    print("simulating configuration 1 (no BTB2) ...")
+    baseline = Simulator(ZEC12_CONFIG_1).run(trace)
+    print("simulating configuration 2 (24k BTB2) ...\n")
+    with_btb2 = Simulator(ZEC12_CONFIG_2).run(trace)
+
+    print(format_result(baseline, title="--- 1. No BTB2 ---"))
+    print()
+    print(format_result(with_btb2, title="--- 2. BTB2 enabled ---"))
+    print()
+    print(format_comparison(baseline, with_btb2))
+    gain = cpi_improvement(baseline.cpi, with_btb2.cpi)
+    print(f"\nThe 24k-entry second level recovers {gain:.2f}% CPI on this "
+          "capacity-bound workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Software branch preload: the BTBP's fourth write source.
+
+Section 3.1 lists "branch preload instructions" among the BTBP's write
+sources: software can tell the predictor about branches before they
+execute.  This example runs the same cold code twice — once cold, once
+after issuing software preloads for its branches — and compares the
+surprise counts, a miniature of what a JIT or profile-guided runtime could
+do on this hardware.
+"""
+
+from repro import Simulator, ZEC12_CONFIG_1
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+
+COLD = 0x5000_0000
+
+
+def cold_chain(hops=12, hop_bytes=0x40):
+    """A chain of taken branches through never-before-seen code."""
+    records = []
+    for hop in range(hops):
+        start = COLD + hop * hop_bytes
+        for i in range(4):
+            records.append(TraceRecord(address=start + i * 4, length=4))
+        if hop < hops - 1:
+            records.append(TraceRecord(
+                address=start + 16, length=4, kind=BranchKind.UNCOND,
+                taken=True, target=COLD + (hop + 1) * hop_bytes,
+            ))
+    return records
+
+
+def run(preload: bool):
+    simulator = Simulator(ZEC12_CONFIG_1)
+    if preload:
+        for hop in range(11):
+            simulator.hierarchy.software_preload(
+                address=COLD + hop * 0x40 + 16,
+                target=COLD + (hop + 1) * 0x40,
+                kind=BranchKind.UNCOND,
+            )
+    return simulator.run(cold_chain())
+
+
+def main() -> None:
+    cold = run(preload=False)
+    warm = run(preload=True)
+    print(f"{'':24s} {'surprises':>9s} {'dynamic':>8s} {'CPI':>7s}")
+    for label, result in (("cold (no preload)", cold),
+                          ("software preloaded", warm)):
+        counters = result.counters
+        print(f"{label:24s} {counters.surprise_outcomes:9d} "
+              f"{counters.outcomes[list(counters.outcomes)[0]]:8d} "
+              f"{result.cpi:7.3f}")
+    saved = (cold.cpi - warm.cpi) / cold.cpi * 100
+    print(f"\npreload instructions removed every compulsory surprise "
+          f"({saved:.1f}% CPI on this fragment).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65.5 without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .`` through pyproject.toml
+alone) fail at ``bdist_wheel``.  This shim lets the legacy editable path
+(``pip install -e . --no-use-pep517 --no-build-isolation``) work; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

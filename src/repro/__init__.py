@@ -1,0 +1,54 @@
+"""repro — reproduction of "Two Level Bulk Preload Branch Prediction".
+
+A trace-driven Python implementation of the IBM zEnterprise EC12 two-level
+branch prediction hierarchy (HPCA 2013): BTB1/BTBP/BTB2, PHT, CTB, FIT, the
+asynchronous lookahead search pipeline, perceived-miss detection, I-cache
+filtering, search trackers, ordering-table steering, and the bulk transfer
+engine — plus the synthetic workload substrate and the benchmark harness
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Simulator, ZEC12_CONFIG_1, ZEC12_CONFIG_2
+    from repro.workloads import DAYTRADER_DBSERV
+
+    trace = DAYTRADER_DBSERV.trace(scale=0.2)
+    base = Simulator(ZEC12_CONFIG_1).run(trace)
+    with_btb2 = Simulator(ZEC12_CONFIG_2).run(trace)
+    print(base.cpi, with_btb2.cpi)
+"""
+
+from repro.core.config import (
+    ExclusivityMode,
+    FilterMode,
+    PredictorConfig,
+    TABLE3_CONFIGS,
+    ZEC12_CONFIG_1,
+    ZEC12_CONFIG_2,
+    ZEC12_CONFIG_3,
+)
+from repro.core.events import OutcomeKind
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.engine.simulator import SimulationResult, Simulator, simulate
+from repro.metrics.counters import btb2_effectiveness, cpi_improvement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_TIMING",
+    "ExclusivityMode",
+    "FilterMode",
+    "OutcomeKind",
+    "PredictorConfig",
+    "SimulationResult",
+    "Simulator",
+    "TABLE3_CONFIGS",
+    "TimingParams",
+    "ZEC12_CONFIG_1",
+    "ZEC12_CONFIG_2",
+    "ZEC12_CONFIG_3",
+    "__version__",
+    "btb2_effectiveness",
+    "cpi_improvement",
+    "simulate",
+]

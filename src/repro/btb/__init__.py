@@ -1,0 +1,46 @@
+"""Branch prediction structures: BTB levels and auxiliary predictors."""
+
+from repro.btb.btb1 import BTB1, BTB1_ROWS, BTB1_WAYS
+from repro.btb.btb2 import BTB2, BTB2_ROWS, BTB2_WAYS
+from repro.btb.btbp import BTBP, BTBP_ROWS, BTBP_WAYS, WriteSource
+from repro.btb.ctb import CTB, CTB_ENTRIES
+from repro.btb.entry import (
+    BTBEntry,
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+)
+from repro.btb.fit import FIT, FIT_ENTRIES
+from repro.btb.history import PathHistory
+from repro.btb.pht import PHT, PHT_ENTRIES
+from repro.btb.storage import BranchTargetBuffer
+from repro.btb.surprise import SURPRISE_BHT_ENTRIES, SurpriseBHT
+
+__all__ = [
+    "BTB1",
+    "BTB1_ROWS",
+    "BTB1_WAYS",
+    "BTB2",
+    "BTB2_ROWS",
+    "BTB2_WAYS",
+    "BTBP",
+    "BTBP_ROWS",
+    "BTBP_WAYS",
+    "BTBEntry",
+    "BranchTargetBuffer",
+    "CTB",
+    "CTB_ENTRIES",
+    "FIT",
+    "FIT_ENTRIES",
+    "PHT",
+    "PHT_ENTRIES",
+    "PathHistory",
+    "STRONG_NOT_TAKEN",
+    "STRONG_TAKEN",
+    "SURPRISE_BHT_ENTRIES",
+    "SurpriseBHT",
+    "WEAK_NOT_TAKEN",
+    "WEAK_TAKEN",
+    "WriteSource",
+]

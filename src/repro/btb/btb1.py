@@ -1,0 +1,24 @@
+"""BTB1 — the first-level branch target buffer.
+
+"The BTB1 contains 4k branches, is organized as a 1k x 4-way set associative
+cache, and is implemented as an SRAM array.  Instruction address bits 49:58
+are used to index into the array." (paper, 3.1)
+
+The BTB1 is only ever written from the BTBP (when a BTBP entry makes a
+prediction it is promoted here); its victims flow back to the BTBP and down
+to the BTB2.  That wiring lives in :class:`repro.core.hierarchy.FirstLevelPredictor`.
+"""
+
+from __future__ import annotations
+
+from repro.btb.storage import BranchTargetBuffer
+
+BTB1_ROWS = 1024
+BTB1_WAYS = 4
+
+
+class BTB1(BranchTargetBuffer):
+    """First-level BTB with the architected zEC12 geometry by default."""
+
+    def __init__(self, rows: int = BTB1_ROWS, ways: int = BTB1_WAYS) -> None:
+        super().__init__(rows=rows, ways=ways, name="BTB1")

@@ -1,0 +1,66 @@
+"""BTB2 — the large second-level branch target buffer.
+
+"The BTB2 contains 24k branches and is organized as a 4k x 6-way cache ...
+Instruction address bits 47:58 are used to index the BTB2." (paper, 3.1)
+
+The BTB2 *never makes predictions directly*.  It is read only by the bulk
+transfer engine (row by row, one row per cycle) and written on two occasions:
+
+* surprise installs into the hierarchy (duplicated from the BTBP install);
+* BTB1 victims, at the moment a BTBP entry is promoted into the BTB1.
+
+Semi-exclusivity (section 3.3): "When an entry is copied from BTB2 to BTBP,
+it is made LRU in the BTB2.  Upon moving content from the BTBP to BTB1, the
+content that is evicted from the BTB1 is written into the LRU column in the
+BTB2 and made MRU."  Making transfer hits LRU means they are the first
+candidates for replacement by subsequent victims/installs — approximating
+exclusivity without an invalidation write.
+
+Transferred entries are *cloned* into the BTBP: the first level then trains
+its own copy, and the freshest learned state returns to the BTB2 with the
+eventual BTB1 victim write-back, exactly the paper's exclusive-design
+freshness argument.
+"""
+
+from __future__ import annotations
+
+from repro.btb.entry import BTBEntry
+from repro.btb.storage import BranchTargetBuffer
+
+BTB2_ROWS = 4096
+BTB2_WAYS = 6
+
+
+class BTB2(BranchTargetBuffer):
+    """Second-level BTB with the semi-exclusive management protocol."""
+
+    def __init__(self, rows: int = BTB2_ROWS, ways: int = BTB2_WAYS) -> None:
+        super().__init__(rows=rows, ways=ways, name="BTB2")
+        self.transfer_hits = 0
+        self.victim_writes = 0
+        self.surprise_writes = 0
+
+    def transfer_row(self, address: int) -> list[BTBEntry]:
+        """Read one 32-byte row for a bulk transfer.
+
+        Every tag-matching entry is a "BTB2 hit"; each hit is demoted to LRU
+        in its congruence class and a *clone* is returned for installation
+        into the BTBP.
+        """
+        hits = self.search_row(address)
+        clones = []
+        for entry in hits:
+            self.demote(entry)
+            self.transfer_hits += 1
+            clones.append(entry.clone())
+        return clones
+
+    def write_victim(self, entry: BTBEntry) -> BTBEntry | None:
+        """Write a BTB1 victim into the LRU column and make it MRU."""
+        self.victim_writes += 1
+        return self.install_lru(entry)
+
+    def write_surprise(self, entry: BTBEntry) -> BTBEntry | None:
+        """Duplicate a surprise install into the BTB2 (clone, MRU)."""
+        self.surprise_writes += 1
+        return self.install(entry.clone())

@@ -1,0 +1,58 @@
+"""BTBP — the branch target buffer preload table.
+
+"The BTBP contains 768 branches and is organized as a 128 x 6-way cache ...
+implemented as a register file with multiple write ports to support the many
+sources of writes into the branch prediction hierarchy: surprise installs
+from statically guessed branches, branch preload instructions, BTB2 hits,
+and BTB1 victims." (paper, 3.1)
+
+The BTBP is read in parallel with the BTB1 to make predictions; it "serves
+as a filter for the BTB1": new content lands here first and is only promoted
+into the BTB1 once it actually makes a prediction, which keeps speculative
+bulk transfers from polluting the BTB1.  It also doubles as the BTB1 victim
+buffer.
+
+Per-source write counters are kept so experiments can report where first-
+level content came from.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.btb.entry import BTBEntry
+from repro.btb.storage import BranchTargetBuffer
+
+BTBP_ROWS = 128
+BTBP_WAYS = 6
+
+
+class WriteSource(enum.Enum):
+    """The four architected write sources of the BTBP."""
+
+    SURPRISE = "surprise"
+    PRELOAD_INSTRUCTION = "preload_instruction"
+    BTB2_HIT = "btb2_hit"
+    BTB1_VICTIM = "btb1_victim"
+
+
+class BTBP(BranchTargetBuffer):
+    """Preload table / BTB1 filter / victim buffer."""
+
+    def __init__(self, rows: int = BTBP_ROWS, ways: int = BTBP_WAYS) -> None:
+        super().__init__(rows=rows, ways=ways, name="BTBP")
+        self.writes_by_source: dict[WriteSource, int] = {
+            source: 0 for source in WriteSource
+        }
+
+    def write(self, entry: BTBEntry, source: WriteSource) -> BTBEntry | None:
+        """Install ``entry`` attributed to ``source``; return any victim.
+
+        BTBP victims simply age out — they are *not* written anywhere else
+        (BTB2 hits were demoted to LRU in the BTB2 at transfer time and
+        surprise installs were duplicated into the BTB2 at install time, so
+        no information is lost beyond what the semi-exclusive design
+        accepts).
+        """
+        self.writes_by_source[source] += 1
+        return self.install(entry)

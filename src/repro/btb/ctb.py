@@ -1,0 +1,62 @@
+"""CTB — tagged changing target buffer for multi-target branches.
+
+The CTB predicts targets of branches "exhibiting multiple ... targets"
+(returns, indirect branches, changing-target conditionals).  It has 2,048
+entries and "is indexed based on the instruction addresses of the 12
+previous taken branches" and tagged with branch instruction address bits
+(paper, 3.1).  Its prediction is used only when the BTB entry's ``use_ctb``
+bit is set and the tag matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btb.history import PathHistory
+
+CTB_ENTRIES = 2048
+#: Width of the branch-address tag stored per entry.
+TAG_BITS = 10
+
+
+@dataclass(slots=True)
+class _CTBEntry:
+    tag: int
+    target: int
+
+
+class CTB:
+    """Direct-mapped, tagged, path-indexed target predictor."""
+
+    def __init__(self, entries: int = CTB_ENTRIES) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._table: list[_CTBEntry | None] = [None] * entries
+        self.tag_hits = 0
+        self.tag_misses = 0
+
+    @staticmethod
+    def _tag(branch_address: int) -> int:
+        return (branch_address >> 1) & ((1 << TAG_BITS) - 1)
+
+    def predict(self, branch_address: int, history: PathHistory) -> int | None:
+        """Tagged target prediction, or ``None`` on tag mismatch."""
+        slot = self._table[history.ctb_index(self.entries)]
+        if slot is None or slot.tag != self._tag(branch_address):
+            self.tag_misses += 1
+            return None
+        self.tag_hits += 1
+        return slot.target
+
+    def peek(self, branch_address: int, history: PathHistory) -> int | None:
+        """Prediction without touching the hit/miss statistics (training)."""
+        slot = self._table[history.ctb_index(self.entries)]
+        if slot is None or slot.tag != self._tag(branch_address):
+            return None
+        return slot.target
+
+    def update(self, branch_address: int, history: PathHistory, target: int) -> None:
+        """Record the resolved target for this path."""
+        index = history.ctb_index(self.entries)
+        self._table[index] = _CTBEntry(tag=self._tag(branch_address), target=target)

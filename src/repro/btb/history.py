@@ -1,0 +1,67 @@
+"""Path history feeding the PHT and CTB.
+
+"The PHT contains 4,096 entries and is indexed based on the direction of the
+12 previous predicted branches and the instruction addresses of the 6
+previous taken branches.  The CTB contains 2,048 entries and is indexed
+based on the instruction addresses of the 12 previous taken branches."
+(paper, 3.1)
+
+:class:`PathHistory` maintains exactly those two streams and produces the
+folded index hashes.  It supports snapshot/restore so the simulator can keep
+a speculative copy along the lookahead search path and repair it on restarts
+("Until table updates take place, speculative BHT and PHT updates are
+applied to predictions", 3.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+DIRECTION_DEPTH = 12
+PHT_ADDRESS_DEPTH = 6
+CTB_ADDRESS_DEPTH = 12
+
+
+class PathHistory:
+    """Sliding window of predicted directions and taken-branch addresses."""
+
+    def __init__(self) -> None:
+        self._directions: deque[bool] = deque(maxlen=DIRECTION_DEPTH)
+        self._taken_addresses: deque[int] = deque(maxlen=CTB_ADDRESS_DEPTH)
+
+    def record(self, branch_address: int, taken: bool) -> None:
+        """Push one predicted/resolved branch into the history."""
+        self._directions.append(taken)
+        if taken:
+            self._taken_addresses.append(branch_address)
+
+    def snapshot(self) -> tuple[tuple[bool, ...], tuple[int, ...]]:
+        """Immutable copy of the current history state."""
+        return (tuple(self._directions), tuple(self._taken_addresses))
+
+    def restore(self, state: tuple[tuple[bool, ...], tuple[int, ...]]) -> None:
+        """Reset the history to a previously snapshotted state."""
+        directions, addresses = state
+        self._directions = deque(directions, maxlen=DIRECTION_DEPTH)
+        self._taken_addresses = deque(addresses, maxlen=CTB_ADDRESS_DEPTH)
+
+    def _fold_addresses(self, depth: int) -> int:
+        folded = 0
+        recent = list(self._taken_addresses)[-depth:]
+        for address in recent:
+            # Rotate-and-xor fold of the halfword address; the rotate keeps
+            # path order significant (a->b differs from b->a).
+            folded = ((folded << 3) | (folded >> 13)) & 0xFFFF
+            folded ^= (address >> 1) & 0xFFFF
+        return folded
+
+    def pht_index(self, table_entries: int) -> int:
+        """PHT index: 12 direction bits xor 6 folded taken addresses."""
+        directions = 0
+        for bit in self._directions:
+            directions = (directions << 1) | int(bit)
+        return (directions ^ self._fold_addresses(PHT_ADDRESS_DEPTH)) % table_entries
+
+    def ctb_index(self, table_entries: int) -> int:
+        """CTB index: 12 folded taken-branch addresses."""
+        return self._fold_addresses(CTB_ADDRESS_DEPTH) % table_entries

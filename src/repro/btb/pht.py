@@ -1,0 +1,70 @@
+"""PHT — tagged pattern history table for multi-directional branches.
+
+"Auxiliary structures called the Pattern History Table (PHT) and Changing
+Target Buffer (CTB) are used as part of the first level branch predictor for
+branches exhibiting multiple directions and targets.  They are indexed based
+on the path taken to get to a branch and are tagged with branch instruction
+address bits. ... These predictors are similar to the tagged ppm-like
+predictors described by Michaud." (paper, 3.1)
+
+A PHT prediction is only *used* when the BTB entry's ``use_pht`` control bit
+is set, and only *trusted* when the tag matches; otherwise the bimodal
+counter in the BTB entry prevails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btb.entry import STRONG_NOT_TAKEN, STRONG_TAKEN, WEAK_TAKEN
+from repro.btb.history import PathHistory
+
+PHT_ENTRIES = 4096
+#: Width of the branch-address tag stored per entry.
+TAG_BITS = 10
+
+
+@dataclass(slots=True)
+class _PHTEntry:
+    tag: int
+    counter: int
+
+
+class PHT:
+    """Direct-mapped, tagged, path-indexed 2-bit direction predictor."""
+
+    def __init__(self, entries: int = PHT_ENTRIES) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._table: list[_PHTEntry | None] = [None] * entries
+        self.tag_hits = 0
+        self.tag_misses = 0
+
+    @staticmethod
+    def _tag(branch_address: int) -> int:
+        return (branch_address >> 1) & ((1 << TAG_BITS) - 1)
+
+    def predict(self, branch_address: int, history: PathHistory) -> bool | None:
+        """Tagged prediction, or ``None`` on tag mismatch/empty slot."""
+        slot = self._table[history.pht_index(self.entries)]
+        if slot is None or slot.tag != self._tag(branch_address):
+            self.tag_misses += 1
+            return None
+        self.tag_hits += 1
+        return slot.counter >= WEAK_TAKEN
+
+    def update(self, branch_address: int, history: PathHistory, taken: bool) -> None:
+        """Train (and on tag mismatch, allocate) the indexed entry."""
+        index = history.pht_index(self.entries)
+        tag = self._tag(branch_address)
+        slot = self._table[index]
+        if slot is None or slot.tag != tag:
+            self._table[index] = _PHTEntry(
+                tag=tag, counter=WEAK_TAKEN if taken else WEAK_TAKEN - 1
+            )
+            return
+        if taken:
+            slot.counter = min(STRONG_TAKEN, slot.counter + 1)
+        else:
+            slot.counter = max(STRONG_NOT_TAKEN, slot.counter - 1)

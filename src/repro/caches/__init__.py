@@ -1,0 +1,6 @@
+"""Cache substrate: generic set-associative storage and the L1I model."""
+
+from repro.caches.icache import ICache
+from repro.caches.setassoc import CacheGeometry, SetAssociativeCache
+
+__all__ = ["CacheGeometry", "ICache", "SetAssociativeCache"]

@@ -1,0 +1,115 @@
+"""Generic set-associative cache with true LRU replacement.
+
+This is the storage substrate reused by the instruction cache model (and by
+tests that need a plain cache).  It tracks *presence* only — the simulator
+needs hit/miss behaviour, not data contents.
+
+Geometry is expressed as (sets, ways, line size); addresses are mapped with
+the conventional ``(address >> log2(line)) % sets`` index.  LRU state is an
+ordering of ways per set, most recently used first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _check_power_of_two(value: int, name: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a set-associative cache."""
+
+    sets: int
+    ways: int
+    line_bytes: int
+
+    def __post_init__(self) -> None:
+        _check_power_of_two(self.sets, "sets")
+        _check_power_of_two(self.line_bytes, "line_bytes")
+        if self.ways <= 0:
+            raise ValueError("ways must be positive")
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity in bytes."""
+        return self.sets * self.ways * self.line_bytes
+
+    def index(self, address: int) -> int:
+        """Set index for ``address``."""
+        return (address // self.line_bytes) % self.sets
+
+    def tag(self, address: int) -> int:
+        """Tag (line address above the index) for ``address``."""
+        return address // self.line_bytes // self.sets
+
+    def line_address(self, address: int) -> int:
+        """Align ``address`` down to its line."""
+        return address & ~(self.line_bytes - 1)
+
+
+class SetAssociativeCache:
+    """Presence-tracking set-associative cache with true LRU."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        # Per set: list of tags ordered MRU first.  Lists are tiny (= ways),
+        # so list operations beat any fancier structure in CPython.
+        self._sets: list[list[int]] = [[] for _ in range(geometry.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def contains(self, address: int) -> bool:
+        """Non-destructive presence probe (does not touch LRU or counters)."""
+        tags = self._sets[self.geometry.index(address)]
+        return self.geometry.tag(address) in tags
+
+    def access(self, address: int) -> bool:
+        """Reference ``address``: return True on hit; install on miss.
+
+        Hits are promoted to MRU; misses install the line, evicting LRU when
+        the set is full.
+        """
+        index = self.geometry.index(address)
+        tag = self.geometry.tag(address)
+        tags = self._sets[index]
+        if tag in tags:
+            if tags[0] != tag:
+                tags.remove(tag)
+                tags.insert(0, tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        tags.insert(0, tag)
+        if len(tags) > self.geometry.ways:
+            tags.pop()
+        return False
+
+    def install(self, address: int) -> None:
+        """Install ``address`` (MRU) without counting an access."""
+        index = self.geometry.index(address)
+        tag = self.geometry.tag(address)
+        tags = self._sets[index]
+        if tag in tags:
+            tags.remove(tag)
+        tags.insert(0, tag)
+        if len(tags) > self.geometry.ways:
+            tags.pop()
+
+    def flush(self) -> None:
+        """Empty the cache (counters are preserved)."""
+        for tags in self._sets:
+            tags.clear()
+
+    @property
+    def accesses(self) -> int:
+        """Total counted accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over counted accesses."""
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — run one workload under one or more configurations and
+  print the comparison report.
+* ``workloads`` — list the Table 4 workload catalog (paper counters).
+* ``tables`` — print the paper's structural tables (1, 2, 3, 5).
+* ``figure`` — regenerate one figure (2-7) at a chosen scale.
+
+Everything the CLI does is also available as a library API; the CLI is a
+thin argparse layer over :mod:`repro.experiments` and
+:mod:`repro.engine.simulator`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import (
+    PredictorConfig,
+    TABLE3_CONFIGS,
+    ZEC12_CONFIG_1,
+    ZEC12_CONFIG_2,
+    ZEC12_CONFIG_3,
+)
+from repro.engine.simulator import Simulator
+from repro.metrics.counters import cpi_improvement
+from repro.metrics.report import format_result
+from repro.workloads.catalog import TABLE4_WORKLOADS, workload_by_name
+
+CONFIGS: dict[str, PredictorConfig] = {
+    "1": ZEC12_CONFIG_1,
+    "2": ZEC12_CONFIG_2,
+    "3": ZEC12_CONFIG_3,
+}
+
+
+def _cmd_workloads(_args) -> int:
+    print(f"{'workload':34s} {'paper uniq':>10s} {'paper taken':>11s} "
+          f"{'trace len':>10s}")
+    for spec in TABLE4_WORKLOADS:
+        print(f"{spec.name:34s} {spec.paper_unique_branches:10,d} "
+              f"{spec.paper_unique_taken:11,d} {spec.trace_length:10,d}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    spec = workload_by_name(args.workload)
+    print(f"workload: {spec.name} (scale {args.scale})")
+    trace = spec.trace(scale=args.scale)
+    print(f"{len(trace):,} records\n")
+    results = []
+    for key in args.configs:
+        config = CONFIGS[key]
+        result = Simulator(config).run(trace)
+        results.append(result)
+        print(format_result(result))
+        print()
+    if len(results) > 1:
+        base = results[0]
+        for other in results[1:]:
+            gain = cpi_improvement(base.cpi, other.cpi)
+            print(f"{other.config_name} vs {base.config_name}: "
+                  f"{gain:+.2f}% CPI")
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from repro.experiments.tables import (
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table5,
+    )
+
+    for renderer in (render_table1, render_table2, render_table3,
+                     render_table5):
+        print(renderer())
+        print()
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import figure2, figure3, figure4, figure5, figure6, figure7
+
+    runners = {
+        2: lambda: figure2.render(figure2.run_figure2(scale=args.scale)),
+        3: lambda: figure3.render(figure3.run_figure3(scale=args.scale)),
+        4: lambda: figure4.render(figure4.run_figure4(scale=args.scale)),
+        5: lambda: figure5.render(figure5.run_figure5(scale=args.scale)),
+        6: lambda: figure6.render(figure6.run_figure6(scale=args.scale)),
+        7: lambda: figure7.render(figure7.run_figure7(scale=args.scale)),
+    }
+    print(runners[args.number]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two Level Bulk Preload Branch Prediction — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the Table 4 workload catalog")
+
+    simulate = sub.add_parser("simulate", help="simulate one workload")
+    simulate.add_argument("workload", help="catalog name (substring match)")
+    simulate.add_argument(
+        "--configs", nargs="+", choices=sorted(CONFIGS), default=["1", "2"],
+        help="Table 3 configurations to run (default: 1 2)",
+    )
+    simulate.add_argument("--scale", type=float, default=0.35)
+
+    sub.add_parser("tables", help="print tables 1, 2, 3 and 5")
+
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("number", type=int, choices=range(2, 8))
+    figure.add_argument("--scale", type=float, default=0.35)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "workloads": _cmd_workloads,
+        "simulate": _cmd_simulate,
+        "tables": _cmd_tables,
+        "figure": _cmd_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

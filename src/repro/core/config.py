@@ -1,0 +1,131 @@
+"""Predictor configurations, including the paper's Table 3.
+
+:class:`PredictorConfig` captures every architected choice that the paper
+either fixes (zEC12 geometry) or sweeps (Figures 5-7), plus the ablation
+switches called out in DESIGN.md §5.  The three Table 3 configurations are
+provided as module constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.btb.btb1 import BTB1_ROWS, BTB1_WAYS
+from repro.btb.btb2 import BTB2_ROWS, BTB2_WAYS
+from repro.btb.btbp import BTBP_ROWS, BTBP_WAYS
+from repro.btb.ctb import CTB_ENTRIES
+from repro.btb.fit import FIT_ENTRIES
+from repro.btb.pht import PHT_ENTRIES
+from repro.btb.surprise import SURPRISE_BHT_ENTRIES
+
+
+class FilterMode(enum.Enum):
+    """What happens to a perceived BTB1 miss without an I-cache miss (3.5)."""
+
+    #: Implemented design: limit to a 4-row (128 B) partial BTB2 search.
+    PARTIAL = "partial"
+    #: Alternative: prevent filtered misses from accessing the BTB2 at all.
+    BLOCK = "block"
+    #: Ablation: no filtering; every perceived miss gets a full-block search.
+    OFF = "off"
+
+
+class ExclusivityMode(enum.Enum):
+    """BTB1/BTB2 duplication management (3.3)."""
+
+    #: Implemented design: hits made LRU, victims installed MRU in LRU column.
+    SEMI_EXCLUSIVE = "semi_exclusive"
+    #: Ablation: inclusive — transfer hits stay MRU, no victim write-back
+    #: (stale second-level content, as the paper warns).
+    INCLUSIVE = "inclusive"
+    #: Ablation: victims are dropped instead of written back.
+    NO_VICTIM_WRITEBACK = "no_victim_writeback"
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Complete static configuration of the branch prediction hierarchy."""
+
+    # First level.
+    btb1_rows: int = BTB1_ROWS
+    btb1_ways: int = BTB1_WAYS
+    btbp_rows: int = BTBP_ROWS
+    btbp_ways: int = BTBP_WAYS
+    btbp_enabled: bool = True
+    pht_entries: int = PHT_ENTRIES
+    ctb_entries: int = CTB_ENTRIES
+    fit_entries: int = FIT_ENTRIES
+    surprise_bht_entries: int = SURPRISE_BHT_ENTRIES
+
+    # Second level; ``btb2_enabled = False`` disables it entirely.
+    btb2_enabled: bool = True
+    btb2_rows: int = BTB2_ROWS
+    btb2_ways: int = BTB2_WAYS
+
+    # Miss detection (3.4): "reporting a BTB1 miss after 4 searches without
+    # predictions, up to 128 bytes, provides the best results".
+    miss_search_limit: int = 4
+
+    # BTB2 access machinery (3.5-3.7).
+    filter_mode: FilterMode = FilterMode.PARTIAL
+    partial_search_rows: int = 4
+    tracker_count: int = 3
+    steering_enabled: bool = True
+    ordering_table_sets: int = 256
+    ordering_table_ways: int = 2
+
+    # Exclusivity protocol (3.3).
+    exclusivity: ExclusivityMode = ExclusivityMode.SEMI_EXCLUSIVE
+
+    # Extensions beyond the implemented zEC12 design, both described by the
+    # paper (3.4 "alternative ways of defining BTB1 misses" / section 6
+    # future work).  Off by default.
+    #: Additionally report a BTB1 miss when a statically-guessed-taken
+    #: surprise branch reaches decode (later, less speculative signal).
+    decode_miss_reporting: bool = False
+    #: Follow one cross-block branch target per bulk transfer into a new
+    #: full-block search (bounded multi-block transfer).
+    multi_block_transfer: bool = False
+
+    # Free-form label for reports.
+    name: str = field(default="custom", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.miss_search_limit < 1:
+            raise ValueError("miss_search_limit must be at least 1")
+        if self.tracker_count < 0:
+            raise ValueError("tracker_count must be non-negative")
+        if self.partial_search_rows < 1:
+            raise ValueError("partial_search_rows must be at least 1")
+
+    @property
+    def btb1_capacity(self) -> int:
+        """Branch capacity of the BTB1."""
+        return self.btb1_rows * self.btb1_ways
+
+    @property
+    def btb2_capacity(self) -> int:
+        """Branch capacity of the BTB2 (0 when disabled)."""
+        return self.btb2_rows * self.btb2_ways if self.btb2_enabled else 0
+
+    def with_(self, **changes) -> "PredictorConfig":
+        """Derived configuration with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+#: Table 3, configuration 1: baseline, no BTB2.
+ZEC12_CONFIG_1 = PredictorConfig(btb2_enabled=False, name="1. No BTB2")
+
+#: Table 3, configuration 2: the implemented design, 24k BTB2 enabled.
+ZEC12_CONFIG_2 = PredictorConfig(name="2. BTB2 enabled")
+
+#: Table 3, configuration 3: unrealistically large low-latency 24k BTB1.
+ZEC12_CONFIG_3 = PredictorConfig(
+    btb1_rows=BTB2_ROWS,
+    btb1_ways=BTB2_WAYS,
+    btb2_enabled=False,
+    name="3. Unrealistically large BTB1",
+)
+
+TABLE3_CONFIGS = (ZEC12_CONFIG_1, ZEC12_CONFIG_2, ZEC12_CONFIG_3)

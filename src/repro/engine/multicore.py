@@ -1,0 +1,105 @@
+"""Multi-core system proxy for the hardware measurements of Figure 3.
+
+The paper measures the BTB2's benefit on real zEC12 hardware: 5.3 % on
+WASDB+CBW2 on one core (vs 8.5 % in the simulation model) and 3.4 % on Web
+CICS/DB2 on four cores.  The gap between model and hardware exists because
+"only the first level instruction and data caches were modeled as finite in
+the simulation" — on hardware, the memory system below L1 is neither
+infinite nor private.
+
+We reproduce that structure rather than the silicon: each core runs an
+independent :class:`~repro.engine.simulator.Simulator` over its own phase
+of the workload trace, under timing parameters degraded by a shared-cache
+interference factor that grows with core count.  The interference factor
+inflates the L2 instruction latency and the per-instruction friction —
+diluting the branch-prediction share of CPI exactly the way real hardware
+dilutes it — so the proxy reproduces the paper's ordering
+``hardware gain < model gain`` and the multi-core degradation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.config import PredictorConfig
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.engine.simulator import SimulationResult, Simulator
+from repro.trace.record import TraceRecord
+
+#: Added relative memory-system load per additional active core.
+INTERFERENCE_PER_CORE = 0.12
+#: Hardware-vs-model dilution on a single core: finite L2/L3/L4 plus data
+#: side effects the model treats as infinite/ideal.
+HARDWARE_BASE_DILUTION = 0.30
+
+
+def hardware_timing(base: TimingParams, cores: int) -> TimingParams:
+    """Timing parameters for the hardware proxy with ``cores`` active."""
+    if cores < 1:
+        raise ValueError("cores must be at least 1")
+    load = 1.0 + HARDWARE_BASE_DILUTION + INTERFERENCE_PER_CORE * (cores - 1)
+    return dataclasses.replace(
+        base,
+        l2_instruction_latency=base.l2_instruction_latency * load,
+        dispatch_stall_cycles=base.dispatch_stall_cycles * load,
+    )
+
+
+@dataclass
+class MulticoreResult:
+    """Aggregate of one multi-core proxy run."""
+
+    cores: int
+    per_core: list[SimulationResult]
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions completed across all cores."""
+        return sum(r.counters.instructions for r in self.per_core)
+
+    @property
+    def total_cycles(self) -> float:
+        """Wall-clock cycles: the slowest core bounds the system."""
+        return max(r.counters.cycles for r in self.per_core)
+
+    @property
+    def system_throughput(self) -> float:
+        """Instructions per cycle across the system."""
+        return self.total_instructions / self.total_cycles
+
+
+def run_multicore(
+    records: list[TraceRecord],
+    config: PredictorConfig,
+    cores: int,
+    timing: TimingParams = DEFAULT_TIMING,
+) -> MulticoreResult:
+    """Run ``cores`` independent cores over phase-sliced sections of a trace.
+
+    Each core gets a contiguous slice (a distinct phase of the workload, as
+    on hardware where cores serve different requests), its own private
+    branch prediction hierarchy and L1I, and shared-memory-degraded timing.
+    """
+    if cores < 1:
+        raise ValueError("cores must be at least 1")
+    timing = hardware_timing(timing, cores)
+    slice_length = len(records) // cores
+    results = []
+    for core in range(cores):
+        start = core * slice_length
+        end = start + slice_length if core < cores - 1 else len(records)
+        simulator = Simulator(config=config, timing=timing)
+        results.append(simulator.run(records[start:end]))
+    return MulticoreResult(cores=cores, per_core=results)
+
+
+def system_performance_gain(
+    baseline: MulticoreResult, improved: MulticoreResult
+) -> float:
+    """Percent system-throughput improvement (the Figure 3 metric)."""
+    return (
+        (improved.system_throughput - baseline.system_throughput)
+        / baseline.system_throughput
+        * 100.0
+    )

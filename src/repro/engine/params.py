@@ -1,0 +1,89 @@
+"""Core timing parameters and the zEC12 chip configuration (Table 5).
+
+The paper reports *relative* CPI improvements, not absolute CPI, so the
+penalty constants below are calibration knobs rather than claims about
+zEC12 internals.  They are chosen to be plausible for a 5.5 GHz machine
+with a deep pipeline (mispredict restarts much more expensive than
+decode-time redirects, L2 instruction latency in the mid-teens) and they
+fold wrong-path fetch effects into the flat restart costs (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Cycle-accounting constants of the core model."""
+
+    #: Instructions decoded/dispatched per cycle (zEC12 decodes 3).
+    decode_width: int = 3
+    #: Average backend friction per instruction (dependency stalls, data
+    #: cache effects) — the paper's model simulates these in full; we fold
+    #: them into a flat per-instruction cost.  Commercial zSeries workloads
+    #: run well below peak decode throughput, which is also what lets the
+    #: asynchronous lookahead predictor stay ahead of decode.
+    dispatch_stall_cycles: float = 0.30
+    #: Minimum decode occupancy of a taken branch (max 1 taken branch/cycle).
+    taken_branch_decode_cycles: float = 1.0
+    #: Full pipeline restart: branch resolved differently than guessed.
+    mispredict_penalty: float = 18.0
+    #: Decode-time fetch redirect for a correctly-guessed-taken surprise
+    #: branch with a decode-computable (relative) target.
+    surprise_taken_decode_penalty: float = 8.0
+    #: Surprise branch needing execution-time resolution (wrong static
+    #: guess, or register-indirect target).
+    surprise_resolution_penalty: float = 18.0
+    #: L1I miss, L2 hit latency ("second level caches ... considered
+    #: infinite", paper section 4).
+    l2_instruction_latency: float = 14.0
+    #: Frontend refill portion of a restart penalty.  After a restart the
+    #: branch predictor and instruction fetch begin together (3.2), but
+    #: decode only resumes consuming once fetch/decode refill — this is the
+    #: window in which the lookahead search races ahead of decode.
+    frontend_refill_cycles: float = 8.0
+    #: L1 instruction cache geometry (Table 5: 64 KB, 4-way).
+    icache_capacity_bytes: int = 64 * 1024
+    icache_ways: int = 4
+    icache_line_bytes: int = 256
+    #: Window (cycles) in which an I-cache miss correlates with a perceived
+    #: BTB1 miss in the same 4 KB block (section 3.5 filter).
+    icache_miss_window: int = 512
+
+    def __post_init__(self) -> None:
+        if self.decode_width < 1:
+            raise ValueError("decode_width must be at least 1")
+        for name in (
+            "mispredict_penalty",
+            "surprise_taken_decode_penalty",
+            "surprise_resolution_penalty",
+            "l2_instruction_latency",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def base_decode_cycles(self) -> float:
+        """Effective cost of one ordinary instruction (decode + friction)."""
+        return 1.0 / self.decode_width + self.dispatch_stall_cycles
+
+
+DEFAULT_TIMING = TimingParams()
+
+
+#: Table 5 — zEnterprise EC12 chip configuration, kept verbatim for the
+#: Table 5 regeneration bench and for documentation.
+ZEC12_CHIP_CONFIG: dict[str, str] = {
+    "L1 Cache": "Instruction cache 64KB (4-way); Data cache 96KB (6-way)",
+    "L2 Cache": "Instruction cache 1 Meg (8-way); Data cache 1 Meg (8-way)",
+    "L3 Cache": "48 Meg on-chip",
+    "L4 Cache": "384 Meg off-chip",
+    "I-TLB1": "4K & 1 Meg pages: 64 x 2",
+    "D-TLB1": "4K pages: 256 x 2; 1M pages: 32 x 2; 2G pages: 1 x 8",
+    "TLB2": "128 x 4 CRSTE; 256 x 3 PTE / CRSTE",
+    "Issue Queue": "32 x 2",
+    "Completion Table": "30 x 3 micro-ops",
+    "Physical Regs": "80 general registers, 64 floating point",
+    "Issue bandwidth": "7 (2 LSU, 2 FXU, 2 Branch, 1 Float)",
+}

@@ -1,0 +1,394 @@
+"""Whole-system trace-driven simulator.
+
+Binds the first-level predictor, the lookahead search pipeline, the BTB2
+preload engine and the L1I model to a dynamic trace, accounting cycles per
+the penalty model of :mod:`repro.engine.params` and classifying every
+dynamic branch outcome per the Figure 4 taxonomy.
+
+Simulation contract (see DESIGN.md §1/§7 for the substitution rationale):
+
+* instructions are consumed in order at ``1/decode_width`` cycles each,
+  taken branches occupying at least one decode cycle;
+* the lookahead search engine runs on its own clock; a prediction helps
+  only if broadcast at or before the cycle decode consumes the branch,
+  otherwise the branch is a surprise (latency class);
+* correctly predicted taken branches prefetch their target line, hiding
+  some or all of the L2 instruction latency;
+* mispredictions and bad surprises add flat restart penalties and restart
+  the search engine at the resolved next address;
+* the BTB2 transfer engine runs concurrently; transferred entries become
+  visible in the BTBP at their transfer-completion cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.btb.btb2 import BTB2
+from repro.caches.icache import ICache
+from repro.core.config import PredictorConfig, ZEC12_CONFIG_2
+from repro.core.events import MissReport, OutcomeKind, Prediction
+from repro.core.hierarchy import FirstLevelPredictor, RowHit
+from repro.core.search import LookaheadSearch
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.metrics.counters import SimCounters
+from repro.preload.engine import PreloadEngine
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run: counters plus structure snapshots."""
+
+    config_name: str
+    counters: SimCounters
+    search_stats: dict[str, int] = field(default_factory=dict)
+    btbp_stats: dict[str, int] = field(default_factory=dict)
+    btb2_stats: dict[str, int] = field(default_factory=dict)
+    preload_stats: dict[str, int] = field(default_factory=dict)
+    icache_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the run."""
+        return self.counters.cpi
+
+    @property
+    def bad_outcome_fraction(self) -> float:
+        """Fraction of branch outcomes that are bad (Figure 4)."""
+        return self.counters.bad_outcome_fraction
+
+
+class Simulator:
+    """One core, one trace, one configuration."""
+
+    def __init__(
+        self,
+        config: PredictorConfig = ZEC12_CONFIG_2,
+        timing: TimingParams = DEFAULT_TIMING,
+    ) -> None:
+        self.config = config
+        self.timing = timing
+        self.btb2 = (
+            BTB2(rows=config.btb2_rows, ways=config.btb2_ways)
+            if config.btb2_enabled
+            else None
+        )
+        self.hierarchy = FirstLevelPredictor(config, btb2=self.btb2)
+        self.icache = ICache(
+            capacity_bytes=timing.icache_capacity_bytes,
+            ways=timing.icache_ways,
+            line_bytes=timing.icache_line_bytes,
+            miss_window=timing.icache_miss_window,
+        )
+        self.preload = (
+            PreloadEngine(config, self.btb2, self.hierarchy, self.icache)
+            if self.btb2 is not None
+            else None
+        )
+        self.search = LookaheadSearch(
+            self.hierarchy,
+            miss_limit=config.miss_search_limit,
+            on_miss=self._on_perceived_miss,
+        )
+        self.counters = SimCounters()
+        self._cycle = 0.0
+        self._started = False
+        self._expected_address: int | None = None
+        self._seen_branches: set[int] = set()
+        self._current_line = -1
+        #: line address -> cycle its L2 fill completes (prefetches in flight).
+        self._line_fills: dict[int, float] = {}
+
+    # -- callbacks -----------------------------------------------------------
+
+    def _on_perceived_miss(self, report: MissReport) -> None:
+        if self.preload is not None:
+            self.preload.advance(report.cycle)
+            self.preload.report_btb1_miss(report)
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, records: Iterable[TraceRecord]) -> SimulationResult:
+        """Simulate ``records`` and return the collected results."""
+        for record in records:
+            self.step(record)
+        return self.finish()
+
+    def step(self, record: TraceRecord) -> None:
+        """Simulate one trace record."""
+        if not self._started:
+            self.search.restart(record.address, 0)
+            self._started = True
+        elif record.address != self._expected_address:
+            # Control arrived somewhere the previous record cannot explain:
+            # a time-slice switch or interrupt in the trace.  Fetch and the
+            # lookahead searcher restart at the new stream, as on hardware.
+            self.counters.context_switches += 1
+            self.search.restart(record.address, math.ceil(self._cycle))
+        self._expected_address = record.next_address
+        self.counters.instructions += 1
+        self._cycle += self.timing.base_decode_cycles
+        if self.preload is not None:
+            self.preload.advance(int(self._cycle))
+        self._fetch(record.address)
+        if record.is_branch:
+            self._branch(record)
+        if self.preload is not None:
+            self.preload.observe_completion(record.address)
+
+    def finish(self) -> SimulationResult:
+        """Finalize clocks and snapshot structure statistics."""
+        if self.preload is not None:
+            self.preload.flush()
+        self.counters.cycles = self._cycle
+        return self._result()
+
+    # -- instruction fetch -------------------------------------------------------
+
+    def _fetch(self, address: int) -> None:
+        line = address & ~(self.timing.icache_line_bytes - 1)
+        if line == self._current_line:
+            return
+        self._current_line = line
+        hit = self.icache.fetch(address, int(self._cycle))
+        fill = self._line_fills.pop(line, None)
+        if hit:
+            if fill is not None:
+                wait = fill - self._cycle
+                if wait > 0:
+                    # Prefetch launched but not complete: partially hidden.
+                    self._penalize("icache_partial_miss", wait)
+                    self.counters.icache_partially_hidden_misses += 1
+                else:
+                    self.counters.icache_hidden_misses += 1
+            return
+        # Demand miss, L2 hit (L2+ infinite per the paper's methodology).
+        self.counters.icache_demand_misses += 1
+        self._penalize("icache_miss", self.timing.l2_instruction_latency)
+        if self.preload is not None:
+            self.preload.report_icache_miss(address, int(self._cycle))
+
+    def _prefetch_target(self, target: int, issue_cycle: float) -> None:
+        """Model the instruction prefetch a predicted-taken branch launches."""
+        line = target & ~(self.timing.icache_line_bytes - 1)
+        already_present = self.icache.prefetch(target)
+        if not already_present:
+            fill_complete = issue_cycle + self.timing.l2_instruction_latency
+            current = self._line_fills.get(line)
+            if current is None or fill_complete < current:
+                self._line_fills[line] = fill_complete
+        if len(self._line_fills) > 8192:
+            horizon = self._cycle
+            self._line_fills = {
+                addr: cycle
+                for addr, cycle in self._line_fills.items()
+                if cycle > horizon
+            }
+
+    # -- branch handling -----------------------------------------------------------
+
+    def _branch(self, record: TraceRecord) -> None:
+        self.counters.branches += 1
+        if record.taken:
+            self.counters.taken_branches += 1
+            extra = self.timing.taken_branch_decode_cycles - self.timing.base_decode_cycles
+            if extra > 0:
+                self._cycle += extra
+        outcome = self.search.advance_to_branch(record.address)
+        prediction = outcome.prediction
+        if prediction is not None and prediction.ready_cycle <= self._cycle:
+            self._dynamic_branch(record, prediction)
+        else:
+            self._surprise_branch(record, prediction)
+        self._seen_branches.add(record.address)
+
+    def _dynamic_branch(self, record: TraceRecord, prediction: Prediction) -> None:
+        """A prediction was available in time: apply it and resolve."""
+        self.hierarchy.use_prediction(
+            RowHit(prediction.entry, prediction.level, prediction.from_mru)
+        )
+        correct_direction = prediction.taken == record.taken
+        correct_target = (not record.taken) or prediction.target == record.target
+        if correct_direction and correct_target:
+            self.counters.record_outcome(OutcomeKind.GOOD_DYNAMIC)
+            if record.taken and record.target is not None:
+                self._prefetch_target(record.target, prediction.ready_cycle)
+        else:
+            if prediction.taken and record.taken:
+                kind = OutcomeKind.MISPREDICT_WRONG_TARGET
+            elif prediction.taken:
+                kind = OutcomeKind.MISPREDICT_TAKEN_NOT_TAKEN
+            else:
+                kind = OutcomeKind.MISPREDICT_NOT_TAKEN_TAKEN
+            self.counters.record_outcome(kind)
+            self._penalize("mispredict", self.timing.mispredict_penalty)
+            self._restart_search(record.next_address)
+        self.hierarchy.train(prediction.entry, record)
+        self.hierarchy.record_resolved_branch(record)
+
+    def _surprise_branch(
+        self, record: TraceRecord, late_prediction: Prediction | None
+    ) -> None:
+        """No usable dynamic prediction: the static-guess surprise path."""
+        resident_level = self.hierarchy.probe_level(record.address)
+        seen_before = record.address in self._seen_branches
+        backward = record.target is not None and record.target <= record.address
+        guess_taken = self.hierarchy.surprise_bht.guess(
+            record.address, record.kind, backward
+        )
+        self.hierarchy.surprise_bht.record_outcome(guess_taken, record.taken)
+
+        bad = guess_taken or record.taken
+        if not bad:
+            self.counters.record_outcome(OutcomeKind.GOOD_SURPRISE)
+            if late_prediction is not None and late_prediction.taken:
+                # The late prediction steered the searcher to a taken target
+                # the pipeline never followed: resync it sequentially (no
+                # flush happened, so no refill head start either).
+                self.search.restart(record.next_sequential, math.ceil(self._cycle))
+            self._train_resident(record)
+            self.hierarchy.record_resolved_branch(record)
+            return
+
+        self.counters.record_outcome(
+            self._classify_surprise(seen_before, resident_level, late_prediction)
+        )
+        if (
+            self.preload is not None
+            and self.config.decode_miss_reporting
+            and guess_taken
+        ):
+            # Alternative miss definition (3.4): a statically-guessed-taken
+            # branch reaching decode unpredicted is itself a miss report.
+            self.preload.report_decode_miss(record.address, math.ceil(self._cycle))
+        # The searcher free-runs until the restart this surprise causes —
+        # that window is where perceived BTB1 misses get detected and BTB2
+        # transfers started, ahead of the resolution (3.4/3.6).
+        penalty = self._surprise_penalty(record, guess_taken)
+        self.search.run_ahead(
+            math.ceil(self._cycle + penalty - self.timing.frontend_refill_cycles)
+        )
+        self._penalize("surprise", penalty)
+        if record.taken and record.target is not None:
+            self._prefetch_target(record.target, self._cycle)
+            self.hierarchy.surprise_install(record)
+        self._train_resident(record)
+        self.hierarchy.record_resolved_branch(record)
+        self._restart_search(record.next_address)
+
+    def _classify_surprise(
+        self,
+        seen_before: bool,
+        resident_level,
+        late_prediction: Prediction | None,
+    ) -> OutcomeKind:
+        """Compulsory / latency / capacity taxonomy of section 5.1."""
+        if not seen_before:
+            return OutcomeKind.SURPRISE_COMPULSORY
+        if late_prediction is not None or resident_level is not None:
+            return OutcomeKind.SURPRISE_LATENCY
+        return OutcomeKind.SURPRISE_CAPACITY
+
+    def _surprise_penalty(self, record: TraceRecord, guess_taken: bool) -> float:
+        """Penalty of a bad surprise branch.
+
+        A correctly-guessed-taken relative branch redirects at decode (the
+        target is computable from instruction text); everything else —
+        wrong static guess, or a register-indirect target — waits for
+        execution-time resolution.
+        """
+        if (
+            guess_taken
+            and record.taken
+            and record.kind is not None
+            and not record.kind.target_changes
+        ):
+            return self.timing.surprise_taken_decode_penalty
+        return self.timing.surprise_resolution_penalty
+
+    def _train_resident(self, record: TraceRecord) -> None:
+        """Keep a first-level-resident entry fresh even when it missed decode."""
+        entry = self.hierarchy.btb1.lookup(record.address)
+        if entry is None and self.hierarchy.btbp is not None:
+            entry = self.hierarchy.btbp.lookup(record.address)
+        if entry is not None:
+            self.hierarchy.train(entry, record)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _penalize(self, cause: str, cycles: float) -> None:
+        self._cycle += cycles
+        self.counters.attribute_penalty(cause, cycles)
+
+    def _restart_search(self, address: int) -> None:
+        """Restart the searcher after a pipeline redirect.
+
+        The restart fires when the redirect is resolved, but decode's clock
+        (``self._cycle``) already includes the frontend refill portion of
+        the penalty — the window in which branch prediction runs ahead of
+        decode.  The searcher therefore restarts ``frontend_refill_cycles``
+        before decode resumes.
+        """
+        restart_cycle = self._cycle - self.timing.frontend_refill_cycles
+        self.search.restart(address, max(0, math.ceil(restart_cycle)))
+
+    def _result(self) -> SimulationResult:
+        btbp = self.hierarchy.btbp
+        return SimulationResult(
+            config_name=self.config.name,
+            counters=self.counters,
+            search_stats={
+                "searches": self.search.searches,
+                "empty_searches": self.search.empty_searches,
+                "predictions_made": self.search.predictions_made,
+                "miss_reports": self.search.miss_reports_made,
+            },
+            btbp_stats=(
+                {
+                    source.value: count
+                    for source, count in btbp.writes_by_source.items()
+                }
+                if btbp is not None
+                else {}
+            ),
+            btb2_stats=(
+                {
+                    "transfer_hits": self.btb2.transfer_hits,
+                    "victim_writes": self.btb2.victim_writes,
+                    "surprise_writes": self.btb2.surprise_writes,
+                    "occupancy": len(self.btb2),
+                }
+                if self.btb2 is not None
+                else {}
+            ),
+            preload_stats=(
+                {
+                    "full_searches": self.preload.full_searches,
+                    "partial_searches": self.preload.partial_searches,
+                    "partial_upgrades": self.preload.partial_upgrades,
+                    "partial_invalidations": self.preload.partial_invalidations,
+                    "rows_read": self.preload.transfer.rows_read,
+                    "entries_transferred": self.preload.transfer.entries_transferred,
+                    "dropped_miss_reports": self.preload.trackers.dropped_miss_reports,
+                }
+                if self.preload is not None
+                else {}
+            ),
+            icache_stats={
+                "hits": self.icache.hits,
+                "misses": self.icache.misses,
+                "miss_rate": self.icache.miss_rate,
+            },
+        )
+
+
+def simulate(
+    records: Iterable[TraceRecord],
+    config: PredictorConfig = ZEC12_CONFIG_2,
+    timing: TimingParams = DEFAULT_TIMING,
+) -> SimulationResult:
+    """Convenience one-call simulation of ``records`` under ``config``."""
+    return Simulator(config=config, timing=timing).run(records)

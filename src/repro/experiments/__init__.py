@@ -1,0 +1,56 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+``python -m repro.experiments.run_all`` executes the whole evaluation and
+writes the paper-vs-measured report (EXPERIMENTS.md).
+"""
+
+from repro.experiments.common import (
+    RunResult,
+    geometric_mean,
+    mean,
+    run_all_workloads,
+    run_workload,
+)
+from repro.experiments.figure2 import Figure2Row, run_figure2, summarize
+from repro.experiments.figure3 import Figure3Row, run_figure3
+from repro.experiments.figure4 import BAR_SEGMENTS, Figure4Column, run_figure4
+from repro.experiments.figure5 import BTB2_SIZES, Figure5Point, run_figure5
+from repro.experiments.figure6 import Figure6Point, MISS_LIMITS, run_figure6
+from repro.experiments.figure7 import Figure7Point, TRACKER_COUNTS, run_figure7
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+__all__ = [
+    "BAR_SEGMENTS",
+    "BTB2_SIZES",
+    "Figure2Row",
+    "Figure3Row",
+    "Figure4Column",
+    "Figure5Point",
+    "Figure6Point",
+    "Figure7Point",
+    "MISS_LIMITS",
+    "RunResult",
+    "TRACKER_COUNTS",
+    "geometric_mean",
+    "mean",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "run_all_workloads",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_workload",
+    "summarize",
+]

@@ -1,0 +1,137 @@
+"""Shared experiment infrastructure: runs, caching, aggregation.
+
+Every figure of the paper is a set of (workload, configuration) simulation
+runs post-processed into CPI improvements.  Runs are expensive, and the
+figures share many of them (every figure needs the configuration-1 baseline
+on all 13 traces), so results are cached on disk as JSON keyed by the full
+(workload, config, timing, scale) fingerprint.  Delete ``.results_cache/``
+(or set ``REPRO_RESULTS_CACHE=off``) to force re-simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import PredictorConfig
+from repro.core.events import OutcomeKind
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.engine.simulator import Simulator
+from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec, default_scale
+
+RESULTS_CACHE_ENV = "REPRO_RESULTS_CACHE"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Cached essentials of one simulation run."""
+
+    workload: str
+    config: str
+    cpi: float
+    instructions: int
+    branches: int
+    outcome_fractions: dict[str, float]
+    preload_stats: dict[str, int]
+
+    @property
+    def bad_fraction(self) -> float:
+        """Fraction of branch outcomes that are bad."""
+        return sum(
+            fraction
+            for name, fraction in self.outcome_fractions.items()
+            if OutcomeKind(name).is_bad
+        )
+
+    def fraction(self, kind: OutcomeKind) -> float:
+        """Outcome fraction for ``kind``."""
+        return self.outcome_fractions.get(kind.value, 0.0)
+
+
+def _fingerprint(spec: WorkloadSpec, config: PredictorConfig,
+                 timing: TimingParams, scale: float) -> str:
+    payload = repr((spec, _config_key(config), dataclasses.astuple(timing), scale))
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+def _config_key(config: PredictorConfig) -> tuple:
+    values = dataclasses.asdict(config)
+    values.pop("name", None)
+    return tuple(sorted((k, str(v)) for k, v in values.items()))
+
+
+def _cache_dir() -> Path | None:
+    root = os.environ.get(RESULTS_CACHE_ENV, ".results_cache")
+    if root in ("", "off", "none"):
+        return None
+    return Path(root)
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    config: PredictorConfig,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+) -> RunResult:
+    """Simulate ``spec`` under ``config``, using the on-disk result cache."""
+    if scale is None:
+        scale = default_scale()
+    cache_dir = _cache_dir()
+    key = _fingerprint(spec, config, timing, scale)
+    cache_file = cache_dir / f"{key}.json" if cache_dir is not None else None
+    if cache_file is not None and cache_file.exists():
+        payload = json.loads(cache_file.read_text())
+        if payload.get("instructions", 0) > 0:  # ignore corrupt entries
+            return RunResult(**payload)
+
+    trace = spec.trace(scale)
+    if not trace:
+        raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
+    result = Simulator(config=config, timing=timing).run(trace)
+    run = RunResult(
+        workload=spec.name,
+        config=config.name,
+        cpi=result.cpi,
+        instructions=result.counters.instructions,
+        branches=result.counters.branches,
+        outcome_fractions={
+            kind.value: fraction
+            for kind, fraction in result.counters.outcome_fractions().items()
+        },
+        preload_stats=dict(result.preload_stats),
+    )
+    if cache_file is not None:
+        cache_file.parent.mkdir(parents=True, exist_ok=True)
+        scratch = cache_file.with_suffix(f".tmp{os.getpid()}")
+        scratch.write_text(json.dumps(dataclasses.asdict(run)))
+        os.replace(scratch, cache_file)  # atomic vs concurrent readers
+    return run
+
+
+def run_all_workloads(
+    config: PredictorConfig,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+    workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
+) -> list[RunResult]:
+    """One run per catalog workload under ``config``."""
+    return [run_workload(spec, config, timing, scale) for spec in workloads]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (0 when any value is non-positive)."""
+    if not values or any(v <= 0 for v in values):
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0

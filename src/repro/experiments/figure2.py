@@ -1,0 +1,89 @@
+"""Figure 2 — CPI improvement of the BTB2 and of an unrealistically large
+BTB1, per trace, plus BTB2 effectiveness.
+
+Paper reference points (5.1): maximum BTB2 benefit 13.8 % on DayTrader
+DBServ (vs 20.2 % for the large BTB1 on the same trace); BTB2 effectiveness
+between 16.6 % and 83.4 % with an average of 52 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2, ZEC12_CONFIG_3
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.common import mean, run_workload
+from repro.metrics.counters import btb2_effectiveness, cpi_improvement
+from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One trace's bar pair: BTB2 gain, large-BTB1 gain, effectiveness."""
+
+    workload: str
+    baseline_cpi: float
+    btb2_gain_percent: float
+    large_btb1_gain_percent: float
+    effectiveness_percent: float
+
+
+def run_figure2(
+    workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+) -> list[Figure2Row]:
+    """Simulate the three Table 3 configurations on every workload."""
+    rows = []
+    for spec in workloads:
+        base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
+        with_btb2 = run_workload(spec, ZEC12_CONFIG_2, timing, scale)
+        large = run_workload(spec, ZEC12_CONFIG_3, timing, scale)
+        btb2_gain = cpi_improvement(base.cpi, with_btb2.cpi)
+        large_gain = cpi_improvement(base.cpi, large.cpi)
+        rows.append(
+            Figure2Row(
+                workload=spec.name,
+                baseline_cpi=base.cpi,
+                btb2_gain_percent=btb2_gain,
+                large_btb1_gain_percent=large_gain,
+                effectiveness_percent=btb2_effectiveness(btb2_gain, large_gain),
+            )
+        )
+    return rows
+
+
+def summarize(rows: list[Figure2Row]) -> dict[str, float]:
+    """Headline numbers matching the paper's Figure 2 commentary."""
+    effectiveness = [r.effectiveness_percent for r in rows]
+    return {
+        "max_btb2_gain_percent": max(r.btb2_gain_percent for r in rows),
+        "max_large_btb1_gain_percent": max(
+            r.large_btb1_gain_percent for r in rows
+        ),
+        "min_effectiveness_percent": min(effectiveness),
+        "max_effectiveness_percent": max(effectiveness),
+        "mean_effectiveness_percent": mean(effectiveness),
+    }
+
+
+def render(rows: list[Figure2Row]) -> str:
+    """Paper-style text rendering of Figure 2."""
+    lines = [
+        "Figure 2: CPI improvement vs configuration 1 (no BTB2)",
+        f"{'trace':34s} {'base CPI':>8s} {'BTB2 %':>8s} {'24k BTB1 %':>10s} {'effect %':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:34s} {row.baseline_cpi:8.3f} "
+            f"{row.btb2_gain_percent:8.2f} {row.large_btb1_gain_percent:10.2f} "
+            f"{row.effectiveness_percent:9.1f}"
+        )
+    summary = summarize(rows)
+    lines.append(
+        f"{'':34s} max BTB2 {summary['max_btb2_gain_percent']:.2f}%  "
+        f"effectiveness {summary['min_effectiveness_percent']:.1f}%"
+        f"..{summary['max_effectiveness_percent']:.1f}%"
+        f" (mean {summary['mean_effectiveness_percent']:.1f}%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Figure 4 — effect of the BTB2 on bad branch outcomes (DayTrader DBServ).
+
+Paper reference points (5.1): without the BTB2, 25.9 % of all branch
+outcomes are bad, of which 21.9 points are capacity bad surprises; with the
+BTB2, capacity drops to 8.1 % and total bad outcomes to 14.3 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
+from repro.core.events import OutcomeKind
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.common import RunResult, run_workload
+from repro.workloads.catalog import DAYTRADER_DBSERV, WorkloadSpec
+
+#: Display order of the Figure 4 bar segments.
+BAR_SEGMENTS = (
+    OutcomeKind.MISPREDICT_TAKEN_NOT_TAKEN,
+    OutcomeKind.MISPREDICT_NOT_TAKEN_TAKEN,
+    OutcomeKind.MISPREDICT_WRONG_TARGET,
+    OutcomeKind.SURPRISE_COMPULSORY,
+    OutcomeKind.SURPRISE_LATENCY,
+    OutcomeKind.SURPRISE_CAPACITY,
+)
+
+
+@dataclass(frozen=True)
+class Figure4Column:
+    """One stacked bar: outcome fractions with/without the BTB2."""
+
+    label: str
+    fractions: dict[OutcomeKind, float]
+
+    @property
+    def total_bad(self) -> float:
+        """Total bad-outcome fraction (the bar height)."""
+        return sum(self.fractions[kind] for kind in BAR_SEGMENTS)
+
+
+def run_figure4(
+    spec: WorkloadSpec = DAYTRADER_DBSERV,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+) -> tuple[Figure4Column, Figure4Column]:
+    """The without/with BTB2 outcome columns of Figure 4."""
+    without = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
+    with_btb2 = run_workload(spec, ZEC12_CONFIG_2, timing, scale)
+    return (_column("No BTB2", without), _column("BTB2 enabled", with_btb2))
+
+
+def _column(label: str, run: RunResult) -> Figure4Column:
+    return Figure4Column(
+        label=label,
+        fractions={kind: run.fraction(kind) for kind in BAR_SEGMENTS},
+    )
+
+
+def render(columns: tuple[Figure4Column, Figure4Column]) -> str:
+    """Paper-style text rendering of Figure 4."""
+    without, with_btb2 = columns
+    lines = [
+        "Figure 4: bad branch outcomes on DayTrader DBServ (% of all outcomes)",
+        f"{'category':34s} {'no BTB2':>9s} {'BTB2':>9s}",
+    ]
+    for kind in BAR_SEGMENTS:
+        lines.append(
+            f"{kind.value:34s} {100 * without.fractions[kind]:8.1f}% "
+            f"{100 * with_btb2.fractions[kind]:8.1f}%"
+        )
+    lines.append(
+        f"{'total bad outcomes':34s} {100 * without.total_bad:8.1f}% "
+        f"{100 * with_btb2.total_bad:8.1f}%"
+    )
+    return "\n".join(lines)

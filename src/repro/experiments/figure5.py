@@ -1,0 +1,80 @@
+"""Figure 5 — effect of varying the BTB2 size (average of the 13 traces).
+
+The paper sweeps the second-level capacity around the implemented 24k
+(4k rows x 6 ways) point, "demonstrating the performance opportunity of a
+larger BTB2".  Expected shape: monotone increasing benefit with diminishing
+returns; the hardware point (24k) is marked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.common import mean, run_workload
+from repro.metrics.counters import cpi_improvement
+from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
+
+#: Swept geometries: (rows, ways) -> capacity in branches.
+BTB2_SIZES: tuple[tuple[int, int], ...] = (
+    (1024, 6),   # 6k
+    (2048, 6),   # 12k
+    (4096, 6),   # 24k  <- implemented in zEC12
+    (8192, 6),   # 48k
+    (16384, 6),  # 96k
+)
+IMPLEMENTED_SIZE = (4096, 6)
+
+
+@dataclass(frozen=True)
+class Figure5Point:
+    """Average BTB2 benefit at one second-level capacity."""
+
+    rows: int
+    ways: int
+    capacity: int
+    mean_gain_percent: float
+    implemented: bool
+
+
+def run_figure5(
+    workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+    sizes: tuple[tuple[int, int], ...] = BTB2_SIZES,
+) -> list[Figure5Point]:
+    """Average-of-all-traces BTB2 benefit per swept capacity."""
+    points = []
+    for rows, ways in sizes:
+        config = ZEC12_CONFIG_2.with_(
+            btb2_rows=rows, btb2_ways=ways,
+            name=f"BTB2 {rows * ways // 1024}k ({rows} x {ways})",
+        )
+        gains = []
+        for spec in workloads:
+            base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
+            variant = run_workload(spec, config, timing, scale)
+            gains.append(cpi_improvement(base.cpi, variant.cpi))
+        points.append(
+            Figure5Point(
+                rows=rows,
+                ways=ways,
+                capacity=rows * ways,
+                mean_gain_percent=mean(gains),
+                implemented=(rows, ways) == IMPLEMENTED_SIZE,
+            )
+        )
+    return points
+
+
+def render(points: list[Figure5Point]) -> str:
+    """Paper-style text rendering of Figure 5."""
+    lines = ["Figure 5: BTB2 size sweep (mean CPI improvement over 13 traces)"]
+    for point in points:
+        marker = "  <= zEC12" if point.implemented else ""
+        lines.append(
+            f"BTB2 {point.capacity // 1024:3d}k ({point.rows:5d} x {point.ways}): "
+            f"{point.mean_gain_percent:6.2f}%{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Figure 6 — effect of varying the definition of a BTB1 miss.
+
+"Simulation shows that reporting a BTB1 miss after 4 searches without
+predictions, up to 128 bytes, provides the best results on the studied
+workloads (Figure 6)." (paper, 3.4)
+
+Expected shape: a peak at 4 searches.  Fewer searches over-report (false
+perceived misses start transfers that pollute the BTBP and burn BTB2
+bandwidth); more searches detect real capacity gaps too late for the bulk
+transfer to beat the demand stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.common import mean, run_workload
+from repro.metrics.counters import cpi_improvement
+from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
+
+#: Swept miss definitions (searches without a prediction before reporting).
+MISS_LIMITS: tuple[int, ...] = (2, 3, 4, 6, 8)
+IMPLEMENTED_LIMIT = 4
+
+
+@dataclass(frozen=True)
+class Figure6Point:
+    """Average BTB2 benefit at one miss-definition setting."""
+
+    miss_limit: int
+    search_bytes: int
+    mean_gain_percent: float
+    implemented: bool
+
+
+def run_figure6(
+    workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+    limits: tuple[int, ...] = MISS_LIMITS,
+) -> list[Figure6Point]:
+    """Average-of-all-traces BTB2 benefit per miss definition."""
+    points = []
+    for limit in limits:
+        config = ZEC12_CONFIG_2.with_(
+            miss_search_limit=limit,
+            name=f"miss after {limit} searches",
+        )
+        gains = []
+        for spec in workloads:
+            base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
+            variant = run_workload(spec, config, timing, scale)
+            gains.append(cpi_improvement(base.cpi, variant.cpi))
+        points.append(
+            Figure6Point(
+                miss_limit=limit,
+                search_bytes=limit * 32,
+                mean_gain_percent=mean(gains),
+                implemented=limit == IMPLEMENTED_LIMIT,
+            )
+        )
+    return points
+
+
+def render(points: list[Figure6Point]) -> str:
+    """Paper-style text rendering of Figure 6."""
+    lines = [
+        "Figure 6: BTB1-miss definition sweep (mean CPI improvement, 13 traces)"
+    ]
+    for point in points:
+        marker = "  <= zEC12" if point.implemented else ""
+        lines.append(
+            f"{point.miss_limit} searches ({point.search_bytes:3d} B): "
+            f"{point.mean_gain_percent:6.2f}%{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Figure 7 — effect of varying the number of BTB2 search trackers.
+
+The zEC12 implements three trackers (3.6).  Expected shape: benefit grows
+with tracker count and saturates around the implemented three — with a
+single tracker, overlapping misses in distinct 4 KB blocks drop on the
+floor; beyond a few, the single-ported BTB2 transfer pipe is the limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.common import mean, run_workload
+from repro.metrics.counters import cpi_improvement
+from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
+
+#: Swept tracker counts.
+TRACKER_COUNTS: tuple[int, ...] = (1, 2, 3, 4, 8)
+IMPLEMENTED_TRACKERS = 3
+
+
+@dataclass(frozen=True)
+class Figure7Point:
+    """Average BTB2 benefit at one tracker count."""
+
+    trackers: int
+    mean_gain_percent: float
+    implemented: bool
+
+
+def run_figure7(
+    workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+    counts: tuple[int, ...] = TRACKER_COUNTS,
+) -> list[Figure7Point]:
+    """Average-of-all-traces BTB2 benefit per tracker count."""
+    points = []
+    for count in counts:
+        config = ZEC12_CONFIG_2.with_(
+            tracker_count=count, name=f"{count} trackers"
+        )
+        gains = []
+        for spec in workloads:
+            base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
+            variant = run_workload(spec, config, timing, scale)
+            gains.append(cpi_improvement(base.cpi, variant.cpi))
+        points.append(
+            Figure7Point(
+                trackers=count,
+                mean_gain_percent=mean(gains),
+                implemented=count == IMPLEMENTED_TRACKERS,
+            )
+        )
+    return points
+
+
+def render(points: list[Figure7Point]) -> str:
+    """Paper-style text rendering of Figure 7."""
+    lines = [
+        "Figure 7: BTB2 tracker count sweep (mean CPI improvement, 13 traces)"
+    ]
+    for point in points:
+        marker = "  <= zEC12" if point.implemented else ""
+        lines.append(
+            f"{point.trackers} tracker(s): {point.mean_gain_percent:6.2f}%{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""64-bit big-endian address arithmetic in IBM bit numbering.
+
+The zEC12 is a big-endian machine with 64-bit addressing where *bit 0 is the
+most significant bit and bit 63 is the least significant* (paper, section 3).
+Every structure in the paper is specified with inclusive bit ranges in that
+numbering, e.g. "instruction address bits 49:58 are used to index" the BTB1.
+
+This module is the single place where that numbering is translated into
+ordinary Python shifts and masks, so that the rest of the code base can speak
+the paper's language directly::
+
+    >>> field = BitField(49, 58)
+    >>> field.extract(0x0000_0000_0001_2345)
+    401
+
+Key derived geometry (all asserted by tests):
+
+* BTB1 index, bits 49:58  -> 10 bits, rows of 32 bytes, 1024 rows.
+* BTBP index, bits 52:58  ->  7 bits, rows of 32 bytes,  128 rows.
+* BTB2 index, bits 47:58  -> 12 bits, rows of 32 bytes, 4096 rows.
+* 4 KB block, bits 0:51   -> address >> 12.
+* 128 B sector, bits 0:56 -> address >> 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ADDRESS_BITS = 64
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+#: Bytes of instruction space covered by one row of every BTB level
+#: (the least significant indexed bit is 58, leaving bits 59:63 = 5 bits).
+ROW_BYTES = 32
+
+#: Size of the 4 KB blocks used by the BTB2 trackers and the ordering table.
+BLOCK_BYTES = 4096
+
+#: Size of the 128-byte sectors used for BTB2 transfer ordering.
+SECTOR_BYTES = 128
+
+#: Sectors per 4 KB block (32) and quartiles per block (4).
+SECTORS_PER_BLOCK = BLOCK_BYTES // SECTOR_BYTES
+QUARTILES_PER_BLOCK = 4
+SECTORS_PER_QUARTILE = SECTORS_PER_BLOCK // QUARTILES_PER_BLOCK
+
+#: BTB rows per 128-byte sector (4) and per 4 KB block (128).
+ROWS_PER_SECTOR = SECTOR_BYTES // ROW_BYTES
+ROWS_PER_BLOCK = BLOCK_BYTES // ROW_BYTES
+
+
+@dataclass(frozen=True)
+class BitField:
+    """An inclusive IBM-numbered bit range ``msb:lsb`` of a 64-bit address.
+
+    ``BitField(49, 58)`` selects ten bits whose least significant member is
+    IBM bit 58, i.e. conventional bit ``63 - 58 = 5``.
+    """
+
+    msb: int
+    lsb: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.msb <= self.lsb <= 63:
+            raise ValueError(f"invalid IBM bit range {self.msb}:{self.lsb}")
+
+    @property
+    def width(self) -> int:
+        """Number of bits selected by the field."""
+        return self.lsb - self.msb + 1
+
+    @property
+    def shift(self) -> int:
+        """Right shift that aligns the field's LSB with conventional bit 0."""
+        return 63 - self.lsb
+
+    @property
+    def mask(self) -> int:
+        """Mask of ``width`` ones, already shifted down to bit 0."""
+        return (1 << self.width) - 1
+
+    def extract(self, address: int) -> int:
+        """Return the value of this field within ``address``."""
+        return (address >> self.shift) & self.mask
+
+
+# Field definitions straight out of the paper's section 3.
+BTB1_INDEX = BitField(49, 58)
+BTBP_INDEX = BitField(52, 58)
+BTB2_INDEX = BitField(47, 58)
+BLOCK_FIELD = BitField(0, 51)
+SECTOR_FIELD = BitField(0, 56)
+
+
+def row_address(address: int) -> int:
+    """Align ``address`` down to the start of its 32-byte BTB row."""
+    return address & ~(ROW_BYTES - 1) & ADDRESS_MASK
+
+
+def row_offset(address: int) -> int:
+    """Byte offset of ``address`` within its 32-byte BTB row."""
+    return address & (ROW_BYTES - 1)
+
+
+def block_address(address: int) -> int:
+    """Align ``address`` down to the start of its 4 KB block."""
+    return address & ~(BLOCK_BYTES - 1) & ADDRESS_MASK
+
+
+def block_number(address: int) -> int:
+    """The 4 KB block number (instruction address bits 0:51)."""
+    return BLOCK_FIELD.extract(address)
+
+
+def sector_address(address: int) -> int:
+    """Align ``address`` down to the start of its 128-byte sector."""
+    return address & ~(SECTOR_BYTES - 1) & ADDRESS_MASK
+
+
+def sector_in_block(address: int) -> int:
+    """Index (0..31) of the 128-byte sector of ``address`` within its block."""
+    return (address & (BLOCK_BYTES - 1)) >> 7
+
+
+def quartile_in_block(address: int) -> int:
+    """Index (0..3) of the 1 KB quartile of ``address`` within its block."""
+    return (address & (BLOCK_BYTES - 1)) >> 10
+
+
+def sector_quartile(sector: int) -> int:
+    """Quartile (0..3) that a sector index (0..31) belongs to."""
+    if not 0 <= sector < SECTORS_PER_BLOCK:
+        raise ValueError(f"sector index out of range: {sector}")
+    return sector // SECTORS_PER_QUARTILE
+
+
+def same_block(a: int, b: int) -> bool:
+    """True when two addresses fall in the same 4 KB block."""
+    return block_address(a) == block_address(b)
+
+
+def next_row(address: int) -> int:
+    """Start address of the row sequentially after the one holding ``address``."""
+    return (row_address(address) + ROW_BYTES) & ADDRESS_MASK

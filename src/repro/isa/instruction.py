@@ -1,0 +1,65 @@
+"""Static instruction model for the synthetic z-like ISA.
+
+zSeries instructions are 2, 4 or 6 bytes long.  The workload generator builds
+programs out of :class:`Instruction` objects; the trace layer then records
+their dynamic executions as :class:`repro.trace.record.TraceRecord`.
+
+Only the properties that matter to branch prediction are modelled: the
+address, the length, whether the instruction is a branch and of which
+:class:`~repro.isa.opcodes.BranchKind`, and (for direct branches) the encoded
+target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import BranchKind, static_guess
+
+#: Legal instruction lengths in the z architecture.
+VALID_LENGTHS = (2, 4, 6)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``target`` is the statically encoded target for direct branches; for
+    RETURN/INDIRECT branches it is the *first* observed target (the dynamic
+    walker supplies per-execution targets).  ``None`` for non-branches.
+    """
+
+    address: int
+    length: int
+    kind: BranchKind | None = None
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.length not in VALID_LENGTHS:
+            raise ValueError(f"illegal instruction length {self.length}")
+        if self.address < 0:
+            raise ValueError("instruction address must be non-negative")
+        if self.kind is not None and self.kind is not BranchKind.RETURN:
+            if self.target is None and self.kind is not BranchKind.INDIRECT:
+                raise ValueError(f"{self.kind} branch requires a target")
+
+    @property
+    def is_branch(self) -> bool:
+        """True when the instruction is any kind of branch."""
+        return self.kind is not None
+
+    @property
+    def next_sequential(self) -> int:
+        """Address of the instruction that follows sequentially."""
+        return self.address + self.length
+
+    @property
+    def is_backward(self) -> bool:
+        """True for direct branches whose target precedes the branch."""
+        return self.target is not None and self.target <= self.address
+
+    def guess_direction(self) -> bool:
+        """Opcode/displacement static guess used on the surprise path."""
+        if self.kind is None:
+            raise ValueError("not a branch")
+        return static_guess(self.kind, self.is_backward)

@@ -1,0 +1,53 @@
+"""Branch kinds and static-guess rules for the z-like instruction model.
+
+The zEC12 guesses the direction of *surprise* branches (branches not predicted
+dynamically by the first-level predictor) "based on a tagless 32k entry
+one-bit BHT, its opcode and other instruction text fields" (paper, 3.1).
+
+We model the opcode part of that rule here: each branch carries a
+:class:`BranchKind`, and :func:`static_guess` gives the opcode-based default
+direction that the one-bit surprise BHT can then override (see
+:mod:`repro.btb.surprise`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BranchKind(enum.Enum):
+    """Classification of branch instructions in the synthetic ISA."""
+
+    #: Conditional relative branch (e.g. BRC) — may go either way.
+    COND = "cond"
+    #: Unconditional relative branch (e.g. J) — always taken.
+    UNCOND = "uncond"
+    #: Call (e.g. BRAS/BRASL) — always taken, pushes a return address.
+    CALL = "call"
+    #: Return (e.g. BR via link register) — taken, target varies per call site.
+    RETURN = "return"
+    #: Indirect branch through a register/table — taken, possibly multi-target.
+    INDIRECT = "indirect"
+
+    @property
+    def always_taken(self) -> bool:
+        """True for kinds that can never fall through."""
+        return self is not BranchKind.COND
+
+    @property
+    def target_changes(self) -> bool:
+        """True for kinds whose target may differ between executions."""
+        return self in (BranchKind.RETURN, BranchKind.INDIRECT)
+
+
+def static_guess(kind: BranchKind, backward: bool) -> bool:
+    """Opcode-based static direction guess for a surprise branch.
+
+    Unconditional kinds are guessed taken.  Conditional branches use the
+    classic backward-taken / forward-not-taken heuristic, standing in for the
+    "other instruction text fields" of the paper.  The tagless surprise BHT
+    refines this guess once a branch has resolved at least once.
+    """
+    if kind.always_taken:
+        return True
+    return backward

@@ -1,0 +1,12 @@
+"""Metrics: counters, outcome classification, paper-style reports."""
+
+from repro.metrics.counters import SimCounters, btb2_effectiveness, cpi_improvement
+from repro.metrics.report import format_comparison, format_result
+
+__all__ = [
+    "SimCounters",
+    "btb2_effectiveness",
+    "cpi_improvement",
+    "format_comparison",
+    "format_result",
+]

@@ -1,0 +1,66 @@
+"""Human-readable run reports.
+
+``format_result`` renders one :class:`~repro.engine.simulator.SimulationResult`
+the way the paper's result sections discuss runs: CPI, the bad-outcome
+breakdown, and the second-level activity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.events import OutcomeKind
+
+if TYPE_CHECKING:  # avoid a metrics <-> engine import cycle at runtime
+    from repro.engine.simulator import SimulationResult
+
+
+def format_result(result: "SimulationResult", title: str | None = None) -> str:
+    """Multi-line report of one simulation run."""
+    counters = result.counters
+    lines = [title or result.config_name]
+    lines.append(
+        f"  instructions {counters.instructions:,}  branches "
+        f"{counters.branches:,}  CPI {counters.cpi:.3f}"
+    )
+    lines.append(
+        f"  bad branch outcomes: {100 * counters.bad_outcome_fraction:.1f}% "
+        f"(mispredicts {counters.mispredict_outcomes:,}, "
+        f"bad surprises {counters.surprise_outcomes:,})"
+    )
+    for kind in OutcomeKind:
+        count = counters.outcomes[kind]
+        if count:
+            lines.append(
+                f"    {kind.value:36s} {count:9,d}  "
+                f"{100 * counters.outcome_fraction(kind):5.2f}%"
+            )
+    if counters.penalty_cycles:
+        lines.append("  penalty cycles by cause:")
+        for cause, cycles in sorted(
+            counters.penalty_cycles.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"    {cause:24s} {cycles:14,.0f}")
+    if result.preload_stats:
+        lines.append(f"  preload engine: {result.preload_stats}")
+    if result.btbp_stats:
+        lines.append(f"  BTBP writes by source: {result.btbp_stats}")
+    if result.icache_stats:
+        lines.append(
+            f"  L1I: miss rate {100 * result.icache_stats.get('miss_rate', 0.0):.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    baseline: SimulationResult, improved: SimulationResult
+) -> str:
+    """Two-run CPI comparison with the improvement headline."""
+    gain = (baseline.cpi - improved.cpi) / baseline.cpi * 100.0
+    return "\n".join(
+        [
+            f"{baseline.config_name}: CPI {baseline.cpi:.3f}",
+            f"{improved.config_name}: CPI {improved.cpi:.3f}",
+            f"CPI improvement: {gain:.2f}%",
+        ]
+    )

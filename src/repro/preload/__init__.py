@@ -1,0 +1,47 @@
+"""Second-level preload machinery: trackers, steering, bulk transfers."""
+
+from repro.preload.engine import (
+    BLOCK_MODE_WAIT_CYCLES,
+    PRIORITY_DEMAND,
+    PRIORITY_PARTIAL,
+    PRIORITY_REST_BASE,
+    PreloadEngine,
+)
+from repro.preload.ordering import (
+    ORDERING_TABLE_ENTRIES,
+    ORDERING_TABLE_WAYS,
+    OrderingEntry,
+    OrderingTable,
+    OrderingTracker,
+    classify_sectors,
+    order_sectors,
+)
+from repro.preload.tracker import SearchTracker, TrackerFile, TrackerState
+from repro.preload.transfer import (
+    FULL_BLOCK_TRANSFER_CYCLES,
+    MISS_TO_SEARCH_START,
+    SEARCH_PIPELINE_CYCLES,
+    TransferEngine,
+)
+
+__all__ = [
+    "BLOCK_MODE_WAIT_CYCLES",
+    "FULL_BLOCK_TRANSFER_CYCLES",
+    "MISS_TO_SEARCH_START",
+    "ORDERING_TABLE_ENTRIES",
+    "ORDERING_TABLE_WAYS",
+    "OrderingEntry",
+    "OrderingTable",
+    "OrderingTracker",
+    "PRIORITY_DEMAND",
+    "PRIORITY_PARTIAL",
+    "PRIORITY_REST_BASE",
+    "PreloadEngine",
+    "SEARCH_PIPELINE_CYCLES",
+    "SearchTracker",
+    "TrackerFile",
+    "TrackerState",
+    "TransferEngine",
+    "classify_sectors",
+    "order_sectors",
+]

@@ -1,0 +1,252 @@
+"""The BTB2 preload engine: miss filtering, trackers, steering, transfers.
+
+This facade implements sections 3.5-3.7 end to end:
+
+* perceived BTB1 misses (from :class:`repro.core.search.LookaheadSearch`)
+  arrive via :meth:`report_btb1_miss`;
+* demand I-cache misses arrive via :meth:`report_icache_miss`;
+* trackers correlate the two per 4 KB block; fully active trackers launch a
+  full 128-row search, BTB1-miss-only trackers launch a 4-row partial search
+  (``FilterMode.PARTIAL``, the implemented design) and are invalidated if no
+  I-cache miss shows up by the time the partial search completes;
+* full searches are steered by the ordering table when enabled;
+* the transfer engine moves tag-matching BTB2 content into the BTBP with
+  the architected 7 + 8 + 1-row-per-cycle timing.
+"""
+
+from __future__ import annotations
+
+from repro.btb.btb2 import BTB2
+from repro.caches.icache import ICache
+from repro.core.config import FilterMode, PredictorConfig
+from repro.core.events import MissReport
+from repro.core.hierarchy import FirstLevelPredictor
+from repro.isa.address import (
+    ROWS_PER_SECTOR,
+    SECTOR_BYTES,
+    block_address,
+    sector_address,
+)
+from repro.preload.ordering import OrderingTable, OrderingTracker, classify_sectors
+from repro.preload.tracker import SearchTracker, TrackerFile, TrackerState
+from repro.preload.transfer import MISS_TO_SEARCH_START, TransferEngine
+
+#: Cycles a BLOCK-mode (search-suppressed) tracker waits for an I-cache miss
+#: before invalidating — matched to the partial search it replaces.
+BLOCK_MODE_WAIT_CYCLES = MISS_TO_SEARCH_START + 4 + 8
+
+#: Priority bands for the transfer queue (lower = served first).
+PRIORITY_PARTIAL = 0
+PRIORITY_DEMAND = 1
+PRIORITY_REST_BASE = 2
+
+
+class PreloadEngine:
+    """Second-level access control and bulk preload orchestration."""
+
+    def __init__(
+        self,
+        config: PredictorConfig,
+        btb2: BTB2,
+        hierarchy: FirstLevelPredictor,
+        icache: ICache | None = None,
+    ) -> None:
+        self.config = config
+        self.btb2 = btb2
+        self.hierarchy = hierarchy
+        self.icache = icache
+        self.trackers = TrackerFile(count=config.tracker_count)
+        self.ordering_table = OrderingTable(
+            sets=config.ordering_table_sets, ways=config.ordering_table_ways
+        )
+        self.ordering_tracker = OrderingTracker(self.ordering_table)
+        self.transfer = TransferEngine(
+            btb2=btb2,
+            install=self._install_transfer,
+            exclusivity=config.exclusivity,
+            on_tracker_drained=self._tracker_drained,
+        )
+        # BLOCK-mode waiting deadlines: tracker -> cycle.
+        self._deadlines: dict[int, tuple[SearchTracker, int]] = {}
+        self.full_searches = 0
+        self.partial_searches = 0
+        self.partial_upgrades = 0
+        self.partial_invalidations = 0
+        self.filtered_misses = 0
+        self.duplicate_miss_reports = 0
+        self.decode_miss_reports = 0
+        self.followed_blocks = 0
+
+    # -- inputs ---------------------------------------------------------------
+
+    def report_btb1_miss(self, report: MissReport) -> None:
+        """Handle one perceived first-level miss (3.4 -> 3.5 -> 3.6)."""
+        block = block_address(report.search_address)
+        tracker = self.trackers.find(block)
+        if tracker is not None:
+            if tracker.btb1_miss_valid:
+                self.duplicate_miss_reports += 1
+                return
+            tracker.btb1_miss_valid = True
+            tracker.miss_address = report.search_address
+            self._activate(tracker, report.cycle)
+            return
+        tracker = self.trackers.allocate(block, report.cycle,
+                                         state=TrackerState.PARTIAL)
+        if tracker is None:
+            self.trackers.dropped_miss_reports += 1
+            return
+        tracker.btb1_miss_valid = True
+        tracker.miss_address = report.search_address
+        if self.icache is not None and self.icache.recent_miss_in_block(
+            report.search_address, report.cycle
+        ):
+            tracker.icache_miss_valid = True
+        self._activate(tracker, report.cycle)
+
+    def report_icache_miss(self, address: int, cycle: int) -> None:
+        """Record a demand I-cache miss for tracker correlation."""
+        block = block_address(address)
+        tracker = self.trackers.find(block)
+        if tracker is None:
+            tracker = self.trackers.allocate(block, cycle,
+                                             state=TrackerState.ICACHE_ONLY)
+            if tracker is None:
+                self.trackers.dropped_icache_reports += 1
+                return
+            tracker.icache_miss_valid = True
+            return
+        if tracker.icache_miss_valid:
+            return
+        tracker.icache_miss_valid = True
+        if tracker.btb1_miss_valid and tracker.state is not TrackerState.FULL:
+            # Partial (or BLOCK-mode waiting) tracker becomes fully active.
+            self.partial_upgrades += 1
+            self._deadlines.pop(id(tracker), None)
+            self._start_full_search(tracker, cycle)
+
+    def report_decode_miss(self, address: int, cycle: int) -> None:
+        """Alternative BTB1-miss definition (3.4 extension).
+
+        Fired when a statically-guessed-taken surprise branch reaches
+        decode: a later, less speculative miss indication used *in addition
+        to* the search-based one when ``decode_miss_reporting`` is enabled.
+        """
+        self.decode_miss_reports += 1
+        self.report_btb1_miss(MissReport(search_address=address, cycle=cycle))
+
+    def _install_transfer(self, entry) -> None:
+        """Install one transferred entry, optionally chasing its target.
+
+        With ``multi_block_transfer`` (section 6 future work), the first
+        transferred branch whose target leaves the block pulls its target
+        block into a full search too — bounded to one follow per delivery
+        to respect the paper's bandwidth warning ("the number of blocks to
+        transfer can exponentially exceed the available bandwidth").
+        """
+        self.hierarchy.preload_write(entry)
+        if not self.config.multi_block_transfer:
+            return
+        source_block = block_address(entry.address)
+        target_block = block_address(entry.target)
+        if target_block == source_block:
+            return
+        if self.trackers.find(target_block) is not None:
+            return
+        tracker = self.trackers.allocate(target_block, self.transfer.clock)
+        if tracker is None:
+            return
+        tracker.btb1_miss_valid = True
+        tracker.icache_miss_valid = True  # followed blocks bypass the filter
+        tracker.miss_address = entry.target
+        self.followed_blocks += 1
+        self._start_full_search(tracker, self.transfer.clock)
+
+    def observe_completion(self, address: int) -> None:
+        """Feed one completing instruction to the ordering tracker (3.7)."""
+        if self.config.steering_enabled:
+            self.ordering_tracker.observe(address)
+
+    def advance(self, cycle: int) -> None:
+        """Advance transfer timing and expire BLOCK-mode waits."""
+        self.transfer.advance(cycle)
+        if self._deadlines:
+            expired = [
+                key
+                for key, (tracker, deadline) in self._deadlines.items()
+                if deadline <= cycle and not tracker.fully_active
+            ]
+            for key in expired:
+                tracker, _ = self._deadlines.pop(key)
+                self.partial_invalidations += 1
+                tracker.reset()
+
+    # -- activation -------------------------------------------------------------
+
+    def _activate(self, tracker: SearchTracker, cycle: int) -> None:
+        if tracker.fully_active or self.config.filter_mode is FilterMode.OFF:
+            self._start_full_search(tracker, cycle)
+            return
+        self.filtered_misses += 1
+        if self.config.filter_mode is FilterMode.PARTIAL:
+            self._start_partial_search(tracker, cycle)
+        else:  # FilterMode.BLOCK: no search; wait for an I-cache miss.
+            tracker.state = TrackerState.PARTIAL
+            self._deadlines[id(tracker)] = (tracker, cycle + BLOCK_MODE_WAIT_CYCLES)
+
+    def _start_partial_search(self, tracker: SearchTracker, cycle: int) -> None:
+        """4-row (128 B) search at the miss address (3.5/3.6)."""
+        tracker.state = TrackerState.PARTIAL
+        self.partial_searches += 1
+        self.transfer.enqueue_sector(
+            tracker,
+            sector_address(tracker.miss_address),
+            eligible_cycle=cycle + MISS_TO_SEARCH_START,
+            priority=PRIORITY_PARTIAL,
+            rows=self.config.partial_search_rows,
+        )
+
+    def _start_full_search(self, tracker: SearchTracker, cycle: int) -> None:
+        """Steered full-block search: all 128 rows of the 4 KB block."""
+        tracker.state = TrackerState.FULL
+        self.full_searches += 1
+        entry = (
+            self.ordering_table.lookup(tracker.miss_address)
+            if self.config.steering_enabled
+            else None
+        )
+        eligible = cycle + MISS_TO_SEARCH_START
+        block = block_address(tracker.miss_address)
+        for sector, priority_class in classify_sectors(entry, tracker.miss_address):
+            priority = (
+                PRIORITY_DEMAND
+                if priority_class == 0
+                else PRIORITY_REST_BASE + priority_class - 1
+            )
+            self.transfer.enqueue_sector(
+                tracker,
+                block + sector * SECTOR_BYTES,
+                eligible_cycle=eligible,
+                priority=priority,
+                rows=ROWS_PER_SECTOR,
+            )
+
+    # -- completion -----------------------------------------------------------
+
+    def _tracker_drained(self, tracker: SearchTracker, cycle: int) -> None:
+        """All in-flight rows of ``tracker`` completed."""
+        if tracker.state is TrackerState.PARTIAL:
+            if tracker.icache_miss_valid:
+                # I-cache miss arrived exactly at completion: upgrade.
+                self.partial_upgrades += 1
+                self._start_full_search(tracker, cycle)
+            else:
+                self.partial_invalidations += 1
+                tracker.reset()
+        elif tracker.state is TrackerState.FULL:
+            tracker.reset()
+
+    def flush(self) -> None:
+        """Finish outstanding work (end of simulation)."""
+        self.ordering_tracker.flush()
+        self.transfer.drain()

@@ -1,0 +1,22 @@
+"""Trace substrate: records, binary round-trip, and Table 4 statistics."""
+
+from repro.trace.reader import TraceFormatError, iter_trace, load_trace
+from repro.trace.record import TraceRecord
+from repro.trace.stats import (
+    LARGE_FOOTPRINT_TAKEN_BRANCHES,
+    TraceStats,
+    collect_stats,
+)
+from repro.trace.writer import save_trace, write_trace
+
+__all__ = [
+    "LARGE_FOOTPRINT_TAKEN_BRANCHES",
+    "TraceFormatError",
+    "TraceRecord",
+    "TraceStats",
+    "collect_stats",
+    "iter_trace",
+    "load_trace",
+    "save_trace",
+    "write_trace",
+]

@@ -1,0 +1,53 @@
+"""Compact on-disk trace format (reader side).
+
+See :mod:`repro.trace.writer` for the format definition.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Iterator
+
+from repro.trace.record import TraceRecord
+from repro.trace.writer import CODE_KINDS, HEADER, MAGIC, RECORD, VERSION
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace stream does not conform to the format."""
+
+
+def read_header(stream: BinaryIO) -> int:
+    """Consume and validate the header; return the declared record count."""
+    raw = stream.read(HEADER.size)
+    if len(raw) != HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, count = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    return count
+
+
+def iter_trace(stream: BinaryIO) -> Iterator[TraceRecord]:
+    """Yield records from an open trace stream, validating the count."""
+    count = read_header(stream)
+    for index in range(count):
+        raw = stream.read(RECORD.size)
+        if len(raw) != RECORD.size:
+            raise TraceFormatError(f"truncated at record {index}/{count}")
+        meta, address, target = RECORD.unpack(raw)
+        kind = CODE_KINDS.get((meta >> 3) & 0x7)
+        taken = bool(meta & (1 << 6))
+        yield TraceRecord(
+            address=address,
+            length=meta & 0x7,
+            kind=kind,
+            taken=taken,
+            target=target if (taken or (kind is not None and target)) else None,
+        )
+
+
+def load_trace(path) -> list[TraceRecord]:
+    """Read the entire trace at ``path`` into memory."""
+    with open(path, "rb") as stream:
+        return list(iter_trace(stream))

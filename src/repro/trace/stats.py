@@ -1,0 +1,85 @@
+"""Trace statistics — the counters behind the paper's Table 4.
+
+The paper selects "large footprint" traces by their number of unique branch
+instruction addresses (and unique *taken* branch addresses): "any trace with
+more than 5,000 unique taken branch instruction addresses is a good candidate
+for showing improvement from additional branch prediction capacity"
+(section 4).  :class:`TraceStats` computes exactly those counters plus a few
+footprint estimates used elsewhere in the paper (24-30 bytes of instruction
+space per ever-taken branch, section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.trace.record import TraceRecord
+
+#: Paper threshold for a "large footprint" trace (section 4).
+LARGE_FOOTPRINT_TAKEN_BRANCHES = 5_000
+
+#: Paper estimate of instruction bytes covered per installed BTB entry.
+FOOTPRINT_BYTES_PER_ENTRY = (24, 30)
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of one dynamic trace."""
+
+    instructions: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    unique_branch_addresses: int = 0
+    unique_taken_branch_addresses: int = 0
+    unique_instruction_bytes: int = 0
+    _branch_addresses: set[int] = field(default_factory=set, repr=False)
+    _taken_addresses: set[int] = field(default_factory=set, repr=False)
+    _rows_touched: set[int] = field(default_factory=set, repr=False)
+
+    def observe(self, record: TraceRecord) -> None:
+        """Fold one record into the statistics."""
+        self.instructions += 1
+        self._rows_touched.add(record.address >> 5)
+        if record.is_branch:
+            self.branches += 1
+            self._branch_addresses.add(record.address)
+            if record.taken:
+                self.taken_branches += 1
+                self._taken_addresses.add(record.address)
+        self.unique_branch_addresses = len(self._branch_addresses)
+        self.unique_taken_branch_addresses = len(self._taken_addresses)
+        self.unique_instruction_bytes = len(self._rows_touched) * 32
+
+    @property
+    def taken_fraction(self) -> float:
+        """Fraction of dynamic branches that were taken."""
+        return self.taken_branches / self.branches if self.branches else 0.0
+
+    @property
+    def branch_density(self) -> float:
+        """Dynamic branches per instruction."""
+        return self.branches / self.instructions if self.instructions else 0.0
+
+    @property
+    def is_large_footprint(self) -> bool:
+        """Paper's selection criterion for capacity-sensitive traces."""
+        return self.unique_taken_branch_addresses > LARGE_FOOTPRINT_TAKEN_BRANCHES
+
+    @property
+    def estimated_btb_footprint_bytes(self) -> tuple[int, int]:
+        """Estimated instruction footprint (low, high) of the ever-taken set.
+
+        Uses the paper's 24-30 bytes-per-entry rule of thumb.
+        """
+        low, high = FOOTPRINT_BYTES_PER_ENTRY
+        n = self.unique_taken_branch_addresses
+        return (n * low, n * high)
+
+
+def collect_stats(records: Iterable[TraceRecord]) -> TraceStats:
+    """Compute :class:`TraceStats` over an iterable of records."""
+    stats = TraceStats()
+    for record in records:
+        stats.observe(record)
+    return stats

@@ -1,0 +1,72 @@
+"""Compact on-disk trace format (writer side).
+
+Traces are stored as a small binary format so that generated workloads can be
+saved once and replayed by every experiment.  The format is deliberately
+simple and self-describing:
+
+* 16-byte header: magic ``b"ZTRC"``, format version (u32 LE), record count
+  (u64 LE).
+* One 20-byte record per instruction: address (u64), packed metadata (u32:
+  length in bits 0..2, branch-kind+1 in bits 3..5, taken in bit 6), target
+  (u64, zero when absent).
+
+All integers are little-endian on disk regardless of the simulated machine's
+big-endian bit *numbering* — the numbering convention only affects how index
+fields are extracted, not host serialization.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+
+MAGIC = b"ZTRC"
+VERSION = 1
+HEADER = struct.Struct("<4sIQ")
+RECORD = struct.Struct("<IQQ")
+
+#: Stable integer encoding of branch kinds (0 = not a branch).
+KIND_CODES: dict[BranchKind | None, int] = {
+    None: 0,
+    BranchKind.COND: 1,
+    BranchKind.UNCOND: 2,
+    BranchKind.CALL: 3,
+    BranchKind.RETURN: 4,
+    BranchKind.INDIRECT: 5,
+}
+CODE_KINDS: dict[int, BranchKind | None] = {v: k for k, v in KIND_CODES.items()}
+
+
+def pack_record(record: TraceRecord) -> bytes:
+    """Serialize one record to its 20-byte wire form."""
+    meta = (record.length & 0x7) | (KIND_CODES[record.kind] << 3)
+    if record.taken:
+        meta |= 1 << 6
+    target = record.target if record.target is not None else 0
+    return RECORD.pack(meta, record.address, target)
+
+
+def write_trace(stream: BinaryIO, records: Iterable[TraceRecord]) -> int:
+    """Write ``records`` to ``stream``; return the record count.
+
+    The record count is not known up front for arbitrary iterables, so the
+    header is written last via a seek — ``stream`` must therefore be seekable.
+    """
+    stream.write(HEADER.pack(MAGIC, VERSION, 0))
+    count = 0
+    for record in records:
+        stream.write(pack_record(record))
+        count += 1
+    stream.seek(0)
+    stream.write(HEADER.pack(MAGIC, VERSION, count))
+    stream.seek(0, 2)
+    return count
+
+
+def save_trace(path, records: Iterable[TraceRecord]) -> int:
+    """Write ``records`` to the file at ``path``; return the record count."""
+    with open(path, "wb") as stream:
+        return write_trace(stream, records)

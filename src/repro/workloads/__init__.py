@@ -1,0 +1,45 @@
+"""Synthetic workload substrate standing in for the paper's IBM traces."""
+
+from repro.workloads.catalog import (
+    DAYTRADER_DBSERV,
+    TABLE4_WORKLOADS,
+    WASDB_CBW2,
+    WEB_CICS_DB2,
+    WorkloadSpec,
+    default_scale,
+    workload_by_name,
+)
+from repro.workloads.generator import (
+    TraceWalker,
+    WalkProfile,
+    generate_mixed_trace,
+    generate_trace,
+)
+from repro.workloads.program import (
+    BasicBlock,
+    Function,
+    Program,
+    ProgramShape,
+    TerminatorKind,
+    build_program,
+)
+
+__all__ = [
+    "BasicBlock",
+    "DAYTRADER_DBSERV",
+    "Function",
+    "Program",
+    "ProgramShape",
+    "TABLE4_WORKLOADS",
+    "TerminatorKind",
+    "TraceWalker",
+    "WASDB_CBW2",
+    "WEB_CICS_DB2",
+    "WalkProfile",
+    "WorkloadSpec",
+    "build_program",
+    "default_scale",
+    "generate_mixed_trace",
+    "generate_trace",
+    "workload_by_name",
+]

@@ -1,0 +1,373 @@
+"""Dynamic trace generation: walking a synthetic program.
+
+:class:`TraceWalker` interprets a :class:`~repro.workloads.program.Program`
+into a stream of :class:`~repro.trace.record.TraceRecord`.  The walk is a
+transaction loop, the canonical shape of the paper's commercial workloads:
+each transaction invokes one *root* function drawn from a Zipf-plus-uniform
+popularity mix (hot transaction code plus a long cold tail), and each
+function executes its blocks — biased conditionals, bounded loops, calls,
+switch-like indirect jumps, returns.
+
+The popularity mix is what makes the workload capacity-sensitive: hot
+functions stay resident in the BTB1 while the long tail is continually
+re-visited at reuse distances beyond BTB1 capacity but within BTB2 capacity —
+exactly the population the bulk preload mechanism targets.
+
+Everything is seeded: the same (program, profile) pair always produces the
+identical trace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+from repro.workloads.program import BasicBlock, Function, Program, TerminatorKind
+
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class WalkProfile:
+    """Knobs of the dynamic walk."""
+
+    #: Zipf exponent of root-function popularity.
+    zipf_s: float = 1.1
+    #: Probability a transaction root comes from the cold tail instead of
+    #: the Zipf-hot mix.
+    uniform_fraction: float = 0.25
+    #: How cold roots are chosen: a strided round-robin sweep through the
+    #: whole function pool ("sweep", guarantees coverage of large pools the
+    #: way phase-structured server code revisits all of itself), or plain
+    #: uniform sampling ("uniform").
+    cold_mode: str = "sweep"
+    #: Stride of the cold sweep (callee fan-out fills the gaps).
+    cold_stride: int = 3
+    #: Mean transaction burst length: consecutive transactions tend to
+    #: repeat the same root (requests of one type arrive clustered).  This
+    #: short-term reuse is what lets surprise-installed BTBP content get
+    #: used — and promoted into the BTB1 — before it ages out.
+    burst_mean: float = 2.5
+    #: Fraction of cold transactions that recur once more after
+    #: ``echo_delay`` further transactions — the medium-distance reuse of
+    #: request-structured servers (the same request type returns minutes
+    #: later).  The delay is calibrated to exceed first-level BTB turnover
+    #: (~1,750 transactions of promotions at these shapes), so echo visits
+    #: are exactly the capacity-miss population the BTB2 serves.
+    echo_fraction: float = 0.45
+    echo_delay: int = 2000
+    #: Call depth bound (deeper calls are elided).
+    max_call_depth: int = 8
+    #: Hard bound on consecutive taken iterations of one backward branch.
+    max_loop_iterations: int = 48
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.cold_mode not in ("sweep", "uniform"):
+            raise ValueError(f"unknown cold_mode {self.cold_mode!r}")
+        if self.cold_stride < 1:
+            raise ValueError("cold_stride must be at least 1")
+
+
+@dataclass(slots=True)
+class _Frame:
+    function: Function
+    block_index: int
+    loop_counts: dict[int, int]
+
+
+class TraceWalker:
+    """Deterministic interpreter producing dynamic traces."""
+
+    def __init__(self, program: Program, profile: WalkProfile | None = None) -> None:
+        self.program = program
+        self.profile = profile or WalkProfile()
+        self._rng = random.Random(self.profile.seed)
+        self._cumulative_weights = self._build_popularity()
+        # The dispatcher lives just below the program's code.
+        self._dispatcher_entry = max(0, program.base_address - 64)
+        self._dispatch_target = self._dispatcher_entry
+        self._cold_cursor = 0
+        self._last_pick_cold = False
+        self._visit_counts: dict[int, int] = {}
+
+    def _build_popularity(self) -> list[float]:
+        """Cumulative Zipf weights over a seeded permutation of functions."""
+        count = len(self.program.functions)
+        ranks = list(range(count))
+        random.Random(self.profile.seed ^ 0x5EED).shuffle(ranks)
+        weights = [0.0] * count
+        for rank_position, function_index in enumerate(ranks):
+            weights[function_index] = 1.0 / (rank_position + 1) ** self.profile.zipf_s
+        return list(itertools.accumulate(weights))
+
+    def _pick_root(self) -> Function:
+        functions = self.program.functions
+        if self._rng.random() < self.profile.uniform_fraction:
+            self._last_pick_cold = True
+            if self.profile.cold_mode == "sweep":
+                root = functions[self._cold_cursor % len(functions)]
+                self._cold_cursor += self.profile.cold_stride
+                return root
+            return functions[self._rng.randrange(len(functions))]
+        self._last_pick_cold = False
+        total = self._cumulative_weights[-1]
+        point = self._rng.random() * total
+        return functions[bisect.bisect_left(self._cumulative_weights, point)]
+
+    # -- walking ---------------------------------------------------------------
+
+    def records(self, length: int) -> Iterator[TraceRecord]:
+        """Yield approximately ``length`` records of transaction-loop trace.
+
+        The next transaction's root is chosen one step ahead so the current
+        root's final return can branch straight to it — modelling the
+        dispatcher loop of a transaction server and keeping the trace free
+        of unexplained control-flow discontinuities.
+        """
+        emitted = 0
+        roots = self._root_sequence()
+        next_root = next(roots)
+        while emitted < length:
+            root, next_root = next_root, next(roots)
+            # Root returns go to the dispatcher (a constant, predictable
+            # target); the dispatcher's indirect branch then selects the
+            # next transaction — concentrating the per-transaction control
+            # unpredictability in one changing-target branch, the way a
+            # request dispatch loop does.
+            self._dispatch_target = self._dispatcher_entry
+            for record in self._transaction(root):
+                yield record
+                emitted += 1
+                if emitted >= length:
+                    return
+            for record in self._dispatcher(next_root):
+                yield record
+                emitted += 1
+                if emitted >= length:
+                    return
+
+    def _dispatcher(self, next_root: Function) -> Iterator[TraceRecord]:
+        """The transaction dispatch loop: a few instructions + indirect call."""
+        address = self._dispatcher_entry
+        for _ in range(3):
+            yield TraceRecord(address=address, length=4)
+            address += 4
+        yield TraceRecord(
+            address=address,
+            length=4,
+            kind=BranchKind.INDIRECT,
+            taken=True,
+            target=next_root.entry,
+        )
+
+    def _root_sequence(self) -> Iterator[Function]:
+        """Burst-clustered stream of transaction roots with echo revisits."""
+        continue_probability = (
+            1.0 - 1.0 / self.profile.burst_mean if self.profile.burst_mean > 1 else 0.0
+        )
+        transaction = 0
+        echoes: deque[tuple[int, Function]] = deque()
+        while True:
+            if echoes and echoes[0][0] <= transaction:
+                root = echoes.popleft()[1]
+            else:
+                root = self._pick_root()
+                if self._last_pick_cold and (
+                    self._rng.random() < self.profile.echo_fraction
+                ):
+                    echoes.append(
+                        (transaction + self.profile.echo_delay, root)
+                    )
+            yield root
+            transaction += 1
+            while self._rng.random() < continue_probability:
+                yield root
+                transaction += 1
+
+    def _transaction(self, root: Function) -> Iterator[TraceRecord]:
+        """Execute one root function to completion.
+
+        Pattern/indirect visit counters reset per transaction, so two
+        transactions with the same root walk the *same* path — the path
+        repeatability that lets history-indexed predictors (PHT/CTB) learn,
+        as they do on real request-structured server code.
+        """
+        self._visit_counts.clear()
+        stack: list[_Frame] = [_Frame(root, 0, {})]
+        while stack:
+            frame = stack[-1]
+            if frame.block_index >= len(frame.function.blocks):
+                # Fell off the end (fallthrough out of the last block).
+                stack.pop()
+                continue
+            block = frame.function.blocks[frame.block_index]
+            yield from self._emit_body(block)
+            next_action = self._terminate(block, frame, stack)
+            if next_action is not None:
+                yield next_action
+
+    def _emit_body(self, block: BasicBlock) -> Iterator[TraceRecord]:
+        address = block.address
+        for length in block.body_lengths:
+            yield TraceRecord(address=address, length=length)
+            address += length
+
+    def _terminate(
+        self, block: BasicBlock, frame: _Frame, stack: list[_Frame]
+    ) -> TraceRecord | None:
+        """Resolve the block's terminator; mutate walk state; emit a record."""
+        kind = block.terminator
+        if kind is TerminatorKind.FALLTHROUGH:
+            frame.block_index += 1
+            return None
+
+        branch_address = block.branch_address
+        function = frame.function
+
+        if kind is TerminatorKind.COND:
+            target_block = function.blocks[block.target_block]
+            backward = block.target_block <= frame.block_index
+            if backward:
+                # Loops run a deterministic trip count per entry: taken
+                # trips-1 times, then the exit (capped by the profile).
+                trips = block.pattern_period or self.profile.max_loop_iterations
+                count = frame.loop_counts.get(frame.block_index, 0)
+                taken = count < trips - 1 and count < self.profile.max_loop_iterations
+                frame.loop_counts[frame.block_index] = count + 1 if taken else 0
+            else:
+                taken = self._direction(block)
+            if taken:
+                frame.block_index = block.target_block
+            else:
+                frame.block_index += 1
+            return TraceRecord(
+                address=branch_address,
+                length=block.branch_length,
+                kind=kind.branch_kind,
+                taken=taken,
+                target=target_block.address,
+            )
+
+        if kind is TerminatorKind.UNCOND:
+            target_block = function.blocks[block.target_block]
+            frame.block_index = block.target_block
+            return TraceRecord(
+                address=branch_address,
+                length=block.branch_length,
+                kind=kind.branch_kind,
+                taken=True,
+                target=target_block.address,
+            )
+
+        if kind is TerminatorKind.INDIRECT:
+            choice = self._pick_indirect(block)
+            target_block = function.blocks[choice]
+            frame.block_index = choice
+            return TraceRecord(
+                address=branch_address,
+                length=block.branch_length,
+                kind=kind.branch_kind,
+                taken=True,
+                target=target_block.address,
+            )
+
+        if kind is TerminatorKind.CALL:
+            frame.block_index += 1
+            if len(stack) >= self.profile.max_call_depth:
+                # Depth-capped call: the callee is elided, but the call
+                # instruction's bytes still execute (as a plain record) so
+                # the trace stays control-flow contiguous.
+                return TraceRecord(address=branch_address,
+                                   length=block.branch_length)
+            callee = self.program.functions[block.target_function]
+            stack.append(_Frame(callee, 0, {}))
+            return TraceRecord(
+                address=branch_address,
+                length=block.branch_length,
+                kind=kind.branch_kind,
+                taken=True,
+                target=callee.entry,
+            )
+
+        assert kind is TerminatorKind.RETURN
+        stack.pop()
+        if stack:
+            caller = stack[-1]
+            return_target = caller.function.blocks[caller.block_index].address
+        else:
+            # Root return: branch to the next transaction's root (the
+            # dispatcher picked it one step ahead in ``records``).
+            return_target = self._dispatch_target
+        return TraceRecord(
+            address=branch_address,
+            length=block.branch_length,
+            kind=kind.branch_kind,
+            taken=True,
+            target=return_target,
+        )
+
+    def _direction(self, block: BasicBlock) -> bool:
+        """Direction of a conditional: i.i.d. biased coin or learnable cycle."""
+        if block.pattern_period:
+            count = self._visit_counts.get(block.address, 0)
+            self._visit_counts[block.address] = count + 1
+            taken_slots = max(1, round(block.taken_probability * block.pattern_period))
+            return (count % block.pattern_period) < taken_slots
+        return self._rng.random() < block.taken_probability
+
+    def _pick_indirect(self, block: BasicBlock) -> int:
+        """Visit-cycling choice among indirect targets.
+
+        Cycling (rather than i.i.d. sampling) gives the target sequence the
+        path correlation a changing target buffer can learn, like a switch
+        driven by a rotating work queue.
+        """
+        targets = block.indirect_targets
+        if len(targets) == 1:
+            return targets[0]
+        count = self._visit_counts.get(block.address, 0)
+        self._visit_counts[block.address] = count + 1
+        return targets[count % len(targets)]
+
+
+def generate_trace(
+    program: Program, length: int, profile: WalkProfile | None = None
+) -> list[TraceRecord]:
+    """Materialize a trace of ``length`` records from ``program``."""
+    return list(TraceWalker(program, profile).records(length))
+
+
+def generate_mixed_trace(
+    programs: list[Program],
+    length: int,
+    slice_length: int,
+    profile: WalkProfile | None = None,
+) -> list[TraceRecord]:
+    """Time-slice several programs into one trace (the Table 4 mix trace).
+
+    "Trace 5 includes a mix of two of the LSPR workloads time sliced on one
+    processor" — each program runs for ``slice_length`` records, round
+    robin, until ``length`` records total.
+    """
+    base_profile = profile or WalkProfile()
+    walkers = [
+        iter(
+            TraceWalker(
+                program, replace(base_profile, seed=base_profile.seed + offset)
+            ).records(length)
+        )
+        for offset, program in enumerate(programs)
+    ]
+    records: list[TraceRecord] = []
+    active = 0
+    while len(records) < length and walkers:
+        walker = walkers[active % len(walkers)]
+        records.extend(itertools.islice(walker, slice_length))
+        active += 1
+    return records[:length]

@@ -1,0 +1,310 @@
+"""Synthetic program model: functions, basic blocks, static layout.
+
+The paper evaluates on proprietary traces of large commercial workloads
+(LSPR, CICS/DB2, DayTrader, ...).  As the substitution table in DESIGN.md
+explains, what the bulk-preload mechanism actually responds to is the
+*static branch population* (unique branch addresses vs BTB capacity) and the
+*temporal reuse structure* of the code.  This module provides the static
+half: programs built of functions, laid out contiguously in memory, each a
+list of basic blocks ending in (at most) one branch.
+
+The dynamic half — walking the program into a trace — lives in
+:mod:`repro.workloads.generator`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import VALID_LENGTHS
+from repro.isa.opcodes import BranchKind
+
+
+class TerminatorKind(enum.Enum):
+    """How a basic block ends."""
+
+    #: No branch: fall through to the next block.
+    FALLTHROUGH = "fallthrough"
+    #: Conditional branch to another block of the same function.
+    COND = "cond"
+    #: Unconditional jump to another block of the same function.
+    UNCOND = "uncond"
+    #: Call to another function (resumes at the next block).
+    CALL = "call"
+    #: Indirect multi-target jump within the function (switch-like).
+    INDIRECT = "indirect"
+    #: Return to the caller.
+    RETURN = "return"
+
+    @property
+    def branch_kind(self) -> BranchKind | None:
+        """Corresponding dynamic branch kind (``None`` for fallthrough)."""
+        return {
+            TerminatorKind.FALLTHROUGH: None,
+            TerminatorKind.COND: BranchKind.COND,
+            TerminatorKind.UNCOND: BranchKind.UNCOND,
+            TerminatorKind.CALL: BranchKind.CALL,
+            TerminatorKind.INDIRECT: BranchKind.INDIRECT,
+            TerminatorKind.RETURN: BranchKind.RETURN,
+        }[self]
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: straightline instruction lengths plus a terminator.
+
+    ``target_block`` indexes a block of the same function (COND/UNCOND),
+    ``target_function`` a callee (CALL), ``indirect_targets`` a set of
+    same-function block indices (INDIRECT).  ``taken_probability`` applies
+    to COND terminators.
+    """
+
+    body_lengths: list[int]
+    terminator: TerminatorKind = TerminatorKind.FALLTHROUGH
+    branch_length: int = 4
+    target_block: int | None = None
+    target_function: int | None = None
+    indirect_targets: tuple[int, ...] = ()
+    taken_probability: float = 0.5
+    #: Non-zero for pattern-correlated conditionals: the branch follows a
+    #: deterministic taken/not-taken cycle of this period (learnable by a
+    #: path-history predictor), instead of i.i.d. coin flips.
+    pattern_period: int = 0
+    #: Filled in by layout.
+    address: int = 0
+
+    @property
+    def body_bytes(self) -> int:
+        """Bytes of straightline instructions."""
+        return sum(self.body_lengths)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes including the terminating branch, if any."""
+        size = self.body_bytes
+        if self.terminator is not TerminatorKind.FALLTHROUGH:
+            size += self.branch_length
+        return size
+
+    @property
+    def branch_address(self) -> int:
+        """Address of the terminating branch (meaningless for fallthrough)."""
+        return self.address + self.body_bytes
+
+    @property
+    def end_address(self) -> int:
+        """First address after this block."""
+        return self.address + self.size_bytes
+
+
+@dataclass
+class Function:
+    """A function: an entry address and an ordered list of blocks."""
+
+    index: int
+    blocks: list[BasicBlock]
+    address: int = 0
+
+    @property
+    def entry(self) -> int:
+        """Entry address of the function."""
+        return self.address
+
+    @property
+    def size_bytes(self) -> int:
+        """Total laid-out size."""
+        return sum(block.size_bytes for block in self.blocks)
+
+    def layout(self, base: int) -> int:
+        """Assign addresses to all blocks from ``base``; return the end."""
+        self.address = base
+        cursor = base
+        for block in self.blocks:
+            block.address = cursor
+            cursor = block.end_address
+        return cursor
+
+
+@dataclass
+class Program:
+    """A complete synthetic program."""
+
+    functions: list[Function]
+    base_address: int = 0x0000_0000_1000_0000
+
+    def __post_init__(self) -> None:
+        self._layout()
+
+    def _layout(self) -> None:
+        cursor = self.base_address
+        for function in self.functions:
+            cursor = function.layout(cursor)
+            # Align the next function to a halfword boundary with a small
+            # gap, like a compiler padding between functions.
+            cursor = (cursor + 6) & ~1
+
+    @property
+    def static_branch_count(self) -> int:
+        """Number of static branch instructions."""
+        return sum(
+            1
+            for function in self.functions
+            for block in function.blocks
+            if block.terminator is not TerminatorKind.FALLTHROUGH
+        )
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of instruction space from first function to last."""
+        if not self.functions:
+            return 0
+        last = self.functions[-1]
+        return last.address + last.size_bytes - self.base_address
+
+
+@dataclass
+class ProgramShape:
+    """Knobs controlling program construction (see ``build_program``)."""
+
+    functions: int = 200
+    blocks_per_function: tuple[int, int] = (4, 14)
+    instructions_per_block: tuple[int, int] = (2, 9)
+    #: Probability that a non-final block's terminator is each kind
+    #: (fallthrough absorbs the remainder).
+    cond_fraction: float = 0.50
+    uncond_fraction: float = 0.08
+    call_fraction: float = 0.14
+    indirect_fraction: float = 0.03
+    #: Probability a conditional is a backward loop branch.
+    loop_fraction: float = 0.15
+    #: Trip-count range for loop branches (taken trips-1 times, then exit).
+    loop_trips: tuple[int, int] = (2, 10)
+    #: Forward conditionals are drawn from three realistic classes:
+    #: biased-taken (p in 0.85..0.98), rare-taken (p in 0.01..0.08) and
+    #: pattern-correlated (deterministic cycle, exercises the PHT).
+    #: ``forward_taken_bias`` is the biased-taken fraction; the
+    #: pattern-correlated fraction is fixed; rare-taken absorbs the rest.
+    forward_taken_bias: float = 0.30
+    pattern_fraction: float = 0.10
+    seed: int = 1
+
+
+def _draw_lengths(rng: random.Random, count: int) -> list[int]:
+    return [rng.choice(VALID_LENGTHS) for _ in range(count)]
+
+
+def build_program(shape: ProgramShape, base_address: int | None = None) -> Program:
+    """Construct a deterministic synthetic program from ``shape``.
+
+    The same shape (including seed) always yields the identical program —
+    workloads are reproducible by construction.
+    """
+    rng = random.Random(shape.seed)
+    functions: list[Function] = []
+    for findex in range(shape.functions):
+        block_count = rng.randint(*shape.blocks_per_function)
+        blocks: list[BasicBlock] = []
+        for bindex in range(block_count):
+            body = _draw_lengths(rng, rng.randint(*shape.instructions_per_block))
+            last = bindex == block_count - 1
+            block = BasicBlock(body_lengths=body, branch_length=rng.choice((4, 6)))
+            if last:
+                block.terminator = TerminatorKind.RETURN
+            else:
+                block.terminator = _draw_terminator(rng, shape)
+                _wire_terminator(block, bindex, block_count, rng, shape)
+            blocks.append(block)
+        functions.append(Function(index=findex, blocks=blocks))
+    _wire_calls(functions, rng)
+    program = Program(functions=functions)
+    if base_address is not None:
+        program.base_address = base_address
+        program._layout()
+    return program
+
+
+def _draw_terminator(rng: random.Random, shape: ProgramShape) -> TerminatorKind:
+    roll = rng.random()
+    if roll < shape.cond_fraction:
+        return TerminatorKind.COND
+    roll -= shape.cond_fraction
+    if roll < shape.uncond_fraction:
+        return TerminatorKind.UNCOND
+    roll -= shape.uncond_fraction
+    if roll < shape.call_fraction:
+        return TerminatorKind.CALL
+    roll -= shape.call_fraction
+    if roll < shape.indirect_fraction:
+        return TerminatorKind.INDIRECT
+    return TerminatorKind.FALLTHROUGH
+
+
+def _wire_terminator(
+    block: BasicBlock,
+    bindex: int,
+    block_count: int,
+    rng: random.Random,
+    shape: ProgramShape,
+) -> None:
+    """Choose intra-function targets and probabilities for a terminator."""
+    def near_forward() -> int:
+        # Forward branches mostly skip one or two blocks (if/else shapes);
+        # this keeps per-visit block coverage realistic.
+        return min(bindex + 1 + min(rng.randrange(4), rng.randrange(4)),
+                   block_count - 1)
+
+    if block.terminator is TerminatorKind.COND:
+        backward_possible = bindex > 0
+        if backward_possible and rng.random() < shape.loop_fraction:
+            # Loops run a fixed trip count: taken T-1 times, then the exit.
+            # Fixed trips are what real path-history predictors learn; they
+            # are encoded as a deterministic pattern of period T.
+            trips = rng.randint(*shape.loop_trips)
+            block.target_block = rng.randint(max(0, bindex - 3), bindex)
+            block.pattern_period = trips
+            block.taken_probability = (trips - 1) / trips
+        else:
+            block.target_block = near_forward()
+            roll = rng.random()
+            if roll < shape.forward_taken_bias:
+                block.taken_probability = rng.uniform(0.95, 0.995)
+            elif roll < shape.forward_taken_bias + shape.pattern_fraction:
+                block.taken_probability = rng.uniform(0.30, 0.70)
+                block.pattern_period = rng.randint(2, 6)
+            else:
+                block.taken_probability = rng.uniform(0.005, 0.04)
+    elif block.terminator is TerminatorKind.UNCOND:
+        block.target_block = near_forward()
+    elif block.terminator is TerminatorKind.INDIRECT:
+        pool = list(range(bindex + 1, block_count))
+        rng.shuffle(pool)
+        block.indirect_targets = tuple(sorted(pool[: min(4, len(pool))])) or (
+            block_count - 1,
+        )
+
+
+def _wire_calls(functions: list[Function], rng: random.Random) -> None:
+    """Assign call targets: mostly nearby callees, occasionally far ones.
+
+    Nearby calls model intra-module cohesion (utilities next to callers);
+    the far tail models cross-module calls.  Self-calls are avoided to keep
+    walks shallow.
+    """
+    count = len(functions)
+    for function in functions:
+        for block in function.blocks:
+            if block.terminator is not TerminatorKind.CALL:
+                continue
+            if count == 1:
+                block.terminator = TerminatorKind.FALLTHROUGH
+                continue
+            if rng.random() < 0.7:
+                offset = rng.randint(1, min(12, count - 1))
+                callee = (function.index + offset) % count
+            else:
+                callee = rng.randrange(count)
+            if callee == function.index:
+                callee = (callee + 1) % count
+            block.target_function = callee

@@ -1,0 +1,210 @@
+"""Tests for the surprise BHT, PHT, CTB, FIT and path history."""
+
+from repro.btb.ctb import CTB
+from repro.btb.fit import FIT
+from repro.btb.history import (
+    CTB_ADDRESS_DEPTH,
+    DIRECTION_DEPTH,
+    PathHistory,
+)
+from repro.btb.pht import PHT
+from repro.btb.surprise import SurpriseBHT
+from repro.isa.opcodes import BranchKind
+
+
+class TestSurpriseBHT:
+    def test_fresh_table_uses_static_rule(self):
+        bht = SurpriseBHT(entries=1024)
+        assert bht.guess(0x100, BranchKind.COND, backward=True)
+        assert not bht.guess(0x100, BranchKind.COND, backward=False)
+
+    def test_always_taken_kinds_guessed_taken(self):
+        bht = SurpriseBHT(entries=1024)
+        for kind in (BranchKind.UNCOND, BranchKind.CALL, BranchKind.RETURN,
+                     BranchKind.INDIRECT):
+            assert bht.guess(0x100, kind, backward=False)
+
+    def test_learned_direction_overrides_static(self):
+        bht = SurpriseBHT(entries=1024)
+        bht.update(0x100, BranchKind.COND, taken=True)
+        assert bht.guess(0x100, BranchKind.COND, backward=False)
+        bht.update(0x100, BranchKind.COND, taken=False)
+        assert not bht.guess(0x100, BranchKind.COND, backward=True)
+
+    def test_unconditional_kinds_do_not_train(self):
+        bht = SurpriseBHT(entries=1024)
+        bht.update(0x100, BranchKind.UNCOND, taken=True)
+        # The slot stays untrained: conditional guess still static.
+        assert not bht.guess(0x100, BranchKind.COND, backward=False)
+
+    def test_tagless_aliasing(self):
+        bht = SurpriseBHT(entries=16)
+        bht.update(0x100, BranchKind.COND, taken=True)
+        aliased = 0x100 + 16 * 2  # same slot (halfword-indexed)
+        assert bht.guess(aliased, BranchKind.COND, backward=False)
+
+    def test_accuracy_counter(self):
+        bht = SurpriseBHT(entries=16)
+        bht.guess(0x100, BranchKind.COND, backward=False)
+        bht.record_outcome(guessed=False, taken=False)
+        assert bht.accuracy == 1.0
+
+    def test_rejects_non_power_of_two(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SurpriseBHT(entries=100)
+
+
+class TestPathHistory:
+    def test_direction_window_depth(self):
+        history = PathHistory()
+        for i in range(DIRECTION_DEPTH + 5):
+            history.record(0x100 + i * 2, taken=True)
+        directions, _ = history.snapshot()
+        assert len(directions) == DIRECTION_DEPTH
+
+    def test_taken_address_window_depth(self):
+        history = PathHistory()
+        for i in range(CTB_ADDRESS_DEPTH + 5):
+            history.record(0x100 + i * 2, taken=True)
+        _, addresses = history.snapshot()
+        assert len(addresses) == CTB_ADDRESS_DEPTH
+
+    def test_not_taken_does_not_enter_address_window(self):
+        history = PathHistory()
+        history.record(0x100, taken=False)
+        _, addresses = history.snapshot()
+        assert addresses == ()
+
+    def test_snapshot_restore_roundtrip(self):
+        history = PathHistory()
+        history.record(0x100, True)
+        history.record(0x200, False)
+        state = history.snapshot()
+        history.record(0x300, True)
+        history.restore(state)
+        assert history.snapshot() == state
+
+    def test_indices_depend_on_direction_history(self):
+        a, b = PathHistory(), PathHistory()
+        a.record(0x100, True)
+        b.record(0x100, False)
+        assert a.pht_index(4096) != b.pht_index(4096)
+
+    def test_ctb_index_depends_on_path_order(self):
+        a, b = PathHistory(), PathHistory()
+        a.record(0x100, True)
+        a.record(0x200, True)
+        b.record(0x200, True)
+        b.record(0x100, True)
+        assert a.ctb_index(2048) != b.ctb_index(2048)
+
+    def test_indices_in_range(self):
+        history = PathHistory()
+        for i in range(30):
+            history.record(0x100 + 2 * i, taken=bool(i % 2))
+            assert 0 <= history.pht_index(4096) < 4096
+            assert 0 <= history.ctb_index(2048) < 2048
+
+
+class TestPHT:
+    def test_cold_pht_declines(self):
+        pht = PHT(entries=64)
+        assert pht.predict(0x100, PathHistory()) is None
+
+    def test_learns_direction_for_path(self):
+        pht = PHT(entries=64)
+        history = PathHistory()
+        history.record(0x50, True)
+        pht.update(0x100, history, taken=False)
+        pht.update(0x100, history, taken=False)
+        assert pht.predict(0x100, history) is False
+
+    def test_tag_mismatch_declines(self):
+        pht = PHT(entries=64)
+        history = PathHistory()
+        pht.update(0x100, history, taken=True)
+        assert pht.predict(0x100 + 0x10, history) is None  # different tag
+
+    def test_distinguishes_paths(self):
+        pht = PHT(entries=4096)
+        taken_path, not_taken_path = PathHistory(), PathHistory()
+        taken_path.record(0x50, True)
+        not_taken_path.record(0x50, False)
+        pht.update(0x100, taken_path, taken=True)
+        pht.update(0x100, taken_path, taken=True)
+        pht.update(0x100, not_taken_path, taken=False)
+        pht.update(0x100, not_taken_path, taken=False)
+        assert pht.predict(0x100, taken_path) is True
+        assert pht.predict(0x100, not_taken_path) is False
+
+    def test_reallocation_on_tag_conflict(self):
+        pht = PHT(entries=1)
+        history = PathHistory()
+        pht.update(0x100, history, taken=True)
+        pht.update(0x100 + 2, history, taken=False)  # conflicting tag
+        assert pht.predict(0x100 + 2, history) is False
+
+
+class TestCTB:
+    def test_cold_ctb_declines(self):
+        assert CTB(entries=64).predict(0x100, PathHistory()) is None
+
+    def test_learns_target_for_path(self):
+        ctb = CTB(entries=64)
+        history = PathHistory()
+        history.record(0x50, True)
+        ctb.update(0x100, history, target=0x4242)
+        assert ctb.predict(0x100, history) == 0x4242
+
+    def test_peek_does_not_count(self):
+        ctb = CTB(entries=64)
+        history = PathHistory()
+        ctb.update(0x100, history, target=0x4242)
+        ctb.peek(0x100, history)
+        assert ctb.tag_hits == 0 and ctb.tag_misses == 0
+
+    def test_path_sensitivity(self):
+        ctb = CTB(entries=2048)
+        path_a, path_b = PathHistory(), PathHistory()
+        path_a.record(0x50, True)
+        path_b.record(0x60, True)
+        ctb.update(0x100, path_a, target=0xAAAA)
+        ctb.update(0x100, path_b, target=0xBBBB)
+        assert ctb.predict(0x100, path_a) == 0xAAAA
+        assert ctb.predict(0x100, path_b) == 0xBBBB
+
+
+class TestFIT:
+    def test_cold_probe_misses(self):
+        fit = FIT(entries=4)
+        assert not fit.probe(0x100)
+        assert fit.misses == 1
+
+    def test_trained_probe_hits(self):
+        fit = FIT(entries=4)
+        fit.train(0x100, next_index_hint=7)
+        assert fit.probe(0x100)
+        assert fit.hits == 1
+
+    def test_lru_eviction_at_capacity(self):
+        fit = FIT(entries=2)
+        fit.train(0x100, 0)
+        fit.train(0x200, 0)
+        fit.train(0x300, 0)  # evicts 0x100
+        assert 0x100 not in fit
+        assert 0x200 in fit and 0x300 in fit
+
+    def test_probe_refreshes_recency(self):
+        fit = FIT(entries=2)
+        fit.train(0x100, 0)
+        fit.train(0x200, 0)
+        fit.probe(0x100)  # refresh
+        fit.train(0x300, 0)  # evicts 0x200
+        assert 0x100 in fit
+        assert 0x200 not in fit
+
+    def test_architected_capacity(self):
+        fit = FIT()
+        assert fit.entries == 64

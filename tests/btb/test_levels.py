@@ -1,0 +1,96 @@
+"""Tests for the concrete BTB levels: BTB1, BTBP, BTB2 protocols."""
+
+from repro.btb.btb1 import BTB1
+from repro.btb.btb2 import BTB2
+from repro.btb.btbp import BTBP, WriteSource
+from repro.btb.entry import BTBEntry
+
+
+def entry(address, target=0x9999):
+    return BTBEntry(address=address, target=target)
+
+
+class TestBTB1:
+    def test_architected_geometry(self):
+        btb1 = BTB1()
+        assert btb1.rows == 1024
+        assert btb1.ways == 4
+        assert btb1.capacity == 4096
+
+
+class TestBTBP:
+    def test_architected_geometry(self):
+        btbp = BTBP()
+        assert btbp.rows == 128
+        assert btbp.ways == 6
+        assert btbp.capacity == 768
+
+    def test_write_sources_counted(self):
+        btbp = BTBP()
+        btbp.write(entry(0x100), WriteSource.SURPRISE)
+        btbp.write(entry(0x104), WriteSource.BTB2_HIT)
+        btbp.write(entry(0x108), WriteSource.BTB2_HIT)
+        btbp.write(entry(0x10C), WriteSource.BTB1_VICTIM)
+        assert btbp.writes_by_source[WriteSource.SURPRISE] == 1
+        assert btbp.writes_by_source[WriteSource.BTB2_HIT] == 2
+        assert btbp.writes_by_source[WriteSource.BTB1_VICTIM] == 1
+        assert btbp.writes_by_source[WriteSource.PRELOAD_INSTRUCTION] == 0
+
+    def test_write_returns_victim_when_row_full(self):
+        btbp = BTBP(rows=2, ways=1)
+        first = entry(0x100)
+        btbp.write(first, WriteSource.SURPRISE)
+        victim = btbp.write(entry(0x104), WriteSource.SURPRISE)
+        assert victim is first
+
+
+class TestBTB2SemiExclusive:
+    def test_architected_geometry(self):
+        btb2 = BTB2()
+        assert btb2.rows == 4096
+        assert btb2.ways == 6
+        assert btb2.capacity == 24576
+
+    def test_transfer_row_clones_and_demotes(self):
+        btb2 = BTB2(rows=8, ways=2)
+        a, b = entry(0x100), entry(0x104)
+        btb2.install(a)
+        btb2.install(b)  # MRU=b
+        clones = btb2.transfer_row(0x100)
+        assert [c.address for c in clones] == [0x100, 0x104]
+        assert all(c is not original for c, original in zip(clones, (a, b)))
+        # Both originals were demoted to LRU: the next two installs in the
+        # row must evict them.
+        v1 = btb2.install(entry(0x108))
+        v2 = btb2.install(entry(0x10C))
+        assert {v1.address, v2.address} <= {0x100, 0x104}
+
+    def test_transfer_hit_counter(self):
+        btb2 = BTB2(rows=8, ways=2)
+        btb2.install(entry(0x100))
+        btb2.transfer_row(0x100)
+        assert btb2.transfer_hits == 1
+
+    def test_victim_write_installs_mru(self):
+        btb2 = BTB2(rows=8, ways=2)
+        btb2.write_victim(entry(0x100))
+        assert btb2.victim_writes == 1
+        assert btb2.lookup(0x100) is not None
+
+    def test_surprise_write_stores_clone(self):
+        btb2 = BTB2(rows=8, ways=2)
+        original = entry(0x100)
+        btb2.write_surprise(original)
+        stored = btb2.lookup(0x100)
+        assert stored is not original
+        assert stored == original
+        assert btb2.surprise_writes == 1
+
+    def test_transferred_clone_trains_independently(self):
+        # The exclusive-design freshness argument: the first level trains
+        # its own copy; the BTB2 copy is untouched until write-back.
+        btb2 = BTB2(rows=8, ways=2)
+        btb2.install(entry(0x100, target=0x200))
+        (clone,) = btb2.transfer_row(0x100)
+        clone.update_target(0x300)
+        assert btb2.lookup(0x100).target == 0x200

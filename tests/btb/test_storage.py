@@ -1,0 +1,162 @@
+"""Tests for the shared row-organized BTB storage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.btb.entry import BTBEntry
+from repro.btb.storage import BranchTargetBuffer
+from repro.isa.address import BTB1_INDEX, ROW_BYTES
+
+
+def entry(address, target=0x9999):
+    return BTBEntry(address=address, target=target)
+
+
+def make_btb(rows=8, ways=2):
+    return BranchTargetBuffer(rows=rows, ways=ways)
+
+
+class TestGeometry:
+    def test_capacity(self):
+        assert make_btb(rows=1024, ways=4).capacity == 4096
+
+    def test_row_index_matches_paper_bitfield(self):
+        btb = make_btb(rows=1024)
+        for address in (0x0, 0x1234_5678, 0xFFFF_FFFF, 0xABC_DEF0_1234):
+            assert btb.row_index(address) == BTB1_INDEX.extract(address)
+
+    @pytest.mark.parametrize("rows", (0, 3, -8))
+    def test_bad_rows_rejected(self, rows):
+        with pytest.raises(ValueError):
+            make_btb(rows=rows)
+
+    def test_bad_ways_rejected(self):
+        with pytest.raises(ValueError):
+            make_btb(ways=0)
+
+
+class TestLookupAndSearch:
+    def test_lookup_finds_installed(self):
+        btb = make_btb()
+        e = entry(0x100)
+        btb.install(e)
+        assert btb.lookup(0x100) is e
+
+    def test_lookup_misses_absent(self):
+        assert make_btb().lookup(0x100) is None
+
+    def test_search_row_returns_all_in_row_sorted(self):
+        btb = make_btb()
+        late = entry(0x118)
+        early = entry(0x104)
+        btb.install(late)
+        btb.install(early)
+        assert btb.search_row(0x100) == [early, late]
+
+    def test_search_row_excludes_aliasing_rows(self):
+        btb = make_btb(rows=8)
+        aliased = 0x100 + 8 * ROW_BYTES  # same congruence class, other row
+        btb.install(entry(aliased))
+        assert btb.search_row(0x100) == []
+        assert btb.search_row(aliased) == [btb.lookup(aliased)]
+
+    def test_contains(self):
+        btb = make_btb()
+        btb.install(entry(0x100))
+        assert 0x100 in btb
+        assert 0x104 not in btb
+
+
+class TestReplacement:
+    def test_install_evicts_lru(self):
+        btb = make_btb(rows=8, ways=2)
+        a, b, c = entry(0x100), entry(0x104), entry(0x108)
+        btb.install(a)
+        btb.install(b)
+        victim = btb.install(c)
+        assert victim is a
+
+    def test_touch_protects_from_eviction(self):
+        btb = make_btb(rows=8, ways=2)
+        a, b, c = entry(0x100), entry(0x104), entry(0x108)
+        btb.install(a)
+        btb.install(b)
+        btb.touch(a)
+        victim = btb.install(c)
+        assert victim is b
+
+    def test_demote_makes_entry_next_victim(self):
+        btb = make_btb(rows=8, ways=2)
+        a, b, c = entry(0x100), entry(0x104), entry(0x108)
+        btb.install(a)
+        btb.install(b)  # MRU=b
+        btb.demote(b)
+        victim = btb.install(c)
+        assert victim is b
+
+    def test_reinstall_same_address_replaces_without_victim(self):
+        btb = make_btb(rows=8, ways=2)
+        old = entry(0x100, target=0x1)
+        new = entry(0x100, target=0x2)
+        btb.install(old)
+        victim = btb.install(new)
+        assert victim is None
+        assert btb.lookup(0x100).target == 0x2
+        assert len(btb) == 1
+
+    def test_is_mru(self):
+        btb = make_btb(rows=8, ways=2)
+        a, b = entry(0x100), entry(0x104)
+        btb.install(a)
+        btb.install(b)
+        assert btb.is_mru(b)
+        assert not btb.is_mru(a)
+
+    def test_remove(self):
+        btb = make_btb()
+        e = entry(0x100)
+        btb.install(e)
+        assert btb.remove(0x100) is e
+        assert btb.remove(0x100) is None
+
+    def test_clear(self):
+        btb = make_btb()
+        btb.install(entry(0x100))
+        btb.clear()
+        assert len(btb) == 0
+
+    def test_counters(self):
+        btb = make_btb(rows=8, ways=1)
+        btb.install(entry(0x100))
+        btb.install(entry(0x104))
+        assert btb.installs == 2
+        assert btb.evictions == 1
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=0x7FF).map(lambda v: v * 2),
+                    max_size=300))
+    def test_occupancy_bounded(self, addresses):
+        btb = make_btb(rows=4, ways=2)
+        for address in addresses:
+            btb.install(entry(address))
+        assert len(btb) <= btb.capacity
+        assert 0.0 <= btb.occupancy() <= 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x7FF).map(lambda v: v * 2),
+                    max_size=300))
+    def test_most_recent_install_present(self, addresses):
+        btb = make_btb(rows=4, ways=2)
+        for address in addresses:
+            btb.install(entry(address))
+            assert btb.lookup(address) is not None
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x7FF).map(lambda v: v * 2),
+                    min_size=1, max_size=300))
+    def test_no_duplicate_addresses(self, addresses):
+        btb = make_btb(rows=4, ways=2)
+        for address in addresses:
+            btb.install(entry(address))
+        stored = [e.address for e in btb]
+        assert len(stored) == len(set(stored))

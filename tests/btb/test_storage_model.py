@@ -1,0 +1,108 @@
+"""Model-based property test: BTB storage vs a plain-Python reference.
+
+The reference model is an ordered dict per congruence class with explicit
+LRU order — deliberately naive.  Hypothesis drives both implementations
+with the same operation sequences and compares observable state after
+every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btb.entry import BTBEntry
+from repro.btb.storage import BranchTargetBuffer
+
+ROWS, WAYS = 4, 2
+
+# Halfword-aligned addresses over a few congruence classes.
+addresses = st.integers(min_value=0, max_value=0x3FF).map(lambda v: v * 2)
+
+
+class ReferenceBTB:
+    """Naive reference: per-row list of addresses, MRU first."""
+
+    def __init__(self):
+        self.rows = {}
+
+    def _row(self, address):
+        return (address >> 5) % ROWS
+
+    def install(self, address):
+        row = self.rows.setdefault(self._row(address), [])
+        if address in row:
+            row.remove(address)
+            row.insert(0, address)
+            return None
+        row.insert(0, address)
+        victim = row.pop() if len(row) > WAYS else None
+        return victim
+
+    def touch(self, address):
+        row = self.rows.get(self._row(address), [])
+        if address in row:
+            row.remove(address)
+            row.insert(0, address)
+
+    def demote(self, address):
+        row = self.rows.get(self._row(address), [])
+        if address in row:
+            row.remove(address)
+            row.append(address)
+
+    def remove(self, address):
+        row = self.rows.get(self._row(address), [])
+        if address in row:
+            row.remove(address)
+            return address
+        return None
+
+    def contents(self):
+        return {addr for row in self.rows.values() for addr in row}
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["install", "touch", "demote", "remove"]), addresses
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=200)
+@given(operations)
+def test_storage_matches_reference(ops):
+    btb = BranchTargetBuffer(rows=ROWS, ways=WAYS)
+    reference = ReferenceBTB()
+    for op, address in ops:
+        if op == "install":
+            victim = btb.install(BTBEntry(address=address, target=1))
+            ref_victim = reference.install(address)
+            assert (victim.address if victim else None) == ref_victim
+        elif op == "touch":
+            entry = btb.lookup(address)
+            if entry is not None:
+                btb.touch(entry)
+            reference.touch(address)
+        elif op == "demote":
+            entry = btb.lookup(address)
+            if entry is not None:
+                btb.demote(entry)
+            reference.demote(address)
+        else:
+            removed = btb.remove(address)
+            ref_removed = reference.remove(address)
+            assert (removed.address if removed else None) == ref_removed
+        assert {entry.address for entry in btb} == reference.contents()
+
+
+@settings(max_examples=100)
+@given(operations)
+def test_search_row_consistent_with_lookup(ops):
+    btb = BranchTargetBuffer(rows=ROWS, ways=WAYS)
+    for op, address in ops:
+        if op == "install":
+            btb.install(BTBEntry(address=address, target=1))
+    for entry in btb:
+        found = btb.search_row(entry.address)
+        assert entry in found
+        assert btb.lookup(entry.address) is entry

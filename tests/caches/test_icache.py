@@ -1,0 +1,69 @@
+"""Tests for the L1I model with miss tracking and prefetch."""
+
+from repro.caches.icache import ICache
+
+
+def make_icache(**kwargs):
+    defaults = dict(capacity_bytes=4096, ways=2, line_bytes=256, miss_window=100)
+    defaults.update(kwargs)
+    return ICache(**defaults)
+
+
+class TestFetch:
+    def test_cold_fetch_misses(self):
+        icache = make_icache()
+        assert not icache.fetch(0x1000, cycle=0)
+        assert icache.misses == 1
+
+    def test_warm_fetch_hits(self):
+        icache = make_icache()
+        icache.fetch(0x1000, cycle=0)
+        assert icache.fetch(0x1080, cycle=1)  # same 256 B line
+
+    def test_architected_default_geometry(self):
+        icache = ICache()
+        assert icache._cache.geometry.capacity_bytes == 64 * 1024
+        assert icache._cache.geometry.ways == 4
+
+
+class TestPrefetch:
+    def test_prefetch_hides_later_demand(self):
+        icache = make_icache()
+        already = icache.prefetch(0x2000)
+        assert not already
+        assert icache.fetch(0x2000, cycle=5)
+
+    def test_prefetch_of_present_line_reports_presence(self):
+        icache = make_icache()
+        icache.fetch(0x2000, cycle=0)
+        assert icache.prefetch(0x2000)
+
+    def test_prefetch_does_not_count_demand_stats(self):
+        icache = make_icache()
+        icache.prefetch(0x2000)
+        assert icache.misses == 0 and icache.hits == 0
+
+
+class TestMissWindow:
+    def test_recent_miss_same_block(self):
+        icache = make_icache()
+        icache.fetch(0x5000, cycle=10)
+        assert icache.recent_miss_in_block(0x5800, cycle=12)
+
+    def test_no_miss_in_other_block(self):
+        icache = make_icache()
+        icache.fetch(0x5000, cycle=10)
+        assert not icache.recent_miss_in_block(0x9000, cycle=12)
+
+    def test_window_expires(self):
+        icache = make_icache(miss_window=100)
+        icache.fetch(0x5000, cycle=10)
+        assert not icache.recent_miss_in_block(0x5000, cycle=200)
+
+    def test_hits_do_not_populate_window(self):
+        icache = make_icache()
+        icache.fetch(0x5000, cycle=0)
+        icache.fetch(0x5000, cycle=1)  # hit
+        icache._recent_misses.clear()
+        icache.fetch(0x5010, cycle=2)  # hit, same line
+        assert not icache.recent_miss_in_block(0x5000, cycle=3)

@@ -1,0 +1,114 @@
+"""Tests for the set-associative cache substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.caches.setassoc import CacheGeometry, SetAssociativeCache
+
+
+def make_cache(sets=4, ways=2, line=64):
+    return SetAssociativeCache(CacheGeometry(sets, ways, line))
+
+
+class TestGeometry:
+    def test_capacity(self):
+        assert CacheGeometry(64, 4, 256).capacity_bytes == 64 * 1024
+
+    def test_index_wraps(self):
+        geometry = CacheGeometry(4, 1, 64)
+        assert geometry.index(0) == geometry.index(4 * 64)
+
+    def test_tag_distinguishes_aliases(self):
+        geometry = CacheGeometry(4, 1, 64)
+        assert geometry.tag(0) != geometry.tag(4 * 64)
+
+    @pytest.mark.parametrize("sets", (0, 3, -4))
+    def test_bad_sets_rejected(self, sets):
+        with pytest.raises(ValueError):
+            CacheGeometry(sets, 2, 64)
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(4, 2, 48)
+
+    def test_bad_ways_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(4, 0, 64)
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert not cache.access(0x100)
+        assert cache.misses == 1
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.hits == 1
+
+    def test_same_line_hits(self):
+        cache = make_cache(line=64)
+        cache.access(0x100)
+        assert cache.access(0x13F)
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(sets=1, ways=2, line=64)
+        cache.access(0x000)  # A
+        cache.access(0x040)  # B -> set is [B, A]
+        cache.access(0x000)  # touch A -> [A, B]
+        cache.access(0x080)  # C evicts B -> [C, A]
+        assert cache.contains(0x000)
+        assert not cache.contains(0x040)
+        assert cache.contains(0x080)
+
+    def test_contains_does_not_count(self):
+        cache = make_cache()
+        cache.contains(0x100)
+        assert cache.accesses == 0
+
+    def test_install_does_not_count(self):
+        cache = make_cache()
+        cache.install(0x100)
+        assert cache.accesses == 0
+        assert cache.contains(0x100)
+
+    def test_install_promotes_existing(self):
+        cache = make_cache(sets=1, ways=2, line=64)
+        cache.access(0x000)
+        cache.access(0x040)  # [B, A]
+        cache.install(0x000)  # promote A -> [A, B]
+        cache.access(0x080)  # evicts B
+        assert cache.contains(0x000)
+
+    def test_flush_preserves_counters(self):
+        cache = make_cache()
+        cache.access(0x100)
+        cache.flush()
+        assert not cache.contains(0x100)
+        assert cache.misses == 1
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0x100)
+        cache.access(0x100)
+        assert cache.miss_rate == 0.5
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        cache = make_cache(sets=2, ways=2, line=64)
+        for address in accesses:
+            cache.access(address)
+        total = sum(len(ways) for ways in cache._sets)
+        assert total <= cache.geometry.sets * cache.geometry.ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=300))
+    def test_most_recent_access_always_present(self, accesses):
+        cache = make_cache(sets=2, ways=2, line=64)
+        for address in accesses:
+            cache.access(address)
+            assert cache.contains(address)

@@ -1,0 +1,70 @@
+"""Shared fixtures and trace-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches(monkeypatch, tmp_path):
+    """Keep trace/result caches out of the repository during tests."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path / "results"))
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+
+
+BASE = 0x1000_0000
+
+
+def straightline(start: int, count: int, length: int = 4) -> list[TraceRecord]:
+    """``count`` sequential non-branch records from ``start``."""
+    return [
+        TraceRecord(address=start + i * length, length=length)
+        for i in range(count)
+    ]
+
+
+def branch(
+    address: int,
+    taken: bool,
+    target: int | None = None,
+    kind: BranchKind = BranchKind.COND,
+    length: int = 4,
+) -> TraceRecord:
+    """One branch record."""
+    return TraceRecord(
+        address=address, length=length, kind=kind, taken=taken, target=target
+    )
+
+
+def loop_trace(
+    iterations: int,
+    body: int = 4,
+    start: int = BASE,
+    length: int = 4,
+) -> list[TraceRecord]:
+    """A simple counted loop: ``body`` instructions then a backward branch.
+
+    The branch is taken ``iterations - 1`` times and falls through once.
+    """
+    records: list[TraceRecord] = []
+    branch_address = start + body * length
+    for iteration in range(iterations):
+        records.extend(straightline(start, body, length))
+        taken = iteration < iterations - 1
+        records.append(
+            branch(branch_address, taken=taken, target=start if taken else None)
+        )
+    return records
+
+
+def assert_contiguous(records: list[TraceRecord]) -> None:
+    """Assert control-flow continuity: each record leads to the next."""
+    for current, following in zip(records, records[1:]):
+        assert current.next_address == following.address, (
+            f"discontinuity: {current.address:#x} -> {current.next_address:#x} "
+            f"but next record at {following.address:#x}"
+        )

@@ -1,0 +1,69 @@
+"""Tests for predictor configurations (Table 3)."""
+
+import pytest
+
+from repro.core.config import (
+    ExclusivityMode,
+    FilterMode,
+    PredictorConfig,
+    TABLE3_CONFIGS,
+    ZEC12_CONFIG_1,
+    ZEC12_CONFIG_2,
+    ZEC12_CONFIG_3,
+)
+
+
+class TestTable3:
+    def test_three_configurations(self):
+        assert len(TABLE3_CONFIGS) == 3
+
+    def test_config1_no_btb2(self):
+        assert not ZEC12_CONFIG_1.btb2_enabled
+        assert ZEC12_CONFIG_1.btb2_capacity == 0
+        assert ZEC12_CONFIG_1.btb1_capacity == 4096
+
+    def test_config2_btb2_enabled(self):
+        assert ZEC12_CONFIG_2.btb2_enabled
+        assert ZEC12_CONFIG_2.btb2_capacity == 24 * 1024
+        assert ZEC12_CONFIG_2.btb1_capacity == 4096
+
+    def test_config3_large_btb1(self):
+        assert not ZEC12_CONFIG_3.btb2_enabled
+        assert ZEC12_CONFIG_3.btb1_capacity == 24 * 1024
+
+    def test_btbp_identical_across_configs(self):
+        # The paper's Table 3 prints "128 x 8" for config 1, but every other
+        # mention of the BTBP says 768 = 128 x 6; we normalize (DESIGN.md §3).
+        for config in TABLE3_CONFIGS:
+            assert config.btbp_rows == 128
+            assert config.btbp_ways == 6
+
+    def test_architected_defaults(self):
+        config = PredictorConfig()
+        assert config.miss_search_limit == 4
+        assert config.tracker_count == 3
+        assert config.filter_mode is FilterMode.PARTIAL
+        assert config.exclusivity is ExclusivityMode.SEMI_EXCLUSIVE
+        assert config.steering_enabled
+
+
+class TestValidationAndDerivation:
+    def test_with_derives_variant(self):
+        variant = ZEC12_CONFIG_2.with_(tracker_count=8, name="8 trackers")
+        assert variant.tracker_count == 8
+        assert ZEC12_CONFIG_2.tracker_count == 3
+
+    def test_name_excluded_from_equality(self):
+        assert ZEC12_CONFIG_2 == ZEC12_CONFIG_2.with_(name="other")
+
+    def test_bad_miss_limit_rejected(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(miss_search_limit=0)
+
+    def test_negative_trackers_rejected(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(tracker_count=-1)
+
+    def test_bad_partial_rows_rejected(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(partial_search_rows=0)

@@ -1,0 +1,80 @@
+"""Property tests on lookahead-search invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btb.entry import BTBEntry
+from repro.core.config import PredictorConfig
+from repro.core.hierarchy import FirstLevelPredictor
+from repro.core.search import LookaheadSearch
+
+BASE = 0x10_0000
+
+# Branch layouts: sorted, unique, halfword addresses above BASE.
+branch_sets = st.lists(
+    st.integers(min_value=0, max_value=0x7FF).map(lambda v: BASE + v * 2),
+    unique=True, min_size=1, max_size=25,
+).map(sorted)
+
+install_masks = st.integers(min_value=0)
+
+
+def make_search(miss_limit=4):
+    config = PredictorConfig(
+        btb1_rows=64, btb1_ways=4, btbp_rows=16, btbp_ways=4,
+        pht_entries=64, ctb_entries=64, fit_entries=4,
+        surprise_bht_entries=64, miss_search_limit=miss_limit,
+    )
+    hierarchy = FirstLevelPredictor(config, btb2=None)
+    search = LookaheadSearch(hierarchy, miss_limit=miss_limit)
+    search.restart(BASE, 0)
+    return hierarchy, search
+
+
+@settings(max_examples=150)
+@given(branch_sets, install_masks)
+def test_clock_monotonic_and_predictions_exact(branches, mask):
+    """Walking any branch layout: the clock never goes backward, any
+    prediction returned is for exactly the requested branch, and installed
+    not-taken branches are the only sources of predictions."""
+    hierarchy, search = make_search()
+    installed = set()
+    for index, address in enumerate(branches):
+        if (mask >> index) & 1:
+            # Not-taken branches keep the walk sequential and the invariant
+            # simple: the searcher never redirects away from the path.
+            hierarchy.btb1.install(
+                BTBEntry(address=address, target=address + 0x40, counter=0)
+            )
+            installed.add(address)
+    previous_cycle = search.cycle
+    for address in branches:
+        outcome = search.advance_to_branch(address)
+        assert search.cycle >= previous_cycle
+        previous_cycle = search.cycle
+        if outcome.prediction is not None:
+            assert outcome.prediction.branch_address == address
+            assert address in installed
+        for report in outcome.miss_reports:
+            assert report.cycle >= 0
+
+
+@settings(max_examples=100)
+@given(branch_sets)
+def test_empty_tables_report_misses_proportionally(branches):
+    """With nothing installed, every gap of miss_limit rows reports once."""
+    hierarchy, search = make_search(miss_limit=2)
+    total_reports = 0
+    for address in branches:
+        outcome = search.advance_to_branch(address)
+        assert outcome.prediction is None
+        total_reports += len(outcome.miss_reports)
+    assert total_reports <= search.empty_searches // 2 + 1
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=1, max_value=64))
+def test_run_ahead_budget_respected(budget):
+    hierarchy, search = make_search()
+    search.run_ahead(until_cycle=budget)
+    assert search.cycle <= budget

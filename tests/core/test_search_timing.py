@@ -1,0 +1,233 @@
+"""Tests for the lookahead search pipeline timing (Tables 1 and 2)."""
+
+from repro.btb.btb2 import BTB2
+from repro.btb.btbp import WriteSource
+from repro.btb.entry import BTBEntry, STRONG_NOT_TAKEN
+from repro.core.config import PredictorConfig
+from repro.core.hierarchy import FirstLevelPredictor
+from repro.core.search import (
+    BROADCAST_LATENCY,
+    COST_FIT,
+    COST_NOT_TAKEN,
+    COST_NOT_TAKEN_SECOND_IN_ROW,
+    COST_SINGLE_BRANCH_LOOP,
+    COST_TAKEN_MRU,
+    COST_TAKEN_NON_MRU,
+    LookaheadSearch,
+    MISS_DETECT_LATENCY,
+    SEQUENTIAL_CYCLES_PER_ROW,
+)
+
+
+def make_search(miss_limit=4, on_miss=None):
+    config = PredictorConfig(
+        btb1_rows=64, btb1_ways=4, btbp_rows=16, btbp_ways=4,
+        pht_entries=64, ctb_entries=64, fit_entries=4,
+        surprise_bht_entries=64, miss_search_limit=miss_limit,
+    )
+    hierarchy = FirstLevelPredictor(config, btb2=None)
+    search = LookaheadSearch(hierarchy, miss_limit=miss_limit, on_miss=on_miss)
+    search.restart(0x1000, 0)
+    return hierarchy, search
+
+
+def install_taken(hierarchy, address, target):
+    entry = BTBEntry(address=address, target=target)
+    hierarchy.btb1.install(entry)
+    return entry
+
+
+class TestPredictionTiming:
+    def test_broadcast_latency_is_four_cycles(self):
+        hierarchy, search = make_search()
+        install_taken(hierarchy, 0x1004, 0x2000)
+        outcome = search.advance_to_branch(0x1004)
+        assert outcome.prediction is not None
+        assert outcome.prediction.ready_cycle == BROADCAST_LATENCY
+
+    def test_single_branch_loop_predicts_every_cycle(self):
+        hierarchy, search = make_search()
+        install_taken(hierarchy, 0x1004, 0x1000)
+        search.advance_to_branch(0x1004)
+        cycle_before = search.cycle
+        search.advance_to_branch(0x1004)
+        assert search.cycle - cycle_before == COST_SINGLE_BRANCH_LOOP
+
+    def test_fit_hit_costs_two_cycles(self):
+        hierarchy, search = make_search()
+        # Two-branch loop: A -> B -> A; the second trip is FIT-controlled.
+        install_taken(hierarchy, 0x1004, 0x2000)
+        install_taken(hierarchy, 0x2004, 0x1000)
+        search.advance_to_branch(0x1004)
+        search.advance_to_branch(0x2004)
+        # Second loop iteration: both branches now FIT-resident.
+        before = search.cycle
+        search.advance_to_branch(0x1004)
+        assert search.cycle - before == COST_FIT
+
+    def test_first_taken_prediction_from_mru_costs_three(self):
+        hierarchy, search = make_search(miss_limit=8)
+        install_taken(hierarchy, 0x1004, 0x2000)
+        before = search.cycle
+        search.advance_to_branch(0x1004)
+        assert search.cycle - before == COST_TAKEN_MRU
+
+    def test_non_mru_taken_costs_four(self):
+        hierarchy, search = make_search()
+        target_entry = install_taken(hierarchy, 0x1004, 0x2000)
+        # Install a second branch in the same row to displace MRU.
+        other = install_taken(hierarchy, 0x1010, 0x3000)
+        assert hierarchy.btb1.is_mru(other)
+        before = search.cycle
+        outcome = search.advance_to_branch(0x1004)
+        assert outcome.prediction.entry is target_entry
+        assert not outcome.prediction.from_mru
+        assert search.cycle - before == COST_TAKEN_NON_MRU
+
+    def test_not_taken_costs_four(self):
+        hierarchy, search = make_search()
+        entry = BTBEntry(address=0x1004, target=0x2000,
+                         counter=STRONG_NOT_TAKEN)
+        hierarchy.btb1.install(entry)
+        before = search.cycle
+        outcome = search.advance_to_branch(0x1004)
+        assert not outcome.prediction.taken
+        assert search.cycle - before == COST_NOT_TAKEN
+
+    def test_second_not_taken_in_row_costs_one(self):
+        hierarchy, search = make_search()
+        first = BTBEntry(address=0x1004, target=0x2000,
+                         counter=STRONG_NOT_TAKEN)
+        second = BTBEntry(address=0x100C, target=0x3000,
+                          counter=STRONG_NOT_TAKEN)
+        hierarchy.btb1.install(first)
+        hierarchy.btb1.install(second)
+        search.advance_to_branch(0x1004)
+        before = search.cycle
+        search.advance_to_branch(0x100C)
+        assert search.cycle - before == COST_NOT_TAKEN_SECOND_IN_ROW
+
+    def test_sequential_gap_rate_16_bytes_per_cycle(self):
+        hierarchy, search = make_search(miss_limit=100)
+        install_taken(hierarchy, 0x1104, 0x2000)  # 8 rows ahead
+        search.advance_to_branch(0x1104)
+        # 8 gap rows at 2 cycles each, plus the prediction cost.
+        assert search.cycle == 8 * SEQUENTIAL_CYCLES_PER_ROW + COST_TAKEN_MRU
+
+    def test_taken_prediction_redirects_searcher(self):
+        hierarchy, search = make_search()
+        install_taken(hierarchy, 0x1004, 0x2000)
+        search.advance_to_branch(0x1004)
+        assert search.search_address == 0x2000
+
+    def test_not_taken_prediction_continues_in_row(self):
+        hierarchy, search = make_search()
+        entry = BTBEntry(address=0x1004, target=0x2000,
+                         counter=STRONG_NOT_TAKEN)
+        hierarchy.btb1.install(entry)
+        search.advance_to_branch(0x1004)
+        assert search.search_address == 0x1006
+
+
+class TestMissDetection:
+    def test_miss_reported_after_limit_empty_searches(self):
+        reports = []
+        hierarchy, search = make_search(miss_limit=4, on_miss=reports.append)
+        # Branch 6 rows ahead: 6 empty searches -> one miss report.
+        install_taken(hierarchy, 0x10C4, 0x2000)
+        outcome = search.advance_to_branch(0x10C4)
+        assert len(outcome.miss_reports) == 1
+        assert reports == outcome.miss_reports
+
+    def test_miss_reported_at_starting_search_address(self):
+        hierarchy, search = make_search(miss_limit=3)
+        install_taken(hierarchy, 0x10C4, 0x2000)
+        outcome = search.advance_to_branch(0x10C4)
+        assert outcome.miss_reports[0].search_address == 0x1000
+
+    def test_miss_detected_at_b3_of_last_search(self):
+        hierarchy, search = make_search(miss_limit=3)
+        install_taken(hierarchy, 0x10C4, 0x2000)
+        outcome = search.advance_to_branch(0x10C4)
+        # Two full empty searches precede the third's completion.
+        expected = 2 * SEQUENTIAL_CYCLES_PER_ROW + MISS_DETECT_LATENCY
+        assert outcome.miss_reports[0].cycle == expected
+
+    def test_no_miss_below_limit(self):
+        hierarchy, search = make_search(miss_limit=4)
+        install_taken(hierarchy, 0x1064, 0x2000)  # only 3 empty rows
+        outcome = search.advance_to_branch(0x1064)
+        assert outcome.miss_reports == []
+
+    def test_counter_resets_after_report(self):
+        hierarchy, search = make_search(miss_limit=2)
+        install_taken(hierarchy, 0x1104, 0x2000)  # 8 empty rows
+        outcome = search.advance_to_branch(0x1104)
+        assert len(outcome.miss_reports) == 4  # 8 empties / limit 2
+
+    def test_prediction_resets_counter(self):
+        hierarchy, search = make_search(miss_limit=4)
+        install_taken(hierarchy, 0x1044, 0x1080)  # 2 empty rows then hit
+        search.advance_to_branch(0x1044)
+        install_taken(hierarchy, 0x10C4, 0x2000)  # 2 more empty rows
+        outcome = search.advance_to_branch(0x10C4)
+        assert outcome.miss_reports == []
+
+    def test_restart_resets_counter(self):
+        hierarchy, search = make_search(miss_limit=4)
+        install_taken(hierarchy, 0x1074, 0x2000)
+        search.advance_to_branch(0x1074)  # 3 empties
+        search.restart(0x5000, 100)
+        install_taken(hierarchy, 0x5024, 0x6000)  # 1 more empty
+        outcome = search.advance_to_branch(0x5024)
+        assert outcome.miss_reports == []
+
+
+class TestSurpriseShapes:
+    def test_absent_branch_yields_no_prediction(self):
+        hierarchy, search = make_search()
+        outcome = search.advance_to_branch(0x1004)
+        assert outcome.prediction is None
+
+    def test_empty_probe_advances_to_next_row(self):
+        hierarchy, search = make_search()
+        search.advance_to_branch(0x1004)
+        assert search.search_address == 0x1020
+
+    def test_already_covered_row_returns_silently(self):
+        hierarchy, search = make_search()
+        search.advance_to_branch(0x1004)  # covers row 0x1000, moves on
+        cycle = search.cycle
+        outcome = search.advance_to_branch(0x1008)  # same covered row
+        assert outcome.prediction is None
+        assert outcome.miss_reports == []
+        assert search.cycle == cycle
+
+    def test_later_branch_hit_holds_position(self):
+        hierarchy, search = make_search()
+        install_taken(hierarchy, 0x1010, 0x2000)
+        outcome = search.advance_to_branch(0x1004)  # absent earlier branch
+        assert outcome.prediction is None
+        assert search.search_address == 0x1000  # held
+        # The later branch is then predicted normally.
+        assert search.advance_to_branch(0x1010).prediction is not None
+
+
+class TestRunAhead:
+    def test_run_ahead_emits_miss_reports(self):
+        reports = []
+        hierarchy, search = make_search(miss_limit=4, on_miss=reports.append)
+        search.run_ahead(until_cycle=40)
+        # 20 rows covered in 40 cycles -> 5 reports at limit 4.
+        assert len(reports) == 5
+
+    def test_run_ahead_respects_clock_budget(self):
+        hierarchy, search = make_search()
+        search.run_ahead(until_cycle=7)
+        assert search.cycle <= 7
+
+    def test_run_ahead_stops_at_first_resident_row(self):
+        hierarchy, search = make_search()
+        install_taken(hierarchy, 0x1044, 0x2000)  # 2 rows ahead
+        search.run_ahead(until_cycle=100)
+        assert search.search_address == 0x1040

@@ -1,0 +1,68 @@
+"""Tests for the multi-core hardware proxy (Figure 3 infrastructure)."""
+
+import pytest
+
+from repro.core.config import PredictorConfig
+from repro.engine.multicore import (
+    hardware_timing,
+    run_multicore,
+    system_performance_gain,
+)
+from repro.engine.params import DEFAULT_TIMING
+
+from tests.conftest import loop_trace
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=64, btb1_ways=2, btbp_rows=16, btbp_ways=2,
+        btb2_rows=256, btb2_ways=4, pht_entries=256, ctb_entries=256,
+        fit_entries=8, surprise_bht_entries=1024,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+class TestHardwareTiming:
+    def test_single_core_is_diluted_vs_model(self):
+        hw = hardware_timing(DEFAULT_TIMING, cores=1)
+        assert hw.l2_instruction_latency > DEFAULT_TIMING.l2_instruction_latency
+        assert hw.dispatch_stall_cycles > DEFAULT_TIMING.dispatch_stall_cycles
+
+    def test_interference_grows_with_cores(self):
+        one = hardware_timing(DEFAULT_TIMING, cores=1)
+        four = hardware_timing(DEFAULT_TIMING, cores=4)
+        assert four.l2_instruction_latency > one.l2_instruction_latency
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            hardware_timing(DEFAULT_TIMING, cores=0)
+
+
+class TestRunMulticore:
+    def test_slices_cover_whole_trace(self):
+        trace = loop_trace(iterations=100)
+        result = run_multicore(trace, small_config(), cores=4)
+        assert result.total_instructions == len(trace)
+        assert len(result.per_core) == 4
+
+    def test_single_core(self):
+        trace = loop_trace(iterations=50)
+        result = run_multicore(trace, small_config(), cores=1)
+        assert result.total_instructions == len(trace)
+
+    def test_throughput_positive(self):
+        trace = loop_trace(iterations=100)
+        result = run_multicore(trace, small_config(), cores=2)
+        assert result.system_throughput > 0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            run_multicore(loop_trace(iterations=5), small_config(), cores=0)
+
+    def test_gain_metric_sign(self):
+        trace = loop_trace(iterations=200)
+        base = run_multicore(trace, small_config(btb1_rows=8, btb1_ways=1),
+                             cores=1)
+        better = run_multicore(trace, small_config(), cores=1)
+        assert system_performance_gain(base, better) >= 0.0

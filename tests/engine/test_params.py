@@ -1,0 +1,46 @@
+"""Tests for timing parameters."""
+
+import pytest
+
+from repro.engine.params import DEFAULT_TIMING, TimingParams, ZEC12_CHIP_CONFIG
+
+
+class TestTimingParams:
+    def test_base_decode_includes_friction(self):
+        timing = TimingParams(decode_width=2, dispatch_stall_cycles=0.5)
+        assert timing.base_decode_cycles == 1.0
+
+    def test_default_decode_width_is_three(self):
+        assert DEFAULT_TIMING.decode_width == 3
+
+    def test_bad_decode_width_rejected(self):
+        with pytest.raises(ValueError):
+            TimingParams(decode_width=0)
+
+    @pytest.mark.parametrize(
+        "field",
+        ("mispredict_penalty", "surprise_taken_decode_penalty",
+         "surprise_resolution_penalty", "l2_instruction_latency"),
+    )
+    def test_negative_penalties_rejected(self, field):
+        with pytest.raises(ValueError):
+            TimingParams(**{field: -1.0})
+
+    def test_icache_matches_table5(self):
+        assert DEFAULT_TIMING.icache_capacity_bytes == 64 * 1024
+        assert DEFAULT_TIMING.icache_ways == 4
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_TIMING.decode_width = 5
+
+
+class TestChipConfig:
+    def test_table5_keys_present(self):
+        for key in ("L1 Cache", "L2 Cache", "L3 Cache", "L4 Cache",
+                    "Issue Queue", "Issue bandwidth"):
+            assert key in ZEC12_CHIP_CONFIG
+
+    def test_l1_line_matches_paper(self):
+        assert "64KB (4-way)" in ZEC12_CHIP_CONFIG["L1 Cache"]
+        assert "96KB (6-way)" in ZEC12_CHIP_CONFIG["L1 Cache"]

@@ -1,0 +1,154 @@
+"""Edge-case and robustness tests for the simulator."""
+
+from repro.core.config import PredictorConfig
+from repro.core.events import OutcomeKind
+from repro.engine.simulator import Simulator, simulate
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+
+from tests.conftest import branch, loop_trace, straightline
+
+BASE = 0x1000_0000
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=64, btb1_ways=2, btbp_rows=16, btbp_ways=2,
+        btb2_rows=256, btb2_ways=4, pht_entries=256, ctb_entries=256,
+        fit_entries=8, surprise_bht_entries=1024,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+class TestContextSwitches:
+    def test_discontinuity_detected_and_survived(self):
+        # Two unrelated streams glued together without a bridging branch.
+        trace = straightline(BASE, 50) + straightline(BASE + 0x4000_0000, 50)
+        result = simulate(trace, config=small_config())
+        assert result.counters.context_switches == 1
+        assert result.counters.instructions == 100
+
+    def test_backward_discontinuity(self):
+        trace = straightline(BASE + 0x10_0000, 50) + straightline(BASE, 50)
+        result = simulate(trace, config=small_config())
+        assert result.counters.context_switches == 1
+
+    def test_contiguous_trace_has_no_switches(self):
+        result = simulate(loop_trace(iterations=30), config=small_config())
+        assert result.counters.context_switches == 0
+
+    def test_predictor_state_survives_switches(self):
+        # The same loop on both sides of a context switch: the second
+        # instance still benefits from the learned entry.
+        trace = loop_trace(iterations=40) + \
+            straightline(BASE + 0x4000_0000, 20) + loop_trace(iterations=40)
+        result = simulate(trace, config=small_config())
+        assert result.counters.outcomes[OutcomeKind.SURPRISE_COMPULSORY] == 1
+
+
+class TestEmptyAndTiny:
+    def test_empty_trace(self):
+        result = simulate([], config=small_config())
+        assert result.counters.instructions == 0
+        assert result.cpi == 0.0
+
+    def test_single_record(self):
+        result = simulate([TraceRecord(address=BASE, length=4)],
+                          config=small_config())
+        assert result.counters.instructions == 1
+
+    def test_single_branch(self):
+        result = simulate(
+            [branch(BASE, taken=True, target=BASE + 0x40,
+                    kind=BranchKind.UNCOND),
+             TraceRecord(address=BASE + 0x40, length=4)],
+            config=small_config(),
+        )
+        assert result.counters.branches == 1
+
+
+class TestIndirectAndReturnKinds:
+    def test_return_branch_surprise_uses_resolution_penalty(self):
+        trace = straightline(BASE, 4) + [
+            branch(BASE + 16, taken=True, target=BASE + 0x500,
+                   kind=BranchKind.RETURN)
+        ] + straightline(BASE + 0x500, 4)
+        result = simulate(trace, config=small_config())
+        # Register-indirect target: the full resolution penalty applies.
+        assert result.counters.penalty_cycles["surprise"] >= 18.0
+
+    def test_relative_taken_surprise_uses_decode_penalty(self):
+        trace = straightline(BASE, 4) + [
+            branch(BASE + 16, taken=True, target=BASE + 0x500,
+                   kind=BranchKind.UNCOND)
+        ] + straightline(BASE + 0x500, 4)
+        result = simulate(trace, config=small_config())
+        assert result.counters.penalty_cycles["surprise"] == 8.0
+
+    def test_changing_return_targets_engage_ctb(self):
+        # One return site alternating between two call sites A and B, with
+        # distinct paths to each: the CTB learns both targets.
+        records = []
+        ret = BASE + 0x800
+        for call_site, resume in ((BASE, BASE + 0x14), (BASE + 0x40, BASE + 0x54)):
+            for _ in range(30):
+                records.extend(straightline(call_site, 4))
+                records.append(branch(call_site + 16, taken=True, target=ret,
+                                      kind=BranchKind.CALL))
+                records.extend(straightline(ret, 2))
+                records.append(branch(ret + 8, taken=True, target=resume,
+                                      kind=BranchKind.RETURN))
+                records.extend(straightline(resume, 2))
+                records.append(branch(resume + 8, taken=True, target=call_site,
+                                      kind=BranchKind.UNCOND))
+        sim = Simulator(config=small_config())
+        for record in records:
+            sim.step(record)
+        result = sim.finish()
+        entry = sim.hierarchy.btb1.lookup(ret + 8) or \
+            sim.hierarchy.btbp.lookup(ret + 8)
+        assert entry is not None
+        assert entry.use_ctb
+        # Within each phase the target is stable and the CTB-or-bimodal
+        # target is mostly right: wrong-target mispredicts stay rare.
+        wrong = result.counters.outcomes[OutcomeKind.MISPREDICT_WRONG_TARGET]
+        assert wrong < 10
+
+
+class TestDeterminismAcrossConfigs:
+    def test_rerun_identical(self):
+        trace = loop_trace(iterations=100, body=6)
+        first = simulate(trace, config=small_config())
+        second = simulate(trace, config=small_config())
+        assert first.counters.cycles == second.counters.cycles
+        assert first.counters.penalty_cycles == second.counters.penalty_cycles
+
+    def test_btb2_config_does_not_mutate_trace(self):
+        trace = loop_trace(iterations=50)
+        snapshot = list(trace)
+        simulate(trace, config=small_config())
+        assert trace == snapshot
+
+
+class TestDecodeMissReportingIntegration:
+    def _cold_taken_chain(self):
+        records = []
+        for hop in range(12):
+            start = BASE + hop * 0x140
+            records.extend(straightline(start, 4))
+            records.append(branch(start + 16, taken=True,
+                                  target=BASE + (hop + 1) * 0x140,
+                                  kind=BranchKind.UNCOND))
+        records.extend(straightline(BASE + 12 * 0x140, 4))
+        return records
+
+    def test_flag_enables_decode_reports(self):
+        sim = Simulator(config=small_config(decode_miss_reporting=True))
+        sim.run(self._cold_taken_chain())
+        assert sim.preload.decode_miss_reports > 0
+
+    def test_default_has_no_decode_reports(self):
+        sim = Simulator(config=small_config())
+        sim.run(self._cold_taken_chain())
+        assert sim.preload.decode_miss_reports == 0

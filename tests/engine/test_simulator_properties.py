@@ -1,0 +1,76 @@
+"""Property test: the simulator digests any generated workload.
+
+Uses the walker strategies to throw arbitrary (valid) programs at the full
+simulator with a small hierarchy — crash-freedom, conservation laws, and
+classification completeness hold for all of them.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PredictorConfig
+from repro.engine.simulator import simulate
+from repro.workloads.generator import WalkProfile, generate_trace
+from repro.workloads.program import ProgramShape, build_program
+
+
+def small_config():
+    return PredictorConfig(
+        btb1_rows=16, btb1_ways=2, btbp_rows=8, btbp_ways=2,
+        btb2_rows=64, btb2_ways=2, pht_entries=64, ctb_entries=64,
+        fit_entries=4, surprise_bht_entries=128,
+    )
+
+
+@st.composite
+def workloads(draw):
+    shape = ProgramShape(
+        functions=draw(st.integers(min_value=2, max_value=25)),
+        blocks_per_function=(2, 6),
+        instructions_per_block=(1, 4),
+        call_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+        loop_fraction=draw(st.floats(min_value=0.0, max_value=0.4)),
+        seed=draw(st.integers(min_value=0, max_value=2**12)),
+    )
+    profile = WalkProfile(
+        uniform_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
+        max_call_depth=3,
+        max_loop_iterations=8,
+        seed=draw(st.integers(min_value=0, max_value=2**12)),
+    )
+    return generate_trace(build_program(shape), 400, profile)
+
+
+@settings(max_examples=20, deadline=None)
+@given(workloads())
+def test_conservation_laws(trace):
+    result = simulate(trace, config=small_config())
+    counters = result.counters
+    # Every instruction accounted for.
+    assert counters.instructions == len(trace)
+    # Every branch classified exactly once.
+    assert sum(counters.outcomes.values()) == counters.branches
+    # The clock covers at least the decode time of every instruction.
+    assert counters.cycles >= counters.instructions * (1 / 3)
+    # Attributed penalties never exceed total cycles.
+    assert sum(counters.penalty_cycles.values()) <= counters.cycles + 1e-6
+    # CPI is finite and sane.
+    assert math.isfinite(result.cpi)
+    assert 0 < result.cpi < 100
+
+
+@settings(max_examples=10, deadline=None)
+@given(workloads())
+def test_btb2_never_changes_instruction_count(trace):
+    with_btb2 = simulate(trace, config=small_config())
+    without = simulate(
+        trace, config=PredictorConfig(
+            btb1_rows=16, btb1_ways=2, btbp_rows=8, btbp_ways=2,
+            btb2_enabled=False, pht_entries=64, ctb_entries=64,
+            fit_entries=4, surprise_bht_entries=128,
+        )
+    )
+    assert with_btb2.counters.instructions == without.counters.instructions
+    assert with_btb2.counters.branches == without.counters.branches

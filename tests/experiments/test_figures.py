@@ -1,0 +1,88 @@
+"""Smoke and shape tests for the figure runners on a reduced workload set.
+
+Full-scale figure regeneration lives in ``benchmarks/``; here the runners
+are exercised end to end on one small workload at a tiny scale so that the
+plumbing (sweeps, caching, rendering) is covered by the fast suite.
+"""
+
+import pytest
+
+from repro.experiments import figure2, figure3, figure4, figure5, figure6, figure7
+from repro.workloads.catalog import workload_by_name
+
+SPEC = workload_by_name("TPF")
+WORKLOADS = (SPEC,)
+SCALE = 0.04
+
+
+@pytest.fixture(autouse=True)
+def _shared_result_cache(monkeypatch, tmp_path_factory):
+    # One cache for the whole module: figure runners share baselines.
+    cache = tmp_path_factory.mktemp("results")
+    monkeypatch.setenv("REPRO_RESULTS_CACHE", str(cache))
+
+
+class TestFigure2:
+    def test_rows_and_render(self):
+        rows = figure2.run_figure2(workloads=WORKLOADS, scale=SCALE)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.workload == SPEC.name
+        assert row.baseline_cpi > 0
+        text = figure2.render(rows)
+        assert "Figure 2" in text and SPEC.name in text
+
+    def test_summary_keys(self):
+        rows = figure2.run_figure2(workloads=WORKLOADS, scale=SCALE)
+        summary = figure2.summarize(rows)
+        assert set(summary) == {
+            "max_btb2_gain_percent", "max_large_btb1_gain_percent",
+            "min_effectiveness_percent", "max_effectiveness_percent",
+            "mean_effectiveness_percent",
+        }
+
+
+class TestFigure4:
+    def test_columns(self):
+        without, with_btb2 = figure4.run_figure4(spec=SPEC, scale=SCALE)
+        assert without.label == "No BTB2"
+        assert 0 <= without.total_bad <= 1
+        assert set(without.fractions) == set(figure4.BAR_SEGMENTS)
+        text = figure4.render((without, with_btb2))
+        assert "total bad outcomes" in text
+
+
+class TestSweeps:
+    def test_figure5_two_sizes(self):
+        points = figure5.run_figure5(
+            workloads=WORKLOADS, scale=SCALE,
+            sizes=((1024, 6), (4096, 6)),
+        )
+        assert [p.capacity for p in points] == [6144, 24576]
+        assert points[1].implemented
+        assert "zEC12" in figure5.render(points)
+
+    def test_figure6_two_limits(self):
+        points = figure6.run_figure6(workloads=WORKLOADS, scale=SCALE,
+                                     limits=(2, 4))
+        assert [p.miss_limit for p in points] == [2, 4]
+        assert points[1].implemented
+        assert points[0].search_bytes == 64
+
+    def test_figure7_two_counts(self):
+        points = figure7.run_figure7(workloads=WORKLOADS, scale=SCALE,
+                                     counts=(1, 3))
+        assert [p.trackers for p in points] == [1, 3]
+        assert points[1].implemented
+
+
+class TestFigure3:
+    def test_hardware_proxy_rows(self):
+        rows = figure3.run_figure3(scale=0.03)
+        assert len(rows) == 2
+        single, quad = rows
+        assert single.cores == 1 and quad.cores == 4
+        assert single.model_gain_percent is not None
+        assert quad.model_gain_percent is None
+        text = figure3.render(rows)
+        assert "hardware" in text

@@ -1,0 +1,83 @@
+"""Pure-function tests for figure renderers and summaries (no simulation)."""
+
+from repro.core.events import OutcomeKind
+from repro.experiments.figure2 import Figure2Row, render, summarize
+from repro.experiments.figure3 import Figure3Row
+from repro.experiments.figure3 import render as render3
+from repro.experiments.figure4 import BAR_SEGMENTS, Figure4Column
+from repro.experiments.figure4 import render as render4
+from repro.experiments.figure5 import Figure5Point
+from repro.experiments.figure5 import render as render5
+from repro.experiments.figure6 import Figure6Point
+from repro.experiments.figure6 import render as render6
+from repro.experiments.figure7 import Figure7Point
+from repro.experiments.figure7 import render as render7
+
+
+def rows():
+    return [
+        Figure2Row("Trace A", 1.5, 5.0, 10.0, 50.0),
+        Figure2Row("Trace B", 1.2, 2.0, 8.0, 25.0),
+    ]
+
+
+class TestFigure2Pure:
+    def test_summary_math(self):
+        summary = summarize(rows())
+        assert summary["max_btb2_gain_percent"] == 5.0
+        assert summary["max_large_btb1_gain_percent"] == 10.0
+        assert summary["min_effectiveness_percent"] == 25.0
+        assert summary["max_effectiveness_percent"] == 50.0
+        assert summary["mean_effectiveness_percent"] == 37.5
+
+    def test_render_lists_every_trace(self):
+        text = render(rows())
+        assert "Trace A" in text and "Trace B" in text
+        assert "5.00" in text and "10.00" in text
+
+
+class TestFigure3Pure:
+    def test_render_shows_model_comparison_only_when_present(self):
+        text = render3([
+            Figure3Row("W", 1, 5.0, 8.0),
+            Figure3Row("X", 4, 3.0, None),
+        ])
+        assert "(model: 8.00%)" in text
+        assert text.count("model") == 1
+
+
+class TestFigure4Pure:
+    def test_total_bad_sums_segments(self):
+        fractions = {kind: 0.01 for kind in BAR_SEGMENTS}
+        column = Figure4Column("test", fractions)
+        assert abs(column.total_bad - 0.06) < 1e-12
+
+    def test_render_has_total_row(self):
+        fractions = {kind: 0.02 for kind in BAR_SEGMENTS}
+        text = render4((Figure4Column("a", fractions),
+                        Figure4Column("b", fractions)))
+        assert "total bad outcomes" in text
+        assert "12.0%" in text
+
+    def test_segments_cover_all_bad_kinds(self):
+        assert set(BAR_SEGMENTS) == {
+            kind for kind in OutcomeKind if kind.is_bad
+        }
+
+
+class TestSweepRenderers:
+    def test_figure5_marks_implemented(self):
+        text = render5([
+            Figure5Point(1024, 6, 6144, 1.0, False),
+            Figure5Point(4096, 6, 24576, 2.0, True),
+        ])
+        assert text.count("zEC12") == 1
+
+    def test_figure6_shows_bytes(self):
+        text = render6([Figure6Point(4, 128, 2.0, True)])
+        assert "128 B" in text
+
+    def test_figure7_counts(self):
+        text = render7([Figure7Point(3, 2.0, True),
+                        Figure7Point(8, 2.1, False)])
+        assert "3 tracker(s)" in text

@@ -1,0 +1,35 @@
+"""Tests for the run-everything report generator (static parts).
+
+The full ``build_report`` is exercised by the real experiment run (it
+produced EXPERIMENTS.md); here we cover the argument handling and the
+paper-reference constants without paying for simulations.
+"""
+
+from repro.experiments.run_all import PAPER, main
+
+
+class TestPaperConstants:
+    def test_headline_numbers_match_paper_text(self):
+        assert PAPER["max_btb2_gain"] == 13.8
+        assert PAPER["daytrader_large_btb1_gain"] == 20.2
+        assert PAPER["effectiveness_range"] == (16.6, 83.4)
+        assert PAPER["effectiveness_mean"] == 52.0
+
+    def test_figure3_numbers(self):
+        assert PAPER["fig3_wasdb_hw"] == 5.3
+        assert PAPER["fig3_wasdb_model"] == 8.5
+        assert PAPER["fig3_cics_hw"] == 3.4
+
+    def test_figure4_numbers(self):
+        assert PAPER["fig4_bad_without"] == 25.9
+        assert PAPER["fig4_bad_with"] == 14.3
+        assert PAPER["fig4_capacity_without"] == 21.9
+        assert PAPER["fig4_capacity_with"] == 8.1
+
+
+class TestCLI:
+    def test_rejects_unknown_flag(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["--bogus"])

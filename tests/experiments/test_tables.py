@@ -1,0 +1,60 @@
+"""Tests for the table renderers."""
+
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+
+class TestTable1:
+    def test_lists_seven_stages(self):
+        text = render_table1()
+        for stage in ("b0", "b1", "b2", "b3", "b4", "b5", "b6"):
+            assert f"{stage}:" in text
+
+    def test_mentions_16_bytes_per_cycle(self):
+        assert "16 B/cycle" in render_table1()
+
+
+class TestTable2:
+    def test_default_three_search_example(self):
+        text = render_table2()
+        assert "search+0" in text and "search+2" in text
+        assert "starting search address" in text
+
+    def test_miss_reported_on_last_search(self):
+        lines = render_table2(miss_limit=4).splitlines()
+        assert "reported" in lines[-1]
+        assert sum("reported" in line for line in lines) == 1
+
+
+class TestTable3:
+    def test_three_rows_with_capacities(self):
+        text = render_table3()
+        assert "No BTB2" in text
+        assert "24576 (4096x6)" in text
+        assert "0 (disabled)" in text
+
+
+class TestTable4:
+    def test_paper_counters_without_measurement(self):
+        text = render_table4(measured=False)
+        assert "34,819" in text       # DayTrader DBServ unique
+        assert "115,509" in text      # Trade6 unique
+        assert "DayTrader DBServ" in text
+
+    def test_all_thirteen_rows(self):
+        text = render_table4(measured=False)
+        assert len([l for l in text.splitlines() if l.startswith("  Z") or
+                    l.startswith("  z") or l.startswith("  TPF")]) == 13
+
+
+class TestTable5:
+    def test_chip_configuration_lines(self):
+        text = render_table5()
+        assert "64KB (4-way)" in text
+        assert "384 Meg off-chip" in text
+        assert "Issue bandwidth" in text

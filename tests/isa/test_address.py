@@ -1,0 +1,140 @@
+"""Tests for IBM-numbered address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import address as addr
+from repro.isa.address import (
+    BLOCK_FIELD,
+    BTB1_INDEX,
+    BTB2_INDEX,
+    BTBP_INDEX,
+    BitField,
+    SECTOR_FIELD,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestBitField:
+    def test_btb1_field_geometry(self):
+        assert BTB1_INDEX.width == 10
+        assert BTB1_INDEX.shift == 5
+
+    def test_btbp_field_geometry(self):
+        assert BTBP_INDEX.width == 7
+        assert BTBP_INDEX.shift == 5
+
+    def test_btb2_field_geometry(self):
+        assert BTB2_INDEX.width == 12
+        assert BTB2_INDEX.shift == 5
+
+    def test_block_field_is_address_over_4k(self):
+        assert BLOCK_FIELD.extract(0x12345_678) == 0x12345_678 >> 12
+
+    def test_sector_field_is_address_over_128(self):
+        assert SECTOR_FIELD.extract(0x1234) == 0x1234 >> 7
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            BitField(10, 5)
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ValueError):
+            BitField(0, 64)
+
+    def test_full_width_field(self):
+        field = BitField(0, 63)
+        assert field.extract(0xDEADBEEF) == 0xDEADBEEF
+
+    @given(addresses)
+    def test_extract_is_bounded_by_mask(self, value):
+        assert BTB1_INDEX.extract(value) <= BTB1_INDEX.mask
+
+    @given(addresses)
+    def test_btb1_index_equals_row_modulo(self, value):
+        # The bit-range extraction equals (address >> 5) % 1024 — the form
+        # the generalized BTB storage uses.
+        assert BTB1_INDEX.extract(value) == (value >> 5) % 1024
+
+    @given(addresses)
+    def test_btbp_index_equals_row_modulo(self, value):
+        assert BTBP_INDEX.extract(value) == (value >> 5) % 128
+
+    @given(addresses)
+    def test_btb2_index_equals_row_modulo(self, value):
+        assert BTB2_INDEX.extract(value) == (value >> 5) % 4096
+
+
+class TestRowMath:
+    def test_row_covers_32_bytes(self):
+        assert addr.ROW_BYTES == 32
+
+    def test_row_address_aligns_down(self):
+        assert addr.row_address(0x1234_5678) == 0x1234_5660
+
+    def test_row_offset(self):
+        assert addr.row_offset(0x1234_5678) == 0x18
+
+    def test_next_row(self):
+        assert addr.next_row(0x20) == 0x40
+        assert addr.next_row(0x3F) == 0x40
+
+    @given(addresses)
+    def test_row_address_idempotent(self, value):
+        once = addr.row_address(value)
+        assert addr.row_address(once) == once
+
+    @given(addresses)
+    def test_row_decomposition(self, value):
+        assert addr.row_address(value) + addr.row_offset(value) == value
+
+
+class TestBlockSectorQuartile:
+    def test_block_geometry(self):
+        assert addr.BLOCK_BYTES == 4096
+        assert addr.SECTORS_PER_BLOCK == 32
+        assert addr.ROWS_PER_BLOCK == 128
+        assert addr.ROWS_PER_SECTOR == 4
+
+    def test_block_address(self):
+        assert addr.block_address(0x12345) == 0x12000
+
+    def test_sector_in_block_range(self):
+        assert addr.sector_in_block(0x12000) == 0
+        assert addr.sector_in_block(0x12000 + 127) == 0
+        assert addr.sector_in_block(0x12000 + 128) == 1
+        assert addr.sector_in_block(0x12000 + 4095) == 31
+
+    def test_quartile_in_block(self):
+        assert addr.quartile_in_block(0x12000) == 0
+        assert addr.quartile_in_block(0x12000 + 1024) == 1
+        assert addr.quartile_in_block(0x12000 + 4095) == 3
+
+    def test_sector_quartile_mapping(self):
+        assert addr.sector_quartile(0) == 0
+        assert addr.sector_quartile(7) == 0
+        assert addr.sector_quartile(8) == 1
+        assert addr.sector_quartile(31) == 3
+
+    def test_sector_quartile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            addr.sector_quartile(32)
+
+    def test_same_block(self):
+        assert addr.same_block(0x12000, 0x12FFF)
+        assert not addr.same_block(0x12000, 0x13000)
+
+    @given(addresses)
+    def test_sector_quartile_consistency(self, value):
+        # The quartile of an address equals the quartile of its sector.
+        assert addr.quartile_in_block(value) == addr.sector_quartile(
+            addr.sector_in_block(value)
+        )
+
+    @given(addresses)
+    def test_sector_address_within_block(self, value):
+        sector = addr.sector_address(value)
+        assert addr.block_address(sector) == addr.block_address(value)
+        assert sector <= value < sector + addr.SECTOR_BYTES

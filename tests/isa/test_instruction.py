@@ -1,0 +1,83 @@
+"""Tests for the static instruction model and static-guess rules."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import BranchKind, static_guess
+
+
+class TestInstruction:
+    def test_plain_instruction(self):
+        insn = Instruction(address=0x100, length=4)
+        assert not insn.is_branch
+        assert insn.next_sequential == 0x104
+
+    @pytest.mark.parametrize("length", (2, 4, 6))
+    def test_valid_lengths(self, length):
+        assert Instruction(address=0, length=length).length == length
+
+    @pytest.mark.parametrize("length", (0, 1, 3, 5, 8))
+    def test_invalid_lengths_rejected(self, length):
+        with pytest.raises(ValueError):
+            Instruction(address=0, length=length)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(address=-4, length=4)
+
+    def test_direct_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(address=0, length=4, kind=BranchKind.COND)
+
+    def test_return_needs_no_target(self):
+        insn = Instruction(address=0, length=4, kind=BranchKind.RETURN)
+        assert insn.is_branch
+
+    def test_indirect_needs_no_target(self):
+        insn = Instruction(address=0, length=4, kind=BranchKind.INDIRECT)
+        assert insn.is_branch
+
+    def test_backward_detection(self):
+        backward = Instruction(address=0x100, length=4, kind=BranchKind.COND,
+                               target=0x80)
+        forward = Instruction(address=0x100, length=4, kind=BranchKind.COND,
+                              target=0x200)
+        assert backward.is_backward
+        assert not forward.is_backward
+
+    def test_guess_direction_on_non_branch_raises(self):
+        with pytest.raises(ValueError):
+            Instruction(address=0, length=4).guess_direction()
+
+    def test_backward_cond_guessed_taken(self):
+        insn = Instruction(address=0x100, length=4, kind=BranchKind.COND,
+                           target=0x80)
+        assert insn.guess_direction()
+
+    def test_forward_cond_guessed_not_taken(self):
+        insn = Instruction(address=0x100, length=4, kind=BranchKind.COND,
+                           target=0x200)
+        assert not insn.guess_direction()
+
+
+class TestBranchKind:
+    @pytest.mark.parametrize(
+        "kind", (BranchKind.UNCOND, BranchKind.CALL, BranchKind.RETURN,
+                 BranchKind.INDIRECT)
+    )
+    def test_always_taken_kinds(self, kind):
+        assert kind.always_taken
+        assert static_guess(kind, backward=False)
+
+    def test_cond_is_not_always_taken(self):
+        assert not BranchKind.COND.always_taken
+
+    def test_target_changing_kinds(self):
+        assert BranchKind.RETURN.target_changes
+        assert BranchKind.INDIRECT.target_changes
+        assert not BranchKind.COND.target_changes
+        assert not BranchKind.CALL.target_changes
+
+    def test_static_guess_cond_uses_direction(self):
+        assert static_guess(BranchKind.COND, backward=True)
+        assert not static_guess(BranchKind.COND, backward=False)

@@ -1,0 +1,51 @@
+"""Public-API surface tests: everything advertised in __all__ resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.isa",
+    "repro.trace",
+    "repro.workloads",
+    "repro.caches",
+    "repro.btb",
+    "repro.core",
+    "repro.preload",
+    "repro.engine",
+    "repro.metrics",
+    "repro.experiments",
+)
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_exports(package):
+    module = importlib.import_module(package)
+    exported = list(module.__all__)
+    assert len(exported) == len(set(exported)), f"{package}.__all__ dupes"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_quickstart_docstring_example_runs():
+    # The module docstring advertises a workflow; keep it honest (tiny scale).
+    from repro import Simulator, ZEC12_CONFIG_1, ZEC12_CONFIG_2
+    from repro.workloads import DAYTRADER_DBSERV
+
+    trace = DAYTRADER_DBSERV.trace(scale=0.02)
+    base = Simulator(ZEC12_CONFIG_1).run(trace)
+    with_btb2 = Simulator(ZEC12_CONFIG_2).run(trace)
+    assert base.cpi > 0 and with_btb2.cpi > 0

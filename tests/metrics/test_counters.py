@@ -1,0 +1,85 @@
+"""Tests for metrics counters and derived figures."""
+
+import pytest
+
+from repro.core.events import OutcomeKind
+from repro.metrics.counters import (
+    SimCounters,
+    btb2_effectiveness,
+    cpi_improvement,
+)
+
+
+class TestSimCounters:
+    def test_fresh_counters_are_zero(self):
+        counters = SimCounters()
+        assert counters.cpi == 0.0
+        assert counters.bad_outcome_fraction == 0.0
+        assert all(v == 0 for v in counters.outcomes.values())
+
+    def test_cpi(self):
+        counters = SimCounters(instructions=100, cycles=150.0)
+        assert counters.cpi == 1.5
+
+    def test_outcome_bookkeeping(self):
+        counters = SimCounters()
+        counters.branches = 10
+        counters.record_outcome(OutcomeKind.GOOD_DYNAMIC)
+        counters.record_outcome(OutcomeKind.SURPRISE_CAPACITY)
+        counters.record_outcome(OutcomeKind.MISPREDICT_WRONG_TARGET)
+        assert counters.bad_outcomes == 2
+        assert counters.surprise_outcomes == 1
+        assert counters.mispredict_outcomes == 1
+        assert counters.bad_outcome_fraction == 0.2
+
+    def test_outcome_fractions_sum_to_recorded(self):
+        counters = SimCounters()
+        counters.branches = 4
+        for kind in (OutcomeKind.GOOD_DYNAMIC, OutcomeKind.GOOD_SURPRISE,
+                     OutcomeKind.SURPRISE_LATENCY,
+                     OutcomeKind.SURPRISE_COMPULSORY):
+            counters.record_outcome(kind)
+        assert sum(counters.outcome_fractions().values()) == pytest.approx(1.0)
+
+    def test_penalty_attribution(self):
+        counters = SimCounters()
+        counters.attribute_penalty("mispredict", 18.0)
+        counters.attribute_penalty("mispredict", 18.0)
+        assert counters.penalty_cycles["mispredict"] == 36.0
+
+
+class TestDerivedMetrics:
+    def test_cpi_improvement(self):
+        assert cpi_improvement(2.0, 1.5) == pytest.approx(25.0)
+
+    def test_cpi_improvement_negative_for_regression(self):
+        assert cpi_improvement(1.0, 1.1) < 0
+
+    def test_cpi_improvement_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            cpi_improvement(0.0, 1.0)
+
+    def test_effectiveness_is_ratio_in_percent(self):
+        # Paper definition: BTB2 gain relative to the large-BTB1 gain.
+        assert btb2_effectiveness(6.9, 13.8) == pytest.approx(50.0)
+
+    def test_effectiveness_zero_ceiling(self):
+        assert btb2_effectiveness(1.0, 0.0) == 0.0
+
+
+class TestOutcomeKindTaxonomy:
+    def test_good_kinds_not_bad(self):
+        assert not OutcomeKind.GOOD_DYNAMIC.is_bad
+        assert not OutcomeKind.GOOD_SURPRISE.is_bad
+
+    def test_surprise_kinds(self):
+        for kind in (OutcomeKind.SURPRISE_COMPULSORY,
+                     OutcomeKind.SURPRISE_LATENCY,
+                     OutcomeKind.SURPRISE_CAPACITY):
+            assert kind.is_bad and kind.is_surprise and not kind.is_mispredict
+
+    def test_mispredict_kinds(self):
+        for kind in (OutcomeKind.MISPREDICT_TAKEN_NOT_TAKEN,
+                     OutcomeKind.MISPREDICT_NOT_TAKEN_TAKEN,
+                     OutcomeKind.MISPREDICT_WRONG_TARGET):
+            assert kind.is_bad and kind.is_mispredict and not kind.is_surprise

@@ -1,0 +1,54 @@
+"""Tests for the human-readable report formatting."""
+
+from repro.core.config import PredictorConfig
+from repro.engine.simulator import simulate
+from repro.metrics.report import format_comparison, format_result
+
+from tests.conftest import loop_trace
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=64, btb1_ways=2, btbp_rows=16, btbp_ways=2,
+        btb2_rows=256, btb2_ways=4, pht_entries=256, ctb_entries=256,
+        fit_entries=8, surprise_bht_entries=1024,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+class TestFormatResult:
+    def test_contains_headline_numbers(self):
+        result = simulate(loop_trace(iterations=50), config=small_config())
+        text = format_result(result)
+        assert "CPI" in text
+        assert "bad branch outcomes" in text
+        assert f"{result.counters.branches:,}" in text
+
+    def test_custom_title(self):
+        result = simulate(loop_trace(iterations=10), config=small_config())
+        assert format_result(result, title="MY RUN").startswith("MY RUN")
+
+    def test_zero_count_outcomes_omitted(self):
+        result = simulate(loop_trace(iterations=50), config=small_config())
+        text = format_result(result)
+        assert "bad_not_taken_resolved_taken" not in text
+
+    def test_preload_stats_rendered_when_btb2_enabled(self):
+        result = simulate(loop_trace(iterations=50), config=small_config())
+        assert "preload engine" in format_result(result)
+
+    def test_no_preload_section_without_btb2(self):
+        result = simulate(loop_trace(iterations=50),
+                          config=small_config(btb2_enabled=False))
+        assert "preload engine" not in format_result(result)
+
+
+class TestFormatComparison:
+    def test_reports_gain(self):
+        base = simulate(loop_trace(iterations=50),
+                        config=small_config(btb1_rows=8, btb1_ways=1))
+        improved = simulate(loop_trace(iterations=50), config=small_config())
+        text = format_comparison(base, improved)
+        assert "CPI improvement" in text
+        assert f"{base.cpi:.3f}" in text

@@ -1,0 +1,220 @@
+"""Tests for the preload engine: filtering, trackers, upgrades (3.5-3.6)."""
+
+import pytest
+
+from repro.btb.btb2 import BTB2
+from repro.btb.entry import BTBEntry
+from repro.caches.icache import ICache
+from repro.core.config import FilterMode, PredictorConfig
+from repro.core.events import MissReport
+from repro.core.hierarchy import FirstLevelPredictor
+from repro.preload.engine import BLOCK_MODE_WAIT_CYCLES, PreloadEngine
+from repro.preload.tracker import TrackerState
+from repro.preload.transfer import FULL_BLOCK_TRANSFER_CYCLES
+
+BLOCK = 0x40_0000
+
+
+def make_engine(filter_mode=FilterMode.PARTIAL, trackers=3, steering=True):
+    config = PredictorConfig(
+        btb1_rows=64, btb1_ways=2, btbp_rows=16, btbp_ways=4,
+        pht_entries=64, ctb_entries=64, fit_entries=4,
+        surprise_bht_entries=64,
+        filter_mode=filter_mode, tracker_count=trackers,
+        steering_enabled=steering,
+        ordering_table_sets=16, ordering_table_ways=2,
+    )
+    btb2 = BTB2(rows=256, ways=4)
+    hierarchy = FirstLevelPredictor(config, btb2=btb2)
+    icache = ICache(capacity_bytes=4096, ways=2, line_bytes=256,
+                    miss_window=1000)
+    return PreloadEngine(config, btb2, hierarchy, icache)
+
+
+class TestMissFiltering:
+    def test_miss_without_icache_miss_starts_partial_search(self):
+        engine = make_engine()
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        tracker = engine.trackers.find(BLOCK)
+        assert tracker.state is TrackerState.PARTIAL
+        assert engine.partial_searches == 1
+        assert engine.filtered_misses == 1
+
+    def test_partial_search_covers_4_rows(self):
+        engine = make_engine()
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        tracker = engine.trackers.find(BLOCK)
+        assert len(tracker.enqueued_rows) == 4
+
+    def test_miss_with_recent_icache_miss_goes_full(self):
+        engine = make_engine()
+        engine.icache.fetch(BLOCK + 0x80, cycle=5)  # miss in same block
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        tracker = engine.trackers.find(BLOCK)
+        assert tracker.state is TrackerState.FULL
+        assert len(tracker.enqueued_rows) == 128
+        assert engine.full_searches == 1
+
+    def test_filter_off_always_full(self):
+        engine = make_engine(filter_mode=FilterMode.OFF)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        assert engine.trackers.find(BLOCK).state is TrackerState.FULL
+
+    def test_filter_block_mode_waits_without_searching(self):
+        engine = make_engine(filter_mode=FilterMode.BLOCK)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        tracker = engine.trackers.find(BLOCK)
+        assert tracker.enqueued_rows == set()
+        engine.advance(10 + BLOCK_MODE_WAIT_CYCLES + 1)
+        assert tracker.state is TrackerState.FREE
+        assert engine.partial_invalidations == 1
+
+    def test_duplicate_reports_ignored(self):
+        engine = make_engine()
+        report = MissReport(search_address=BLOCK + 0x100, cycle=10)
+        engine.report_btb1_miss(report)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x200,
+                                           cycle=12))
+        assert engine.duplicate_miss_reports == 1
+
+    def test_all_trackers_busy_drops_report(self):
+        engine = make_engine(trackers=1)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK, cycle=0))
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x10_000,
+                                           cycle=1))
+        assert engine.trackers.dropped_miss_reports == 1
+
+
+class TestTrackerLifecycle:
+    def test_partial_without_icache_miss_invalidates_on_completion(self):
+        engine = make_engine()
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=0))
+        tracker = engine.trackers.find(BLOCK)
+        engine.advance(1000)
+        assert tracker.state is TrackerState.FREE
+        assert engine.partial_invalidations == 1
+
+    def test_icache_miss_upgrades_partial_to_full(self):
+        engine = make_engine()
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=0))
+        tracker = engine.trackers.find(BLOCK)
+        engine.report_icache_miss(BLOCK + 0x200, cycle=3)
+        assert tracker.state is TrackerState.FULL
+        assert engine.partial_upgrades == 1
+        assert len(tracker.enqueued_rows) == 128  # partial rows not re-read
+
+    def test_icache_only_tracker_never_searches(self):
+        engine = make_engine()
+        engine.report_icache_miss(BLOCK + 0x80, cycle=0)
+        tracker = engine.trackers.find(BLOCK)
+        assert tracker.state is TrackerState.ICACHE_ONLY
+        engine.advance(1000)
+        assert engine.transfer.rows_read == 0
+
+    def test_icache_then_btb1_miss_goes_full(self):
+        engine = make_engine()
+        engine.report_icache_miss(BLOCK + 0x80, cycle=0)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=5))
+        assert engine.trackers.find(BLOCK).state is TrackerState.FULL
+
+    def test_full_search_tracker_freed_after_transfer(self):
+        engine = make_engine(filter_mode=FilterMode.OFF)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK, cycle=0))
+        engine.advance(FULL_BLOCK_TRANSFER_CYCLES + 20)
+        assert engine.trackers.busy() == 0
+
+
+class TestTransfersReachBTBP:
+    def test_full_search_moves_content_into_btbp(self):
+        engine = make_engine(filter_mode=FilterMode.OFF)
+        for offset in (0x104, 0x504, 0xF04):
+            engine.btb2.install(BTBEntry(address=BLOCK + offset, target=0x1))
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=0))
+        engine.flush()
+        for offset in (0x104, 0x504, 0xF04):
+            assert engine.hierarchy.btbp.lookup(BLOCK + offset) is not None
+
+    def test_partial_search_only_covers_miss_sector(self):
+        engine = make_engine()
+        near = BLOCK + 0x104   # same 128 B sector as the miss
+        far = BLOCK + 0xF04
+        engine.btb2.install(BTBEntry(address=near, target=0x1))
+        engine.btb2.install(BTBEntry(address=far, target=0x1))
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=0))
+        engine.flush()
+        assert engine.hierarchy.btbp.lookup(near) is not None
+        assert engine.hierarchy.btbp.lookup(far) is None
+
+
+class TestSteeringIntegration:
+    def test_ordering_knowledge_prioritizes_active_sectors(self):
+        engine = make_engine(filter_mode=FilterMode.OFF)
+        # Program behaviour: the block is entered at sector 0 and then only
+        # sector 20 executes.
+        engine.observe_completion(BLOCK + 0x10)
+        engine.observe_completion(BLOCK + 20 * 128 + 0x10)
+        engine.observe_completion(BLOCK + 0x20_000)  # leave block (commit)
+        engine.btb2.install(BTBEntry(address=BLOCK + 20 * 128 + 4, target=0x1))
+        engine.btb2.install(BTBEntry(address=BLOCK + 10 * 128 + 4, target=0x1))
+        engine.report_btb1_miss(MissReport(search_address=BLOCK, cycle=0))
+        # Active sector 20 must be read before inactive sector 10 despite
+        # sequential order saying otherwise: after enough cycles for the
+        # first few sectors only, sector 20's entry is already in the BTBP.
+        engine.advance(7 + 3 * 4 + 8 + 4)
+        assert engine.hierarchy.btbp.lookup(BLOCK + 20 * 128 + 4) is not None
+
+    def test_steering_disabled_uses_sequential_order(self):
+        engine = make_engine(filter_mode=FilterMode.OFF, steering=False)
+        engine.observe_completion(BLOCK + 20 * 128 + 0x10)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK, cycle=0))
+        assert engine.ordering_table.hits == 0
+
+
+@pytest.mark.parametrize("mode", list(FilterMode))
+def test_flush_drains_all_modes(mode):
+    engine = make_engine(filter_mode=mode)
+    engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100, cycle=0))
+    engine.flush()
+    assert engine.transfer.pending_rows == 0
+    assert engine.transfer.inflight_rows == 0
+
+
+class TestReportEdgeCases:
+    def test_duplicate_icache_miss_ignored(self):
+        engine = make_engine()
+        engine.report_icache_miss(BLOCK + 0x80, cycle=0)
+        engine.report_icache_miss(BLOCK + 0x90, cycle=1)
+        assert engine.trackers.busy() == 1
+
+    def test_icache_report_dropped_when_pool_exhausted(self):
+        engine = make_engine(trackers=1)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK, cycle=0))
+        engine.report_icache_miss(BLOCK + 0x10_000, cycle=1)
+        assert engine.trackers.dropped_icache_reports == 1
+
+    def test_zero_trackers_drop_everything(self):
+        engine = make_engine(trackers=0)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK, cycle=0))
+        engine.report_icache_miss(BLOCK, cycle=0)
+        assert engine.trackers.dropped_miss_reports == 1
+        assert engine.trackers.dropped_icache_reports == 1
+        engine.flush()
+        assert engine.transfer.rows_read == 0
+
+    def test_ordering_flush_idempotent(self):
+        engine = make_engine()
+        engine.observe_completion(BLOCK + 0x10)
+        engine.ordering_tracker.flush()
+        engine.ordering_tracker.flush()
+        entry = engine.ordering_table.lookup(BLOCK)
+        assert entry is not None and entry.sector_active(0)

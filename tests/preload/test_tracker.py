@@ -1,0 +1,72 @@
+"""Tests for the BTB2 search tracker pool."""
+
+from repro.preload.tracker import SearchTracker, TrackerFile, TrackerState
+
+
+class TestSearchTracker:
+    def test_fresh_tracker_is_free(self):
+        tracker = SearchTracker()
+        assert tracker.state is TrackerState.FREE
+        assert not tracker.fully_active
+
+    def test_fully_active_requires_both_bits(self):
+        tracker = SearchTracker(btb1_miss_valid=True)
+        assert not tracker.fully_active
+        tracker.icache_miss_valid = True
+        assert tracker.fully_active
+
+    def test_reset_clears_everything(self):
+        tracker = SearchTracker(
+            block=0x1000, state=TrackerState.FULL, btb1_miss_valid=True,
+            icache_miss_valid=True, miss_address=0x1234, outstanding_rows=3,
+        )
+        tracker.enqueued_rows.add(0x1000)
+        tracker.reset()
+        assert tracker.state is TrackerState.FREE
+        assert not tracker.btb1_miss_valid
+        assert not tracker.icache_miss_valid
+        assert tracker.outstanding_rows == 0
+        assert tracker.enqueued_rows == set()
+
+
+class TestTrackerFile:
+    def test_architected_count(self):
+        assert TrackerFile().count == 3
+
+    def test_allocate_until_full(self):
+        pool = TrackerFile(count=2)
+        a = pool.allocate(0x1000, cycle=0)
+        b = pool.allocate(0x2000, cycle=1)
+        assert a is not b
+        assert pool.allocate(0x3000, cycle=2) is None
+        assert pool.busy() == 2
+
+    def test_find_by_block(self):
+        pool = TrackerFile(count=2)
+        tracker = pool.allocate(0x1000, cycle=0)
+        assert pool.find(0x1000) is tracker
+        assert pool.find(0x9999) is None
+
+    def test_allocation_claims_immediately(self):
+        pool = TrackerFile(count=2)
+        tracker = pool.allocate(0x1000, cycle=0)
+        assert tracker.state is not TrackerState.FREE
+
+    def test_recycles_oldest_icache_only(self):
+        pool = TrackerFile(count=2)
+        old = pool.allocate(0x1000, cycle=0, state=TrackerState.ICACHE_ONLY)
+        young = pool.allocate(0x2000, cycle=5, state=TrackerState.ICACHE_ONLY)
+        recycled = pool.allocate(0x3000, cycle=10)
+        assert recycled is old
+        assert recycled.block == 0x3000
+
+    def test_never_steals_searching_trackers(self):
+        pool = TrackerFile(count=1)
+        pool.allocate(0x1000, cycle=0)
+        assert pool.allocate(0x2000, cycle=1) is None
+
+    def test_allocation_counter(self):
+        pool = TrackerFile(count=3)
+        pool.allocate(0x1000, 0)
+        pool.allocate(0x2000, 0)
+        assert pool.allocations == 2

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_workloads_command(self):
+        args = build_parser().parse_args(["workloads"])
+        assert args.command == "workloads"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "TPF"])
+        assert args.configs == ["1", "2"]
+        assert args.scale == 0.35
+
+    def test_simulate_custom_configs(self):
+        args = build_parser().parse_args(
+            ["simulate", "TPF", "--configs", "1", "3"]
+        )
+        assert args.configs == ["1", "3"]
+
+    def test_figure_range(self):
+        args = build_parser().parse_args(["figure", "5"])
+        assert args.number == 5
+
+    def test_figure_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_workloads_lists_catalog(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "DayTrader DBServ" in out
+        assert "34,819" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 5" in out
+
+    def test_simulate_runs_tiny(self, capsys):
+        assert main(["simulate", "TPF", "--scale", "0.02",
+                     "--configs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out
+
+    def test_simulate_compares_configs(self, capsys):
+        assert main(["simulate", "TPF", "--scale", "0.02",
+                     "--configs", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "% CPI" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "NOPE"])

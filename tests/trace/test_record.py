@@ -1,0 +1,55 @@
+"""Tests for trace records."""
+
+import pytest
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+
+
+class TestNextAddress:
+    def test_non_branch_flows_sequentially(self):
+        record = TraceRecord(address=0x100, length=6)
+        assert record.next_address == 0x106
+
+    def test_not_taken_branch_flows_sequentially(self):
+        record = TraceRecord(address=0x100, length=4, kind=BranchKind.COND,
+                             taken=False, target=0x300)
+        assert record.next_address == 0x104
+
+    def test_taken_branch_flows_to_target(self):
+        record = TraceRecord(address=0x100, length=4, kind=BranchKind.COND,
+                             taken=True, target=0x300)
+        assert record.next_address == 0x300
+
+    def test_taken_without_target_raises(self):
+        record = TraceRecord(address=0x100, length=4, kind=BranchKind.RETURN,
+                             taken=True)
+        with pytest.raises(ValueError):
+            record.next_address
+
+
+class TestValidate:
+    def test_valid_record_passes(self):
+        TraceRecord(address=0, length=4).validate()
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(address=0, length=3).validate()
+
+    def test_taken_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(address=0, length=4, taken=True).validate()
+
+    def test_taken_without_target_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(address=0, length=4, kind=BranchKind.COND,
+                        taken=True).validate()
+
+    def test_always_taken_kind_cannot_fall_through(self):
+        with pytest.raises(ValueError):
+            TraceRecord(address=0, length=4, kind=BranchKind.UNCOND,
+                        taken=False, target=0x10).validate()
+
+    def test_not_taken_cond_with_encoded_target_is_fine(self):
+        TraceRecord(address=0, length=4, kind=BranchKind.COND,
+                    taken=False, target=0x40).validate()

@@ -1,0 +1,96 @@
+"""Binary trace format round-trip and error handling."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.reader import TraceFormatError, iter_trace, load_trace
+from repro.trace.record import TraceRecord
+from repro.trace.writer import save_trace, write_trace
+
+
+def roundtrip(records):
+    stream = io.BytesIO()
+    write_trace(stream, records)
+    stream.seek(0)
+    return list(iter_trace(stream))
+
+
+kinds = st.sampled_from([None] + list(BranchKind))
+
+
+@st.composite
+def trace_records(draw):
+    kind = draw(kinds)
+    taken = draw(st.booleans()) if kind is not None else False
+    if kind is not None and kind.always_taken:
+        taken = True
+    target = draw(st.integers(min_value=1, max_value=2**48)) if taken else None
+    return TraceRecord(
+        address=draw(st.integers(min_value=0, max_value=2**48)),
+        length=draw(st.sampled_from([2, 4, 6])),
+        kind=kind,
+        taken=taken,
+        target=target,
+    )
+
+
+class TestRoundTrip:
+    def test_empty_trace(self):
+        assert roundtrip([]) == []
+
+    def test_single_plain_record(self):
+        records = [TraceRecord(address=0x100, length=4)]
+        assert roundtrip(records) == records
+
+    def test_taken_branch_record(self):
+        records = [
+            TraceRecord(address=0x100, length=6, kind=BranchKind.CALL,
+                        taken=True, target=0x2000)
+        ]
+        assert roundtrip(records) == records
+
+    @given(st.lists(trace_records(), max_size=200))
+    def test_arbitrary_traces_roundtrip(self, records):
+        assert roundtrip(records) == records
+
+    def test_file_roundtrip(self, tmp_path):
+        records = [
+            TraceRecord(address=0x100, length=4),
+            TraceRecord(address=0x104, length=4, kind=BranchKind.COND,
+                        taken=True, target=0x100),
+        ]
+        path = tmp_path / "trace.ztrc"
+        count = save_trace(path, records)
+        assert count == 2
+        assert load_trace(path) == records
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        stream = io.BytesIO(b"XXXX" + b"\x00" * 12)
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(iter_trace(stream))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            list(iter_trace(io.BytesIO(b"ZT")))
+
+    def test_truncated_records(self):
+        stream = io.BytesIO()
+        write_trace(stream, [TraceRecord(address=0, length=4)] * 3)
+        data = stream.getvalue()[:-10]
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(iter_trace(io.BytesIO(data)))
+
+    def test_wrong_version(self):
+        import struct
+
+        from repro.trace.writer import HEADER, MAGIC
+
+        stream = io.BytesIO(HEADER.pack(MAGIC, 99, 0))
+        with pytest.raises(TraceFormatError, match="version"):
+            list(iter_trace(stream))

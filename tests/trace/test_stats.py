@@ -1,0 +1,71 @@
+"""Tests for the Table 4 statistics counters."""
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+from repro.trace.stats import (
+    LARGE_FOOTPRINT_TAKEN_BRANCHES,
+    TraceStats,
+    collect_stats,
+)
+
+from tests.conftest import branch, loop_trace, straightline
+
+
+class TestCounters:
+    def test_empty_stats(self):
+        stats = TraceStats()
+        assert stats.instructions == 0
+        assert stats.taken_fraction == 0.0
+        assert stats.branch_density == 0.0
+
+    def test_straightline_counts(self):
+        stats = collect_stats(straightline(0x100, 10))
+        assert stats.instructions == 10
+        assert stats.branches == 0
+        assert stats.unique_branch_addresses == 0
+
+    def test_loop_counts_unique_once(self):
+        stats = collect_stats(loop_trace(iterations=5))
+        assert stats.branches == 5
+        assert stats.taken_branches == 4
+        assert stats.unique_branch_addresses == 1
+        assert stats.unique_taken_branch_addresses == 1
+
+    def test_never_taken_branch_not_in_taken_set(self):
+        records = [branch(0x100, taken=False, target=0x200)]
+        stats = collect_stats(records)
+        assert stats.unique_branch_addresses == 1
+        assert stats.unique_taken_branch_addresses == 0
+
+    def test_taken_fraction(self):
+        records = [
+            branch(0x100, taken=True, target=0x200),
+            branch(0x200, taken=False, target=0x300),
+        ]
+        assert collect_stats(records).taken_fraction == 0.5
+
+    def test_branch_density(self):
+        records = straightline(0x100, 3) + [
+            branch(0x10C, taken=True, target=0x100)
+        ]
+        assert collect_stats(records).branch_density == 0.25
+
+
+class TestFootprint:
+    def test_large_footprint_threshold(self):
+        stats = TraceStats()
+        stats.unique_taken_branch_addresses = LARGE_FOOTPRINT_TAKEN_BRANCHES
+        assert not stats.is_large_footprint
+        stats.unique_taken_branch_addresses = LARGE_FOOTPRINT_TAKEN_BRANCHES + 1
+        assert stats.is_large_footprint
+
+    def test_estimated_footprint_uses_paper_range(self):
+        stats = TraceStats()
+        stats.unique_taken_branch_addresses = 1000
+        low, high = stats.estimated_btb_footprint_bytes
+        assert (low, high) == (24_000, 30_000)
+
+    def test_unique_instruction_bytes_row_granular(self):
+        # Ten 4-byte instructions in one 32-byte row + the next row.
+        stats = collect_stats(straightline(0x100, 10, length=4))
+        assert stats.unique_instruction_bytes == 64

@@ -1,0 +1,161 @@
+"""Tests for the trace walker: validity, continuity, determinism."""
+
+from repro.isa.opcodes import BranchKind
+from repro.workloads.generator import (
+    TraceWalker,
+    WalkProfile,
+    generate_mixed_trace,
+    generate_trace,
+)
+from repro.workloads.program import ProgramShape, TerminatorKind, build_program
+
+from tests.conftest import assert_contiguous
+
+import pytest
+
+
+def small_program(seed=42, functions=30, **shape_overrides):
+    shape = ProgramShape(functions=functions, seed=seed, **shape_overrides)
+    return build_program(shape)
+
+
+class TestTraceValidity:
+    def test_every_record_validates(self):
+        trace = generate_trace(small_program(), 5_000)
+        for record in trace:
+            record.validate()
+
+    def test_control_flow_is_contiguous(self):
+        # The strongest generator invariant: each record's next_address is
+        # the next record's address — no unexplained discontinuities, even
+        # across transactions (the dispatcher bridges them).
+        trace = generate_trace(small_program(), 5_000)
+        assert_contiguous(trace)
+
+    def test_contiguity_with_calls_and_loops(self):
+        program = small_program(call_fraction=0.4, loop_fraction=0.4)
+        trace = generate_trace(program, 5_000)
+        assert_contiguous(trace)
+
+    def test_requested_length(self):
+        assert len(generate_trace(small_program(), 1234)) == 1234
+
+    def test_addresses_fall_inside_program_or_dispatcher(self):
+        program = small_program()
+        low = program.base_address - 64
+        high = program.base_address + program.footprint_bytes
+        for record in generate_trace(program, 2_000):
+            assert low <= record.address < high
+
+
+class TestDeterminism:
+    def test_same_profile_same_trace(self):
+        program = small_program()
+        profile = WalkProfile(seed=9)
+        a = generate_trace(program, 3_000, profile)
+        b = generate_trace(program, 3_000, profile)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        program = small_program()
+        a = generate_trace(program, 3_000, WalkProfile(seed=1))
+        b = generate_trace(program, 3_000, WalkProfile(seed=2))
+        assert a != b
+
+
+class TestWorkloadStructure:
+    def test_dispatcher_present_between_transactions(self):
+        # Small functions so several transactions fit in the trace.
+        program = small_program(blocks_per_function=(2, 4),
+                                instructions_per_block=(1, 3),
+                                call_fraction=0.05)
+        trace = generate_trace(program, 5_000)
+        dispatcher_entry = program.base_address - 64
+        dispatches = [
+            r for r in trace
+            if r.kind is BranchKind.INDIRECT and r.address < program.base_address
+        ]
+        assert dispatches, "expected dispatcher indirect branches"
+        for record in dispatches:
+            assert record.taken
+            assert record.target >= program.base_address
+        assert any(r.address == dispatcher_entry for r in trace)
+
+    def test_burst_repeats_roots(self):
+        program = small_program()
+        profile = WalkProfile(seed=3, burst_mean=4.0, uniform_fraction=1.0)
+        walker = TraceWalker(program, profile)
+        roots = [next(walker._root_sequence()) for _ in range(1)]  # smoke
+        sequence = walker._root_sequence()
+        sampled = [next(sequence).index for _ in range(200)]
+        repeats = sum(1 for a, b in zip(sampled, sampled[1:]) if a == b)
+        assert repeats > 50  # burst_mean 4 => ~75% repeats
+
+    def test_no_bursts_when_mean_is_one(self):
+        program = small_program()
+        walker = TraceWalker(program, WalkProfile(seed=3, burst_mean=1.0))
+        sequence = walker._root_sequence()
+        sampled = [next(sequence).index for _ in range(50)]
+        assert len(set(sampled)) > 1
+
+    def test_cold_sweep_covers_pool(self):
+        program = small_program(functions=40)
+        profile = WalkProfile(seed=3, uniform_fraction=1.0, burst_mean=1.0,
+                              cold_mode="sweep", cold_stride=1)
+        walker = TraceWalker(program, profile)
+        sequence = walker._root_sequence()
+        visited = {next(sequence).index for _ in range(40)}
+        assert visited == set(range(40))
+
+    def test_loop_trips_are_deterministic_per_entry(self):
+        # A hand-built single-loop function: b0 (body) <- b1 (loop, 4 trips),
+        # then b2 returns.  Every invocation must run the loop branch taken
+        # exactly trips-1 = 3 times and exit not-taken once.
+        from repro.workloads.program import BasicBlock, Function, Program
+
+        blocks = [
+            BasicBlock(body_lengths=[4, 4]),
+            BasicBlock(body_lengths=[4], terminator=TerminatorKind.COND,
+                       target_block=0, pattern_period=4,
+                       taken_probability=0.75),
+            BasicBlock(body_lengths=[4], terminator=TerminatorKind.RETURN),
+        ]
+        program = Program(functions=[Function(index=0, blocks=blocks)])
+        trace = generate_trace(program, 2_000)
+        loop_address = blocks[1].branch_address
+        outcomes = [r.taken for r in trace
+                    if r.is_branch and r.address == loop_address]
+        assert outcomes
+        run = 0
+        for taken in outcomes:
+            if taken:
+                run += 1
+                assert run <= 3
+            else:
+                assert run == 3  # the exit always follows exactly 3 trips
+                run = 0
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WalkProfile(cold_mode="bogus")
+        with pytest.raises(ValueError):
+            WalkProfile(cold_stride=0)
+
+
+class TestMixedTraces:
+    def test_mixed_trace_interleaves_programs(self):
+        a = build_program(ProgramShape(functions=20, seed=1),
+                          base_address=0x1000_0000)
+        b = build_program(ProgramShape(functions=20, seed=2),
+                          base_address=0x8000_0000)
+        trace = generate_mixed_trace([a, b], length=20_000, slice_length=2_000)
+        in_a = sum(1 for r in trace if r.address < 0x8000_0000 - 64)
+        in_b = len(trace) - in_a
+        assert in_a > 4_000 and in_b > 4_000
+
+    def test_mixed_trace_length(self):
+        a = build_program(ProgramShape(functions=10, seed=1))
+        b = build_program(ProgramShape(functions=10, seed=2),
+                          base_address=0x8000_0000)
+        trace = generate_mixed_trace([a, b], length=5_000, slice_length=500)
+        assert len(trace) == 5_000

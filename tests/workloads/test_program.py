@@ -1,0 +1,155 @@
+"""Tests for the synthetic program builder."""
+
+from repro.workloads.program import (
+    BasicBlock,
+    ProgramShape,
+    TerminatorKind,
+    build_program,
+)
+
+
+def small_shape(**overrides):
+    defaults = dict(functions=30, seed=42)
+    defaults.update(overrides)
+    return ProgramShape(**defaults)
+
+
+class TestLayout:
+    def test_functions_laid_out_in_order(self):
+        program = build_program(small_shape())
+        addresses = [fn.address for fn in program.functions]
+        assert addresses == sorted(addresses)
+
+    def test_blocks_contiguous_within_function(self):
+        program = build_program(small_shape())
+        for fn in program.functions:
+            for current, following in zip(fn.blocks, fn.blocks[1:]):
+                assert current.end_address == following.address
+
+    def test_base_address_honoured(self):
+        program = build_program(small_shape(), base_address=0x4000_0000)
+        assert program.functions[0].address == 0x4000_0000
+
+    def test_addresses_even(self):
+        program = build_program(small_shape())
+        for fn in program.functions:
+            assert fn.address % 2 == 0
+
+    def test_footprint_positive(self):
+        program = build_program(small_shape())
+        assert program.footprint_bytes > 0
+
+
+class TestDeterminism:
+    def test_same_shape_same_program(self):
+        a = build_program(small_shape())
+        b = build_program(small_shape())
+        assert [fn.address for fn in a.functions] == [
+            fn.address for fn in b.functions
+        ]
+        for fa, fb in zip(a.functions, b.functions):
+            assert [blk.terminator for blk in fa.blocks] == [
+                blk.terminator for blk in fb.blocks
+            ]
+
+    def test_different_seed_different_program(self):
+        a = build_program(small_shape(seed=1))
+        b = build_program(small_shape(seed=2))
+        terminators_a = [
+            blk.terminator for fn in a.functions for blk in fn.blocks
+        ]
+        terminators_b = [
+            blk.terminator for fn in b.functions for blk in fn.blocks
+        ]
+        assert terminators_a != terminators_b
+
+
+class TestStructure:
+    def test_every_function_ends_with_return(self):
+        program = build_program(small_shape())
+        for fn in program.functions:
+            assert fn.blocks[-1].terminator is TerminatorKind.RETURN
+
+    def test_branch_targets_within_function(self):
+        program = build_program(small_shape())
+        for fn in program.functions:
+            for block in fn.blocks:
+                if block.terminator in (TerminatorKind.COND,
+                                        TerminatorKind.UNCOND):
+                    assert 0 <= block.target_block < len(fn.blocks)
+                if block.terminator is TerminatorKind.INDIRECT:
+                    assert block.indirect_targets
+                    for target in block.indirect_targets:
+                        assert 0 <= target < len(fn.blocks)
+
+    def test_call_targets_are_other_functions(self):
+        program = build_program(small_shape(call_fraction=0.5))
+        calls = [
+            (fn.index, block.target_function)
+            for fn in program.functions
+            for block in fn.blocks
+            if block.terminator is TerminatorKind.CALL
+        ]
+        assert calls, "expected some calls at call_fraction=0.5"
+        for caller, callee in calls:
+            assert callee != caller
+            assert 0 <= callee < len(program.functions)
+
+    def test_loops_have_pattern_trip_counts(self):
+        shape = small_shape(functions=100, loop_fraction=0.5,
+                            loop_trips=(3, 5))
+        program = build_program(shape)
+        loops = [
+            block
+            for fn in program.functions
+            for i, block in enumerate(fn.blocks)
+            if block.terminator is TerminatorKind.COND
+            and block.target_block <= i
+        ]
+        assert loops, "expected some loops at loop_fraction=0.5"
+        for block in loops:
+            assert 3 <= block.pattern_period <= 5
+
+    def test_forward_conditional_classes(self):
+        shape = small_shape(functions=200, forward_taken_bias=0.3)
+        program = build_program(shape)
+        forwards = [
+            block
+            for fn in program.functions
+            for i, block in enumerate(fn.blocks)
+            if block.terminator is TerminatorKind.COND
+            and block.target_block > i
+        ]
+        biased = [b for b in forwards if b.taken_probability >= 0.9]
+        rare = [b for b in forwards if b.taken_probability <= 0.05]
+        patterned = [b for b in forwards if b.pattern_period]
+        assert biased and rare and patterned
+
+    def test_static_branch_count(self):
+        program = build_program(small_shape())
+        manual = sum(
+            1
+            for fn in program.functions
+            for block in fn.blocks
+            if block.terminator is not TerminatorKind.FALLTHROUGH
+        )
+        assert program.static_branch_count == manual
+
+
+class TestBasicBlock:
+    def test_sizes(self):
+        block = BasicBlock(body_lengths=[4, 2, 6],
+                           terminator=TerminatorKind.RETURN, branch_length=4)
+        assert block.body_bytes == 12
+        assert block.size_bytes == 16
+
+    def test_fallthrough_has_no_branch_bytes(self):
+        block = BasicBlock(body_lengths=[4, 4])
+        assert block.size_bytes == 8
+
+    def test_branch_address_after_body(self):
+        block = BasicBlock(body_lengths=[4, 4],
+                           terminator=TerminatorKind.RETURN, branch_length=6)
+        block.address = 0x100
+        assert block.branch_address == 0x108
+        assert block.end_address == 0x10E

@@ -1,0 +1,76 @@
+"""Property-based tests on walker invariants across arbitrary shapes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generator import WalkProfile, generate_trace
+from repro.workloads.program import ProgramShape, build_program
+
+from tests.conftest import assert_contiguous
+
+
+@st.composite
+def shapes(draw):
+    blocks_low = draw(st.integers(min_value=2, max_value=4))
+    blocks_high = draw(st.integers(min_value=blocks_low, max_value=8))
+    instr_low = draw(st.integers(min_value=1, max_value=3))
+    instr_high = draw(st.integers(min_value=instr_low, max_value=6))
+    return ProgramShape(
+        functions=draw(st.integers(min_value=2, max_value=40)),
+        blocks_per_function=(blocks_low, blocks_high),
+        instructions_per_block=(instr_low, instr_high),
+        cond_fraction=draw(st.floats(min_value=0.0, max_value=0.6)),
+        uncond_fraction=draw(st.floats(min_value=0.0, max_value=0.2)),
+        call_fraction=draw(st.floats(min_value=0.0, max_value=0.3)),
+        indirect_fraction=draw(st.floats(min_value=0.0, max_value=0.1)),
+        loop_fraction=draw(st.floats(min_value=0.0, max_value=0.5)),
+        forward_taken_bias=draw(st.floats(min_value=0.0, max_value=0.6)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+@st.composite
+def profiles(draw):
+    return WalkProfile(
+        zipf_s=draw(st.floats(min_value=0.5, max_value=2.0)),
+        uniform_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
+        burst_mean=draw(st.floats(min_value=1.0, max_value=5.0)),
+        echo_fraction=draw(st.floats(min_value=0.0, max_value=1.0)),
+        echo_delay=draw(st.integers(min_value=1, max_value=100)),
+        max_call_depth=draw(st.integers(min_value=1, max_value=6)),
+        max_loop_iterations=draw(st.integers(min_value=1, max_value=16)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(shapes(), profiles())
+def test_traces_always_valid_and_contiguous(shape, profile):
+    """Any shape/profile combination yields a valid, contiguous trace."""
+    program = build_program(shape)
+    trace = generate_trace(program, 600, profile)
+    assert len(trace) == 600
+    for record in trace:
+        record.validate()
+    assert_contiguous(trace)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shapes(), profiles())
+def test_traces_deterministic(shape, profile):
+    program = build_program(shape)
+    assert generate_trace(program, 300, profile) == generate_trace(
+        program, 300, profile
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(shapes())
+def test_layout_blocks_never_overlap(shape):
+    program = build_program(shape)
+    previous_end = 0
+    for fn in program.functions:
+        assert fn.address >= previous_end
+        for block in fn.blocks:
+            assert block.end_address > block.address
+        previous_end = fn.blocks[-1].end_address
