@@ -10,6 +10,10 @@ EXPERIMENTS.md numbers exactly (tens of minutes).
 Traces and simulation results are cached in ``.trace_cache/`` and
 ``.results_cache/`` — baseline runs are shared between figures, so the
 suite does not re-simulate configuration 1 thirteen times per figure.
+Both caches are safe under concurrent writers: set ``REPRO_JOBS=N`` (0 =
+one worker per CPU) to let the figure runners fan cache misses out over N
+processes via ``repro.experiments.pool`` — on a cold cache and a multicore
+host this cuts regeneration wall time by roughly the core count.
 """
 
 import os

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Documentation checker: intra-repo links and architecture coverage.
+
+Two checks, both wired into the test suite (``tests/test_docs.py``) and
+runnable standalone::
+
+    python scripts/check_docs.py [repo_root]
+
+1. **Link integrity** — every relative markdown link ``[text](target)`` in
+   the repo's ``*.md`` files must point at an existing file or directory
+   (``#anchors`` are stripped; ``http(s)://`` and ``mailto:`` links are
+   out of scope).
+2. **Architecture coverage** — every package under ``src/repro`` (a
+   directory with an ``__init__.py``) must be mentioned by name in
+   ``docs/ARCHITECTURE.md``, so the module map cannot silently rot as the
+   codebase grows.
+
+Exit status 0 when clean; 1 with a per-problem report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target).  Images ![alt](target) match too
+#: via the optional leading "!".
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Directories never scanned for markdown (caches, VCS, build output).
+_SKIP_DIRS = {".git", ".results_cache", ".trace_cache", "__pycache__",
+              ".pytest_cache", "build", "dist", ".eggs", "node_modules"}
+
+ARCHITECTURE_DOC = Path("docs") / "ARCHITECTURE.md"
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """All markdown files in the repo, skipping cache/VCS directories."""
+    found = []
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & _SKIP_DIRS:
+            continue
+        found.append(path)
+    return found
+
+
+def extract_links(text: str) -> list[str]:
+    """All link targets in ``text``, fenced code blocks excluded."""
+    links: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(_LINK.findall(line))
+    return links
+
+
+def check_links(root: Path) -> list[str]:
+    """Broken relative links, as ``file: target`` problem strings."""
+    problems = []
+    for path in markdown_files(root):
+        for target in extract_links(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def repro_packages(root: Path) -> list[str]:
+    """Names of all python packages under ``src/repro`` (recursive)."""
+    base = root / "src" / "repro"
+    names = []
+    for init in sorted(base.rglob("__init__.py")):
+        package = init.parent
+        if package == base:
+            continue
+        names.append(str(package.relative_to(base)).replace("/", "."))
+    return names
+
+
+def check_architecture_coverage(root: Path) -> list[str]:
+    """Packages missing from the module map in docs/ARCHITECTURE.md."""
+    doc = root / ARCHITECTURE_DOC
+    if not doc.exists():
+        return [f"{ARCHITECTURE_DOC} does not exist"]
+    text = doc.read_text()
+    problems = []
+    for package in repro_packages(root):
+        leaf = package.rsplit(".", 1)[-1]
+        if not re.search(rf"\b{re.escape(leaf)}\b", text):
+            problems.append(
+                f"{ARCHITECTURE_DOC}: package 'repro.{package}' not mentioned"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    problems = check_links(root) + check_architecture_coverage(root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    print(f"docs OK: {len(markdown_files(root))} markdown files, "
+          f"{len(repro_packages(root))} repro packages covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,10 @@ Commands:
   print the comparison report.
 * ``workloads`` — list the Table 4 workload catalog (paper counters).
 * ``tables`` — print the paper's structural tables (1, 2, 3, 5).
-* ``figure`` — regenerate one figure (2-7) at a chosen scale.
+* ``figure`` — regenerate one figure (2-7) at a chosen scale, optionally
+  fanning its simulation runs over ``--jobs`` worker processes.
+* ``report`` — regenerate the full paper-vs-measured report (the
+  ``repro.experiments.run_all`` entry point).
 
 Everything the CLI does is also available as a library API; the CLI is a
 thin argparse layer over :mod:`repro.experiments` and
@@ -85,16 +88,35 @@ def _cmd_tables(_args) -> int:
 def _cmd_figure(args) -> int:
     from repro.experiments import figure2, figure3, figure4, figure5, figure6, figure7
 
+    kwargs = {"scale": args.scale, "jobs": args.jobs}
     runners = {
-        2: lambda: figure2.render(figure2.run_figure2(scale=args.scale)),
-        3: lambda: figure3.render(figure3.run_figure3(scale=args.scale)),
-        4: lambda: figure4.render(figure4.run_figure4(scale=args.scale)),
-        5: lambda: figure5.render(figure5.run_figure5(scale=args.scale)),
-        6: lambda: figure6.render(figure6.run_figure6(scale=args.scale)),
-        7: lambda: figure7.render(figure7.run_figure7(scale=args.scale)),
+        2: lambda: figure2.render(figure2.run_figure2(**kwargs)),
+        3: lambda: figure3.render(figure3.run_figure3(**kwargs)),
+        4: lambda: figure4.render(figure4.run_figure4(**kwargs)),
+        5: lambda: figure5.render(figure5.run_figure5(**kwargs)),
+        6: lambda: figure6.render(figure6.run_figure6(**kwargs)),
+        7: lambda: figure7.render(figure7.run_figure7(**kwargs)),
     }
     print(runners[args.number]())
     return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    argv = ["--scale", str(args.scale), "--sweep-scale", str(args.sweep_scale),
+            "--output", args.output]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    return run_all_main(argv)
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for simulation runs "
+             "(default: $REPRO_JOBS or serial; 0 = one per CPU)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,6 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate one figure")
     figure.add_argument("number", type=int, choices=range(2, 8))
     figure.add_argument("--scale", type=float, default=0.35)
+    _add_jobs_argument(figure)
+
+    report = sub.add_parser(
+        "report", help="regenerate the full paper-vs-measured report"
+    )
+    report.add_argument("--scale", type=float, default=1.0)
+    report.add_argument("--sweep-scale", type=float, default=0.35)
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    _add_jobs_argument(report)
 
     return parser
 
@@ -130,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "tables": _cmd_tables,
         "figure": _cmd_figure,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

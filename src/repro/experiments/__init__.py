@@ -1,7 +1,10 @@
 """Experiment runners regenerating every table and figure of the paper.
 
 ``python -m repro.experiments.run_all`` executes the whole evaluation and
-writes the paper-vs-measured report (EXPERIMENTS.md).
+writes the paper-vs-measured report (EXPERIMENTS.md).  All runners share
+the concurrency-safe on-disk result cache of
+:mod:`repro.experiments.common` and can fan cache misses out over worker
+processes via :mod:`repro.experiments.pool` (``--jobs`` / ``REPRO_JOBS``).
 """
 
 from repro.experiments.common import (
@@ -10,6 +13,13 @@ from repro.experiments.common import (
     mean,
     run_all_workloads,
     run_workload,
+)
+from repro.experiments.pool import (
+    ExecutionLog,
+    RunSpec,
+    effective_jobs,
+    parallel_map,
+    run_many,
 )
 from repro.experiments.figure2 import Figure2Row, run_figure2, summarize
 from repro.experiments.figure3 import Figure3Row, run_figure3
@@ -28,6 +38,7 @@ from repro.experiments.tables import (
 __all__ = [
     "BAR_SEGMENTS",
     "BTB2_SIZES",
+    "ExecutionLog",
     "Figure2Row",
     "Figure3Row",
     "Figure4Column",
@@ -36,9 +47,13 @@ __all__ = [
     "Figure7Point",
     "MISS_LIMITS",
     "RunResult",
+    "RunSpec",
     "TRACKER_COUNTS",
+    "effective_jobs",
     "geometric_mean",
     "mean",
+    "parallel_map",
+    "run_many",
     "render_table1",
     "render_table2",
     "render_table3",

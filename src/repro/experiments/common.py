@@ -3,9 +3,22 @@
 Every figure of the paper is a set of (workload, configuration) simulation
 runs post-processed into CPI improvements.  Runs are expensive, and the
 figures share many of them (every figure needs the configuration-1 baseline
-on all 13 traces), so results are cached on disk as JSON keyed by the full
+on all 13 traces), so results are cached on disk as JSON, one file per full
 (workload, config, timing, scale) fingerprint.  Delete ``.results_cache/``
 (or set ``REPRO_RESULTS_CACHE=off``) to force re-simulation.
+
+The cache is safe under concurrent writers (see
+:mod:`repro.experiments.pool`, which fans runs out over a process pool):
+every write goes to a private temp file first and is published with an
+atomic :func:`os.replace`, so readers never observe a half-written entry,
+and the last writer of identical content wins harmlessly.  Reads are
+tolerant — truncated, corrupt, or stale-schema entries are treated as cache
+misses and re-simulated (then overwritten).
+
+Each cached :class:`RunResult` also records run observability: the wall
+time of the simulation, its instructions/second throughput, and which
+worker process produced it.  These fields are excluded from equality so a
+re-simulated run still compares equal to its cached twin.
 """
 
 from __future__ import annotations
@@ -13,8 +26,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.config import PredictorConfig
@@ -23,12 +38,20 @@ from repro.engine.params import DEFAULT_TIMING, TimingParams
 from repro.engine.simulator import Simulator
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec, default_scale
 
+#: Environment variable overriding the result-cache directory
+#: (``off``/``none``/empty disables caching entirely).
 RESULTS_CACHE_ENV = "REPRO_RESULTS_CACHE"
 
 
 @dataclass(frozen=True)
 class RunResult:
-    """Cached essentials of one simulation run."""
+    """Cached essentials of one simulation run.
+
+    The first block of fields is the scientific payload and defines
+    equality; the observability block (``wall_seconds``, ``worker``) is
+    carried along in the cache but compares equal across runs, so a cache
+    hit and a fresh simulation of the same fingerprint are ``==``.
+    """
 
     workload: str
     config: str
@@ -37,6 +60,11 @@ class RunResult:
     branches: int
     outcome_fractions: dict[str, float]
     preload_stats: dict[str, int]
+    #: Wall-clock seconds the producing simulation took (0 when unknown).
+    wall_seconds: float = field(default=0.0, compare=False)
+    #: Name of the process that simulated this run (e.g. ``MainProcess`` or
+    #: ``ForkPoolWorker-2``).
+    worker: str = field(default="", compare=False)
 
     @property
     def bad_fraction(self) -> float:
@@ -47,15 +75,42 @@ class RunResult:
             if OutcomeKind(name).is_bad
         )
 
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulation throughput of the producing run (0 when unknown)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.instructions / self.wall_seconds
+
     def fraction(self, kind: OutcomeKind) -> float:
         """Outcome fraction for ``kind``."""
         return self.outcome_fractions.get(kind.value, 0.0)
 
 
-def _fingerprint(spec: WorkloadSpec, config: PredictorConfig,
-                 timing: TimingParams, scale: float) -> str:
+#: Fields a cache entry must carry to be usable; missing any -> treated as
+#: a corrupt/stale entry and re-simulated.
+_REQUIRED_FIELDS = frozenset(
+    {"workload", "config", "cpi", "instructions", "branches",
+     "outcome_fractions", "preload_stats"}
+)
+_KNOWN_FIELDS = frozenset(f.name for f in dataclasses.fields(RunResult))
+
+
+def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
+                    timing: TimingParams, scale: float) -> str:
+    """Stable cache key of one (workload, config, timing, scale) run.
+
+    Any change to the workload's generator parameters, the configuration's
+    structural knobs (``name`` excluded), the timing model, or the scale
+    yields a new fingerprint — which is also the cache invalidation rule:
+    nothing is ever invalidated in place, changed inputs simply miss.
+    """
     payload = repr((spec, _config_key(config), dataclasses.astuple(timing), scale))
     return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+# Backwards-compatible private alias (older tests/scripts may import it).
+_fingerprint = run_fingerprint
 
 
 def _config_key(config: PredictorConfig) -> tuple:
@@ -71,27 +126,85 @@ def _cache_dir() -> Path | None:
     return Path(root)
 
 
+def cache_path(key: str) -> Path | None:
+    """On-disk location of fingerprint ``key`` (``None`` = caching off)."""
+    cache_dir = _cache_dir()
+    if cache_dir is None:
+        return None
+    return cache_dir / f"{key}.json"
+
+
+def load_cached_run(key: str) -> RunResult | None:
+    """Load the cached result for fingerprint ``key``, tolerantly.
+
+    Returns ``None`` (a cache miss) for anything unusable: missing file,
+    truncated or non-JSON content, entries lacking required fields, or
+    entries whose instruction count is implausible.  Unknown extra keys
+    (from a newer schema) are dropped rather than rejected.
+    """
+    path = cache_path(key)
+    if path is None:
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if not _REQUIRED_FIELDS.issubset(payload):
+        return None
+    if not payload.get("instructions", 0):
+        return None
+    known = {k: v for k, v in payload.items() if k in _KNOWN_FIELDS}
+    try:
+        return RunResult(**known)
+    except TypeError:
+        return None
+
+
+def store_cached_run(key: str, run: RunResult) -> None:
+    """Publish ``run`` under fingerprint ``key``, atomically.
+
+    The payload is written to a writer-private temp file and moved into
+    place with :func:`os.replace`, so concurrent readers see either the old
+    entry or the new one, never a torn write.  Concurrent writers of the
+    same fingerprint produce identical scientific payloads; whichever
+    rename lands last wins.
+    """
+    path = cache_path(key)
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_suffix(f".tmp{os.getpid()}")
+    scratch.write_text(json.dumps(dataclasses.asdict(run)))
+    os.replace(scratch, path)  # atomic vs concurrent readers and writers
+
+
 def run_workload(
     spec: WorkloadSpec,
     config: PredictorConfig,
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
 ) -> RunResult:
-    """Simulate ``spec`` under ``config``, using the on-disk result cache."""
+    """Simulate ``spec`` under ``config``, using the on-disk result cache.
+
+    This is the serial single-run entry point; batches of runs should go
+    through :func:`repro.experiments.pool.run_many`, which deduplicates,
+    consults the same cache, and can dispatch misses to worker processes.
+    """
     if scale is None:
         scale = default_scale()
-    cache_dir = _cache_dir()
-    key = _fingerprint(spec, config, timing, scale)
-    cache_file = cache_dir / f"{key}.json" if cache_dir is not None else None
-    if cache_file is not None and cache_file.exists():
-        payload = json.loads(cache_file.read_text())
-        if payload.get("instructions", 0) > 0:  # ignore corrupt entries
-            return RunResult(**payload)
+    key = run_fingerprint(spec, config, timing, scale)
+    cached = load_cached_run(key)
+    if cached is not None:
+        return cached
 
     trace = spec.trace(scale)
     if not trace:
         raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
+    started = time.perf_counter()
     result = Simulator(config=config, timing=timing).run(trace)
+    elapsed = time.perf_counter() - started
     run = RunResult(
         workload=spec.name,
         config=config.name,
@@ -103,12 +216,10 @@ def run_workload(
             for kind, fraction in result.counters.outcome_fractions().items()
         },
         preload_stats=dict(result.preload_stats),
+        wall_seconds=elapsed,
+        worker=multiprocessing.current_process().name,
     )
-    if cache_file is not None:
-        cache_file.parent.mkdir(parents=True, exist_ok=True)
-        scratch = cache_file.with_suffix(f".tmp{os.getpid()}")
-        scratch.write_text(json.dumps(dataclasses.asdict(run)))
-        os.replace(scratch, cache_file)  # atomic vs concurrent readers
+    store_cached_run(key, run)
     return run
 
 
@@ -118,7 +229,7 @@ def run_all_workloads(
     scale: float | None = None,
     workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
 ) -> list[RunResult]:
-    """One run per catalog workload under ``config``."""
+    """One run per catalog workload under ``config`` (serial; cached)."""
     return [run_workload(spec, config, timing, scale) for spec in workloads]
 
 

@@ -12,9 +12,12 @@ from dataclasses import dataclass
 
 from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2, ZEC12_CONFIG_3
 from repro.engine.params import DEFAULT_TIMING, TimingParams
-from repro.experiments.common import mean, run_workload
+from repro.experiments.common import mean
+from repro.experiments.pool import RunSpec, run_many
 from repro.metrics.counters import btb2_effectiveness, cpi_improvement
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
+
+CONFIGS = (ZEC12_CONFIG_1, ZEC12_CONFIG_2, ZEC12_CONFIG_3)
 
 
 @dataclass(frozen=True)
@@ -32,13 +35,22 @@ def run_figure2(
     workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[Figure2Row]:
-    """Simulate the three Table 3 configurations on every workload."""
+    """Simulate the three Table 3 configurations on every workload.
+
+    All 3 x len(workloads) runs are submitted as one cached batch;
+    ``jobs`` controls the worker fan-out (default ``REPRO_JOBS``/serial).
+    """
+    specs = [
+        RunSpec(spec, config, timing, scale)
+        for spec in workloads
+        for config in CONFIGS
+    ]
+    results = run_many(specs, jobs=jobs)
     rows = []
-    for spec in workloads:
-        base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
-        with_btb2 = run_workload(spec, ZEC12_CONFIG_2, timing, scale)
-        large = run_workload(spec, ZEC12_CONFIG_3, timing, scale)
+    for index, spec in enumerate(workloads):
+        base, with_btb2, large = results[3 * index:3 * index + 3]
         btb2_gain = cpi_improvement(base.cpi, with_btb2.cpi)
         large_gain = cpi_improvement(base.cpi, large.cpi)
         rows.append(

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
 from repro.engine.multicore import run_multicore, system_performance_gain
 from repro.engine.params import DEFAULT_TIMING, TimingParams
-from repro.experiments.common import run_workload
+from repro.experiments.pool import RunSpec, run_many
 from repro.metrics.counters import cpi_improvement
 from repro.workloads.catalog import WASDB_CBW2, WEB_CICS_DB2, WorkloadSpec
 
@@ -32,15 +32,22 @@ class Figure3Row:
 def run_figure3(
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> list[Figure3Row]:
-    """The two hardware measurements of Figure 3."""
+    """The two hardware measurements of Figure 3.
+
+    The single-core model runs go through the shared result cache (and the
+    ``jobs`` worker pool); the multi-core hardware proxy is simulated
+    directly — its contended-cache coupling makes the runs non-cacheable
+    per (workload, config) fingerprint.
+    """
     rows = []
     # WASDB+CBW2, single core: hardware proxy vs the (infinite-L2) model.
     rows.append(_one(WASDB_CBW2, cores=1, timing=timing, scale=scale,
-                     include_model=True))
+                     include_model=True, jobs=jobs))
     # Web CICS/DB2, four cores.
     rows.append(_one(WEB_CICS_DB2, cores=4, timing=timing, scale=scale,
-                     include_model=False))
+                     include_model=False, jobs=jobs))
     return rows
 
 
@@ -50,14 +57,18 @@ def _one(
     timing: TimingParams,
     scale: float | None,
     include_model: bool,
+    jobs: int | None = None,
 ) -> Figure3Row:
     records = spec.trace(scale)
     base = run_multicore(records, ZEC12_CONFIG_1, cores=cores, timing=timing)
     with_btb2 = run_multicore(records, ZEC12_CONFIG_2, cores=cores, timing=timing)
     model_gain = None
     if include_model:
-        model_base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
-        model_btb2 = run_workload(spec, ZEC12_CONFIG_2, timing, scale)
+        model_base, model_btb2 = run_many(
+            [RunSpec(spec, ZEC12_CONFIG_1, timing, scale),
+             RunSpec(spec, ZEC12_CONFIG_2, timing, scale)],
+            jobs=jobs,
+        )
         model_gain = cpi_improvement(model_base.cpi, model_btb2.cpi)
     return Figure3Row(
         workload=spec.name,

@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
 from repro.core.events import OutcomeKind
 from repro.engine.params import DEFAULT_TIMING, TimingParams
-from repro.experiments.common import RunResult, run_workload
+from repro.experiments.common import RunResult
+from repro.experiments.pool import RunSpec, run_many
 from repro.workloads.catalog import DAYTRADER_DBSERV, WorkloadSpec
 
 #: Display order of the Figure 4 bar segments.
@@ -43,10 +44,14 @@ def run_figure4(
     spec: WorkloadSpec = DAYTRADER_DBSERV,
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
+    jobs: int | None = None,
 ) -> tuple[Figure4Column, Figure4Column]:
-    """The without/with BTB2 outcome columns of Figure 4."""
-    without = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
-    with_btb2 = run_workload(spec, ZEC12_CONFIG_2, timing, scale)
+    """The without/with BTB2 outcome columns of Figure 4 (cached batch)."""
+    without, with_btb2 = run_many(
+        [RunSpec(spec, ZEC12_CONFIG_1, timing, scale),
+         RunSpec(spec, ZEC12_CONFIG_2, timing, scale)],
+        jobs=jobs,
+    )
     return (_column("No BTB2", without), _column("BTB2 enabled", with_btb2))
 
 

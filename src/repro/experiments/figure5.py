@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
 from repro.engine.params import DEFAULT_TIMING, TimingParams
-from repro.experiments.common import mean, run_workload
+from repro.experiments.common import mean
+from repro.experiments.pool import RunSpec, run_many
 from repro.metrics.counters import cpi_improvement
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
 
@@ -43,19 +44,34 @@ def run_figure5(
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
     sizes: tuple[tuple[int, int], ...] = BTB2_SIZES,
+    jobs: int | None = None,
 ) -> list[Figure5Point]:
-    """Average-of-all-traces BTB2 benefit per swept capacity."""
-    points = []
-    for rows, ways in sizes:
-        config = ZEC12_CONFIG_2.with_(
+    """Average-of-all-traces BTB2 benefit per swept capacity.
+
+    The whole sweep — the shared baselines plus every (capacity, workload)
+    variant — is submitted as one deduplicated batch, so ``jobs`` workers
+    can chew through all sweep points concurrently.
+    """
+    configs = [
+        ZEC12_CONFIG_2.with_(
             btb2_rows=rows, btb2_ways=ways,
             name=f"BTB2 {rows * ways // 1024}k ({rows} x {ways})",
         )
-        gains = []
-        for spec in workloads:
-            base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
-            variant = run_workload(spec, config, timing, scale)
-            gains.append(cpi_improvement(base.cpi, variant.cpi))
+        for rows, ways in sizes
+    ]
+    baselines = [RunSpec(spec, ZEC12_CONFIG_1, timing, scale)
+                 for spec in workloads]
+    variants = [RunSpec(spec, config, timing, scale)
+                for config in configs for spec in workloads]
+    results = run_many(baselines + variants, jobs=jobs)
+    base_cpi = {run.workload: run.cpi for run in results[:len(workloads)]}
+    points = []
+    for index, (rows, ways) in enumerate(sizes):
+        offset = len(workloads) * (1 + index)
+        gains = [
+            cpi_improvement(base_cpi[run.workload], run.cpi)
+            for run in results[offset:offset + len(workloads)]
+        ]
         points.append(
             Figure5Point(
                 rows=rows,

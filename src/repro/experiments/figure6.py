@@ -16,7 +16,8 @@ from dataclasses import dataclass
 
 from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
 from repro.engine.params import DEFAULT_TIMING, TimingParams
-from repro.experiments.common import mean, run_workload
+from repro.experiments.common import mean
+from repro.experiments.pool import RunSpec, run_many
 from repro.metrics.counters import cpi_improvement
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
 
@@ -40,19 +41,33 @@ def run_figure6(
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
     limits: tuple[int, ...] = MISS_LIMITS,
+    jobs: int | None = None,
 ) -> list[Figure6Point]:
-    """Average-of-all-traces BTB2 benefit per miss definition."""
-    points = []
-    for limit in limits:
-        config = ZEC12_CONFIG_2.with_(
+    """Average-of-all-traces BTB2 benefit per miss definition.
+
+    One deduplicated batch covers the shared baselines and every
+    (miss-limit, workload) variant; ``jobs`` controls worker fan-out.
+    """
+    configs = [
+        ZEC12_CONFIG_2.with_(
             miss_search_limit=limit,
             name=f"miss after {limit} searches",
         )
-        gains = []
-        for spec in workloads:
-            base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
-            variant = run_workload(spec, config, timing, scale)
-            gains.append(cpi_improvement(base.cpi, variant.cpi))
+        for limit in limits
+    ]
+    baselines = [RunSpec(spec, ZEC12_CONFIG_1, timing, scale)
+                 for spec in workloads]
+    variants = [RunSpec(spec, config, timing, scale)
+                for config in configs for spec in workloads]
+    results = run_many(baselines + variants, jobs=jobs)
+    base_cpi = {run.workload: run.cpi for run in results[:len(workloads)]}
+    points = []
+    for index, limit in enumerate(limits):
+        offset = len(workloads) * (1 + index)
+        gains = [
+            cpi_improvement(base_cpi[run.workload], run.cpi)
+            for run in results[offset:offset + len(workloads)]
+        ]
         points.append(
             Figure6Point(
                 miss_limit=limit,

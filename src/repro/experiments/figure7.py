@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
 from repro.engine.params import DEFAULT_TIMING, TimingParams
-from repro.experiments.common import mean, run_workload
+from repro.experiments.common import mean
+from repro.experiments.pool import RunSpec, run_many
 from repro.metrics.counters import cpi_improvement
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
 
@@ -35,18 +36,30 @@ def run_figure7(
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
     counts: tuple[int, ...] = TRACKER_COUNTS,
+    jobs: int | None = None,
 ) -> list[Figure7Point]:
-    """Average-of-all-traces BTB2 benefit per tracker count."""
+    """Average-of-all-traces BTB2 benefit per tracker count.
+
+    One deduplicated batch covers the shared baselines and every
+    (tracker-count, workload) variant; ``jobs`` controls worker fan-out.
+    """
+    configs = [
+        ZEC12_CONFIG_2.with_(tracker_count=count, name=f"{count} trackers")
+        for count in counts
+    ]
+    baselines = [RunSpec(spec, ZEC12_CONFIG_1, timing, scale)
+                 for spec in workloads]
+    variants = [RunSpec(spec, config, timing, scale)
+                for config in configs for spec in workloads]
+    results = run_many(baselines + variants, jobs=jobs)
+    base_cpi = {run.workload: run.cpi for run in results[:len(workloads)]}
     points = []
-    for count in counts:
-        config = ZEC12_CONFIG_2.with_(
-            tracker_count=count, name=f"{count} trackers"
-        )
-        gains = []
-        for spec in workloads:
-            base = run_workload(spec, ZEC12_CONFIG_1, timing, scale)
-            variant = run_workload(spec, config, timing, scale)
-            gains.append(cpi_improvement(base.cpi, variant.cpi))
+    for index, count in enumerate(counts):
+        offset = len(workloads) * (1 + index)
+        gains = [
+            cpi_improvement(base_cpi[run.workload], run.cpi)
+            for run in results[offset:offset + len(workloads)]
+        ]
         points.append(
             Figure7Point(
                 trackers=count,

@@ -1,0 +1,240 @@
+"""Parallel experiment execution: batch run dispatch over a process pool.
+
+Trace-driven predictor evaluation is embarrassingly parallel: every
+(workload, config, timing, scale) run is independent, and the result cache
+of :mod:`repro.experiments.common` is safe under concurrent writers
+(atomic temp-file-then-rename publication, one file per fingerprint,
+tolerant reads).  This module exploits that:
+
+* :class:`RunSpec` names one run by its four inputs;
+* :func:`run_many` takes a batch of specs, deduplicates them by cache
+  fingerprint, serves what it can from the cache, and simulates only the
+  misses — serially, or fanned out over a ``multiprocessing`` pool;
+* :func:`parallel_map` is the generic sibling for non-``RunResult`` work
+  (e.g. trace statistics for Table 4);
+* a session :class:`ExecutionLog` records per-run wall time, throughput
+  and worker attribution so ``run_all`` can summarize how the batch
+  actually executed.
+
+Worker count resolution (everywhere a ``jobs`` argument appears):
+an explicit positive integer wins; ``None`` defers to the ``REPRO_JOBS``
+environment variable; absent both, runs are serial.  ``0`` or a negative
+value means "one worker per CPU".
+
+Workers re-check the cache before simulating, so two processes racing on
+the same fingerprint at worst duplicate one simulation — they never
+corrupt the cache or return different scientific payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.core.config import PredictorConfig
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.common import (
+    RunResult,
+    load_cached_run,
+    run_fingerprint,
+    run_workload,
+)
+from repro.workloads.catalog import WorkloadSpec, default_scale
+
+#: Environment variable supplying the default worker count for batch runs.
+JOBS_ENV = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One requested simulation run, by its full cache-key inputs."""
+
+    workload: WorkloadSpec
+    config: PredictorConfig
+    timing: TimingParams = DEFAULT_TIMING
+    scale: float | None = None
+
+    def resolved_scale(self) -> float:
+        """The concrete scale (``None`` defers to ``REPRO_SCALE``/1.0)."""
+        return self.scale if self.scale is not None else default_scale()
+
+    def fingerprint(self) -> str:
+        """Result-cache fingerprint of this run."""
+        return run_fingerprint(
+            self.workload, self.config, self.timing, self.resolved_scale()
+        )
+
+
+def effective_jobs(jobs: int | None = None) -> int:
+    """Resolve a ``jobs`` argument to a concrete worker count (>= 1).
+
+    Precedence: explicit argument, then ``REPRO_JOBS``, then 1 (serial).
+    Zero or negative (from either source) means one worker per CPU.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${JOBS_ENV} must be an integer worker count, got {raw!r}"
+            ) from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass
+class ExecutionLog:
+    """Accumulated observability for every batch executed this session."""
+
+    cache_hits: int = 0
+    simulated: int = 0
+    simulated_instructions: int = 0
+    simulated_seconds: float = 0.0
+    batch_seconds: float = 0.0
+    batches: int = 0
+    max_workers: int = 1
+    #: worker name -> (runs, simulated seconds).
+    workers: dict[str, tuple[int, float]] = field(default_factory=dict)
+
+    def record_batch(self, results: Sequence[RunResult], hits: int,
+                     elapsed: float, jobs: int) -> None:
+        """Fold one :func:`run_many` batch into the session totals."""
+        self.batches += 1
+        self.cache_hits += hits
+        self.batch_seconds += elapsed
+        self.max_workers = max(self.max_workers, jobs)
+        for run in results:
+            self.simulated += 1
+            self.simulated_instructions += run.instructions
+            self.simulated_seconds += run.wall_seconds
+            runs, seconds = self.workers.get(run.worker or "unknown", (0, 0.0))
+            self.workers[run.worker or "unknown"] = (
+                runs + 1, seconds + run.wall_seconds
+            )
+
+    @property
+    def requested(self) -> int:
+        """Unique runs requested across all batches (hits + simulations)."""
+        return self.cache_hits + self.simulated
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate simulated instructions per simulated second."""
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.simulated_instructions / self.simulated_seconds
+
+    def reset(self) -> None:
+        """Zero the log (start of a fresh report run)."""
+        self.__dict__.update(ExecutionLog().__dict__)
+
+
+#: Session-wide log; ``run_all`` resets it at the start of a report and
+#: renders it at the end (:func:`repro.metrics.report.render_run_summary`).
+session_log = ExecutionLog()
+
+
+def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig,
+                               TimingParams, float]) -> RunResult:
+    """Pool worker body: one cached simulation run.
+
+    Must stay a module-level function so it pickles under every
+    ``multiprocessing`` start method.  ``run_workload`` re-checks the cache
+    first, so a run another worker already published is not repeated.
+    """
+    spec, config, timing, scale = item
+    return run_workload(spec, config, timing, scale)
+
+
+def run_many(
+    specs: Iterable[RunSpec],
+    jobs: int | None = None,
+    log: ExecutionLog | None = None,
+) -> list[RunResult]:
+    """Execute a batch of runs, deduplicated and cache-first.
+
+    Returns one :class:`RunResult` per input spec, in input order
+    (duplicate specs share the single result object).  Cache hits are
+    served without simulation; misses are simulated serially when the
+    resolved worker count is 1 (or only one miss exists), otherwise fanned
+    out over a process pool.  Every batch is folded into ``log``
+    (default: the module :data:`session_log`).
+    """
+    ordered = list(specs)
+    jobs = effective_jobs(jobs)
+    log = session_log if log is None else log
+    started = time.perf_counter()
+
+    # Deduplicate by fingerprint, preserving first-seen order.
+    keys = [spec.fingerprint() for spec in ordered]
+    unique: dict[str, RunSpec] = {}
+    for key, spec in zip(keys, ordered):
+        unique.setdefault(key, spec)
+
+    # Cache-first: only misses are dispatched.
+    results: dict[str, RunResult] = {}
+    for key, spec in unique.items():
+        cached = load_cached_run(key)
+        if cached is not None:
+            results[key] = cached
+    misses = [(key, spec) for key, spec in unique.items() if key not in results]
+    hits = len(results)
+
+    items = [
+        (spec.workload, spec.config, spec.timing, spec.resolved_scale())
+        for _, spec in misses
+    ]
+    if len(items) <= 1 or jobs == 1:
+        simulated = [_simulate_spec(item) for item in items]
+    else:
+        simulated = _dispatch(items, min(jobs, len(items)))
+    for (key, _), run in zip(misses, simulated):
+        results[key] = run
+
+    log.record_batch(simulated, hits, time.perf_counter() - started, jobs)
+    return [results[key] for key in keys]
+
+
+def _dispatch(items: list[tuple], jobs: int) -> list[RunResult]:
+    """Map the miss list over a process pool, preserving order.
+
+    Uses the fork context where the platform offers it (cheap, inherits
+    warmed trace caches in memory-mapped form); falls back to the platform
+    default elsewhere.  ``maxtasksperchild`` is left unbounded: workers are
+    pure functions of their arguments and benefit from staying warm.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with context.Pool(processes=jobs) as pool:
+        return pool.map(_simulate_spec, items)
+
+
+def parallel_map(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int | None = None,
+) -> list[R]:
+    """Order-preserving map over a process pool (serial when jobs == 1).
+
+    ``function`` must be a picklable module-level callable and ``items``
+    picklable values.  Used for embarrassingly parallel non-simulation
+    work, e.g. per-workload trace statistics in Table 4.
+    """
+    items = list(items)
+    jobs = min(effective_jobs(jobs), max(1, len(items)))
+    if jobs == 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with context.Pool(processes=jobs) as pool:
+        return pool.map(function, items)

@@ -14,6 +14,8 @@ from repro.core.search import (
     SEQUENTIAL_CYCLES_PER_ROW,
 )
 from repro.engine.params import ZEC12_CHIP_CONFIG
+from repro.experiments.pool import parallel_map
+from repro.trace.stats import TraceStats
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec
 
 
@@ -76,24 +78,43 @@ def render_table3() -> str:
     return "\n".join(lines)
 
 
+def _stats_for(item: tuple[WorkloadSpec, float | None]) -> TraceStats:
+    """Pool worker body for Table 4: one workload's trace statistics.
+
+    Module-level so it pickles; trace generation goes through the on-disk
+    trace cache, whose writes are atomic under concurrent workers.
+    """
+    spec, scale = item
+    return spec.stats(scale)
+
+
 def render_table4(
     workloads: tuple[WorkloadSpec, ...] = TABLE4_WORKLOADS,
     scale: float | None = None,
     measured: bool = True,
+    jobs: int | None = None,
 ) -> str:
-    """Table 4 — large footprint traces, paper vs measured synthetics."""
+    """Table 4 — large footprint traces, paper vs measured synthetics.
+
+    The measured columns require generating (or loading) every trace;
+    ``jobs`` fans that across worker processes like the figure runners.
+    """
     lines = [
         "Table 4: large footprint traces (paper counters vs measured synthetics)",
         f"  {'trace':34s} {'paper uniq':>10s} {'paper taken':>11s}"
         + (f" {'meas uniq':>10s} {'meas taken':>10s}" if measured else ""),
     ]
-    for spec in workloads:
+    measured_stats = (
+        parallel_map(_stats_for, [(spec, scale) for spec in workloads], jobs=jobs)
+        if measured
+        else [None] * len(workloads)
+    )
+    for spec, stats in zip(workloads, measured_stats):
         row = (
             f"  {spec.name:34s} {spec.paper_unique_branches:10,d} "
             f"{spec.paper_unique_taken:11,d}"
         )
-        if measured:
-            stats = spec.stats(scale)
+        if stats is not None:
             row += (
                 f" {stats.unique_branch_addresses:10,d}"
                 f" {stats.unique_taken_branch_addresses:10,d}"

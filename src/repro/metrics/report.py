@@ -2,7 +2,10 @@
 
 ``format_result`` renders one :class:`~repro.engine.simulator.SimulationResult`
 the way the paper's result sections discuss runs: CPI, the bad-outcome
-breakdown, and the second-level activity.
+breakdown, and the second-level activity.  ``render_run_summary`` renders
+the batch-execution observability collected by
+:data:`repro.experiments.pool.session_log` — cache hit rate, simulated
+throughput, and per-worker attribution.
 """
 
 from __future__ import annotations
@@ -11,8 +14,9 @@ from typing import TYPE_CHECKING
 
 from repro.core.events import OutcomeKind
 
-if TYPE_CHECKING:  # avoid a metrics <-> engine import cycle at runtime
+if TYPE_CHECKING:  # avoid a metrics <-> engine/experiments import cycle
     from repro.engine.simulator import SimulationResult
+    from repro.experiments.pool import ExecutionLog
 
 
 def format_result(result: "SimulationResult", title: str | None = None) -> str:
@@ -50,6 +54,42 @@ def format_result(result: "SimulationResult", title: str | None = None) -> str:
             f"  L1I: miss rate {100 * result.icache_stats.get('miss_rate', 0.0):.2f}%"
         )
     return "\n".join(lines)
+
+
+def format_throughput(instructions: int, seconds: float) -> str:
+    """``N instr in S s (R/s)`` — one run's simulation throughput."""
+    if seconds <= 0:
+        return f"{instructions:,} instr (throughput unknown)"
+    return (
+        f"{instructions:,} instr in {seconds:.1f} s "
+        f"({instructions / seconds:,.0f}/s)"
+    )
+
+
+def render_run_summary(log: "ExecutionLog") -> list[str]:
+    """Run-observability lines for one experiment session.
+
+    Every line is a *timing line* (italicized in the markdown report):
+    reports regenerated from a warm vs cold cache, or with different
+    worker counts, are expected to differ only here.
+    """
+    if not log.requested:
+        return ["_runs: none requested._"]
+    lines = [
+        f"_runs: {log.requested} unique requested across {log.batches} "
+        f"batches; {log.cache_hits} served from cache, "
+        f"{log.simulated} simulated (workers <= {log.max_workers})._"
+    ]
+    if log.simulated:
+        lines.append(
+            "_simulated "
+            + format_throughput(log.simulated_instructions, log.simulated_seconds)
+            + f"; batch wall time {log.batch_seconds:.1f} s._"
+        )
+        for name in sorted(log.workers):
+            runs, seconds = log.workers[name]
+            lines.append(f"_  worker {name}: {runs} runs, {seconds:.1f} s._")
+    return lines
 
 
 def format_comparison(

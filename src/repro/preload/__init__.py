@@ -1,4 +1,15 @@
-"""Second-level preload machinery: trackers, steering, bulk transfers."""
+"""Second-level preload machinery: trackers, steering, bulk transfers.
+
+The paper's contribution (sections 3.4-3.7), as four cooperating pieces:
+:class:`TrackerFile` correlates perceived BTB1 misses with demand I-cache
+misses per 4 KB block; :class:`OrderingTable`/:class:`OrderingTracker`
+learn which 128-byte sectors each block actually executes and steer the
+search order; :class:`TransferEngine` reads BTB2 rows at the architected
+7 + 8 + 1-row/cycle timing and installs tag-matching entries into the
+BTBP; and :class:`PreloadEngine` is the facade the simulator drives.
+All timing is simulator-clock lazy: the engine only moves when
+:meth:`PreloadEngine.advance` is called with the core's current cycle.
+"""
 
 from repro.preload.engine import (
     BLOCK_MODE_WAIT_CYCLES,

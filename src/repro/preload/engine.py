@@ -247,6 +247,12 @@ class PreloadEngine:
             tracker.reset()
 
     def flush(self) -> None:
-        """Finish outstanding work (end of simulation)."""
+        """Finish outstanding work (end of simulation).
+
+        Commits the in-flight ordering-table entry, then drains every
+        queued and in-flight BTB2 row read — transferred entries still
+        install into the BTBP, so end-of-run structure statistics count
+        the complete transfer stream, not just what the trace overlapped.
+        """
         self.ordering_tracker.flush()
         self.transfer.drain()

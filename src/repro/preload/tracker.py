@@ -5,13 +5,20 @@ BTB1 misses and instruction cache misses; and to initiate read accesses to
 the BTB2 structure.  Each tracker represents one 4 KB block of address space
 (instruction address bits 0:51)."
 
-Tracker semantics:
+Tracker semantics (driven by :class:`repro.preload.engine.PreloadEngine`;
+the exact search launched also depends on the configuration's
+``filter_mode``):
 
 * both valid bits set -> *fully active*: reads to all 128 rows of the block;
 * BTB1-miss valid only -> partial search of the 4 rows (128 bytes) at the
   miss address; if the I-cache-miss bit is still invalid when the partial
   search completes, the tracker is invalidated;
 * I-cache-miss valid only -> no BTB2 search (waits for a BTB1 miss).
+
+Allocation never steals a tracker with a search in flight: when all
+trackers are busy, new BTB1-miss reports are dropped on the floor and
+counted (``dropped_miss_reports`` — the saturation the Figure 7 tracker
+sweep measures).
 """
 
 from __future__ import annotations

@@ -164,7 +164,12 @@ class TransferEngine:
         return len(self._inflight)
 
     def drain(self) -> None:
-        """Complete everything immediately (end-of-simulation cleanup)."""
+        """Run the clock forward until no reads are queued or in flight.
+
+        End-of-simulation cleanup: advances in full-block-transfer steps,
+        so every pending read issues, completes, and installs its hits,
+        and every tracker sees its drained callback.
+        """
         horizon = self.clock
         while self._queue or self._inflight:
             horizon += FULL_BLOCK_TRANSFER_CYCLES

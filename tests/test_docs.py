@@ -1,0 +1,40 @@
+"""Documentation integrity, wired into the fast suite.
+
+Runs the checks of ``scripts/check_docs.py`` against the repository:
+every intra-repo markdown link resolves, and every ``src/repro`` package
+is mentioned in ``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_docs  # noqa: E402  (path set up above)
+
+
+def test_no_broken_intra_repo_links():
+    assert check_docs.check_links(REPO_ROOT) == []
+
+
+def test_architecture_doc_covers_every_package():
+    assert check_docs.check_architecture_coverage(REPO_ROOT) == []
+
+
+def test_package_discovery_sees_known_packages():
+    packages = check_docs.repro_packages(REPO_ROOT)
+    for expected in ("btb", "core", "engine", "experiments", "preload",
+                     "trace", "workloads", "metrics", "caches", "isa"):
+        assert expected in packages
+
+
+def test_link_extraction_skips_code_fences():
+    text = "a [ok](target.md)\n```\n[no](missing.md)\n```\n"
+    assert check_docs.extract_links(text) == ["target.md"]
+
+
+def test_checker_cli_exit_status():
+    assert check_docs.main([str(REPO_ROOT)]) == 0
