@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Audit fuzzer CLI: seeded random traces, every config, all audits on.
+
+Thin wrapper over :mod:`repro.audit.fuzz`::
+
+    PYTHONPATH=src python scripts/fuzz_audit.py                 # default soak
+    PYTHONPATH=src python scripts/fuzz_audit.py --cases 40      # CI smoke
+    PYTHONPATH=src python scripts/fuzz_audit.py --seed 7 --records 600
+
+Exit status 0 when every case passes; 1 with a shrunk, replayable repro
+for each failure otherwise.  Everything is deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.audit.fuzz import FUZZ_CONFIGS, fuzz, render_failure  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cases", type=int, default=200,
+                        help="number of audited cases to run (default 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--records", type=int, default=350,
+                        help="records per generated trace (default 350)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without ddmin minimization")
+    args = parser.parse_args(argv)
+
+    start = time.monotonic()
+    failures = fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        records=args.records,
+        shrink_failures=not args.no_shrink,
+        progress=lambda line: print(f"FAIL {line}", file=sys.stderr),
+    )
+    elapsed = time.monotonic() - start
+    print(
+        f"fuzz_audit: {args.cases} cases x {len(FUZZ_CONFIGS)} configs "
+        f"(round robin), seed {args.seed}: "
+        f"{len(failures)} failure(s) in {elapsed:.1f}s"
+    )
+    for failure in failures:
+        print()
+        print(render_failure(failure))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

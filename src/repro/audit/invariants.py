@@ -1,0 +1,216 @@
+"""Pure invariant checks over simulator state.
+
+Every function takes live structures and returns a list of problem strings
+(empty = invariant holds).  They are side-effect free so the
+:class:`repro.audit.auditor.Auditor` can run them at any hook point, tests
+can call them directly against hand-corrupted state, and ``collect`` mode
+can keep simulating past a violation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.preload.tracker import TrackerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.btb.entry import BTBEntry
+    from repro.btb.storage import BranchTargetBuffer
+    from repro.core.events import Prediction, PredictionLevel
+    from repro.core.hierarchy import FirstLevelPredictor
+    from repro.engine.simulator import Simulator
+    from repro.metrics.counters import SimCounters
+    from repro.preload.engine import PreloadEngine
+
+
+def check_btb_row(btb: "BranchTargetBuffer", ways: list["BTBEntry"]) -> list[str]:
+    """Structural sanity of one row: width, unique tags, MRU consistency."""
+    problems = []
+    if len(ways) > btb.ways:
+        problems.append(
+            f"{btb.name}: row holds {len(ways)} entries but has "
+            f"{btb.ways} ways"
+        )
+    addresses = [entry.address for entry in ways]
+    if len(set(addresses)) != len(addresses):
+        duplicates = sorted(
+            {address for address in addresses if addresses.count(address) > 1}
+        )
+        problems.append(
+            f"{btb.name}: duplicate tag(s) in one row: "
+            + ", ".join(hex(address) for address in duplicates)
+        )
+    if ways and not btb.is_mru(ways[0]):
+        problems.append(
+            f"{btb.name}: head entry {ways[0].address:#x} is not is_mru"
+        )
+    for entry in ways[1:]:
+        if btb.is_mru(entry):
+            problems.append(
+                f"{btb.name}: non-head entry {entry.address:#x} reports is_mru"
+            )
+    return problems
+
+
+def check_btb(btb: "BranchTargetBuffer") -> list[str]:
+    """Row-by-row structural sanity of a whole BTB."""
+    problems = []
+    for ways in btb._rows:
+        if ways:
+            problems.extend(check_btb_row(btb, ways))
+    return problems
+
+
+def _identity_set(entries: Iterable["BTBEntry"]) -> set[int]:
+    return {id(entry) for entry in entries}
+
+
+def check_exclusivity(
+    hierarchy: "FirstLevelPredictor", btb2=None
+) -> list[str]:
+    """No entry *object* may be resident in two structures at once.
+
+    Address duplication between BTB1 and BTBP is architecturally legal
+    (the BTB1 copy wins on a parallel read) and the BTB2 intentionally
+    holds equal-but-distinct clones of first-level content — but shared
+    *references* mean training one structure silently mutates another,
+    which the move protocol never does.
+    """
+    problems = []
+    btb1_ids = _identity_set(hierarchy.btb1)
+    btbp_ids = (
+        _identity_set(hierarchy.btbp) if hierarchy.btbp is not None else set()
+    )
+    shared = btb1_ids & btbp_ids
+    if shared:
+        problems.append(
+            f"BTB1 and BTBP share {len(shared)} entry object(s) by identity"
+        )
+    if btb2 is not None:
+        btb2_ids = _identity_set(btb2)
+        leaked = btb2_ids & (btb1_ids | btbp_ids)
+        if leaked:
+            problems.append(
+                f"BTB2 shares {len(leaked)} entry object(s) with the first "
+                "level (victim/surprise writes must clone)"
+            )
+    return problems
+
+
+def check_trackers(engine: "PreloadEngine") -> list[str]:
+    """Tracker-file consistency (section 3.6 semantics)."""
+    problems = []
+    blocks: dict[int, int] = {}
+    for index, tracker in enumerate(engine.trackers.trackers):
+        if tracker.state is TrackerState.FREE:
+            if tracker.btb1_miss_valid or tracker.icache_miss_valid:
+                problems.append(
+                    f"tracker[{index}]: FREE but has valid bits set"
+                )
+            if tracker.block_deadline is not None:
+                problems.append(
+                    f"tracker[{index}]: FREE but BLOCK-mode deadline armed "
+                    f"(stale deadline survived a reset)"
+                )
+            if tracker.outstanding_rows or tracker.enqueued_rows:
+                problems.append(
+                    f"tracker[{index}]: FREE with rows outstanding/enqueued"
+                )
+            continue
+        if tracker.block in blocks:
+            problems.append(
+                f"tracker[{index}] and tracker[{blocks[tracker.block]}] both "
+                f"track block {tracker.block:#x}"
+            )
+        blocks[tracker.block] = index
+        if tracker.outstanding_rows < 0:
+            problems.append(
+                f"tracker[{index}]: negative outstanding rows "
+                f"({tracker.outstanding_rows})"
+            )
+        if tracker.block_deadline is not None:
+            if tracker.state is not TrackerState.PARTIAL:
+                problems.append(
+                    f"tracker[{index}]: deadline armed in state "
+                    f"{tracker.state.value} (only BLOCK-mode PARTIAL waits)"
+                )
+            elif tracker.fully_active:
+                problems.append(
+                    f"tracker[{index}]: deadline armed on a fully active "
+                    "tracker (upgrade should have disarmed it)"
+                )
+        if tracker.state is TrackerState.ICACHE_ONLY and (
+            tracker.outstanding_rows or tracker.enqueued_rows
+        ):
+            problems.append(
+                f"tracker[{index}]: ICACHE_ONLY tracker has a search in flight"
+            )
+    return problems
+
+
+def check_counter_conservation(simulator: "Simulator") -> list[str]:
+    """Outcome and cycle conservation laws of the penalty model."""
+    counters: "SimCounters" = simulator.counters
+    timing = simulator.timing
+    problems = []
+    classified = sum(counters.outcomes.values())
+    if classified != counters.branches:
+        problems.append(
+            f"outcome kinds sum to {classified}, expected branches = "
+            f"{counters.branches}"
+        )
+    taken_extra = max(
+        0.0, timing.taken_branch_decode_cycles - timing.base_decode_cycles
+    )
+    expected = (
+        counters.instructions * timing.base_decode_cycles
+        + counters.taken_branches * taken_extra
+        + sum(counters.penalty_cycles.values())
+    )
+    tolerance = 1e-6 * max(1.0, counters.cycles)
+    if abs(counters.cycles - expected) > tolerance:
+        problems.append(
+            f"cycle conservation: clock = {counters.cycles:.6f} but decode "
+            f"+ taken + penalties = {expected:.6f} "
+            f"(delta {counters.cycles - expected:+.6f})"
+        )
+    return problems
+
+
+def check_prediction_residency(
+    hierarchy: "FirstLevelPredictor", prediction: "Prediction"
+) -> list[str]:
+    """A used prediction's entry must be resident where it claims to be."""
+    from repro.core.events import PredictionLevel
+
+    if prediction.level is PredictionLevel.BTB1:
+        structure = hierarchy.btb1
+    else:
+        structure = hierarchy.btbp
+        if structure is None:
+            return [
+                f"prediction for {prediction.branch_address:#x} claims BTBP "
+                "but the configuration has no BTBP"
+            ]
+    resident = structure.lookup(prediction.entry.address)
+    if resident is not prediction.entry:
+        where = "absent" if resident is None else "a different object"
+        return [
+            f"used prediction for {prediction.branch_address:#x} "
+            f"({prediction.level.value}): entry is {where} in "
+            f"{structure.name}"
+        ]
+    return []
+
+
+def check_simulator(simulator: "Simulator") -> list[str]:
+    """The full structural scan: every applicable whole-state invariant."""
+    problems = check_btb(simulator.hierarchy.btb1)
+    if simulator.hierarchy.btbp is not None:
+        problems.extend(check_btb(simulator.hierarchy.btbp))
+    if simulator.btb2 is not None:
+        problems.extend(check_btb(simulator.btb2))
+    problems.extend(check_exclusivity(simulator.hierarchy, simulator.btb2))
+    if simulator.preload is not None:
+        problems.extend(check_trackers(simulator.preload))
+    return problems

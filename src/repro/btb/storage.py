@@ -38,6 +38,9 @@ class BranchTargetBuffer:
         self._rows: list[list[BTBEntry]] = [[] for _ in range(rows)]
         self.installs = 0
         self.evictions = 0
+        #: Optional :class:`repro.audit.Auditor`; ``None`` keeps every write
+        #: path on the fast branch (one attribute test per mutation).
+        self.audit = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -94,6 +97,8 @@ class BranchTargetBuffer:
             if existing.address == entry.address:
                 ways.pop(position)
                 ways.insert(0 if make_mru else len(ways), entry)
+                if self.audit is not None:
+                    self.audit.on_btb_write(self, "install", ways)
                 return None
         self.installs += 1
         victim = None
@@ -101,6 +106,8 @@ class BranchTargetBuffer:
             victim = ways.pop()
             self.evictions += 1
         ways.insert(0 if make_mru else len(ways), entry)
+        if self.audit is not None:
+            self.audit.on_btb_write(self, "install", ways)
         return victim
 
     def install_lru(self, entry: BTBEntry) -> BTBEntry | None:
@@ -116,25 +123,48 @@ class BranchTargetBuffer:
         return self.install(entry, make_mru=True)
 
     def touch(self, entry: BTBEntry) -> None:
-        """Promote ``entry`` to MRU in its row."""
+        """Promote ``entry`` to MRU in its row.
+
+        Matches by *identity*, consistent with :meth:`is_mru`: entries
+        migrate between levels as clones that compare equal to their
+        originals, and an equality match here could promote — or worse,
+        replace — a resident entry with a distinct stale object.  An entry
+        no longer resident (by identity) is a no-op.
+        """
         ways = self._rows[self.row_index(entry.address)]
-        if entry in ways and ways[0] is not entry:
-            ways.remove(entry)
-            ways.insert(0, entry)
+        for position, existing in enumerate(ways):
+            if existing is entry:
+                if position:
+                    ways.pop(position)
+                    ways.insert(0, entry)
+                    if self.audit is not None:
+                        self.audit.on_btb_write(self, "touch", ways)
+                return
 
     def demote(self, entry: BTBEntry) -> None:
-        """Demote ``entry`` to LRU in its row (BTB2 hit handling, 3.3)."""
+        """Demote ``entry`` to LRU in its row (BTB2 hit handling, 3.3).
+
+        Identity-matched for the same reason as :meth:`touch`.
+        """
         ways = self._rows[self.row_index(entry.address)]
-        if entry in ways and ways[-1] is not entry:
-            ways.remove(entry)
-            ways.append(entry)
+        for position, existing in enumerate(ways):
+            if existing is entry:
+                if position != len(ways) - 1:
+                    ways.pop(position)
+                    ways.append(entry)
+                    if self.audit is not None:
+                        self.audit.on_btb_write(self, "demote", ways)
+                return
 
     def remove(self, branch_address: int) -> BTBEntry | None:
         """Invalidate and return the entry for ``branch_address``, if present."""
         ways = self._rows[self.row_index(branch_address)]
         for position, existing in enumerate(ways):
             if existing.address == branch_address:
-                return ways.pop(position)
+                victim = ways.pop(position)
+                if self.audit is not None:
+                    self.audit.on_btb_write(self, "remove", ways)
+                return victim
         return None
 
     def clear(self) -> None:

@@ -57,6 +57,10 @@ class ICache:
         self._cache.install(address)
         return present
 
+    def contains(self, address: int) -> bool:
+        """Presence probe for the line holding ``address`` (no LRU effect)."""
+        return self._cache.contains(address)
+
     def recent_miss_in_block(self, address: int, cycle: int) -> bool:
         """True when a miss occurred in ``address``'s 4 KB block recently."""
         self._trim(cycle)

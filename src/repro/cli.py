@@ -19,8 +19,10 @@ thin argparse layer over :mod:`repro.experiments` and
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.audit import AUDIT_ENV, Auditor
 from repro.core.config import (
     PredictorConfig,
     TABLE3_CONFIGS,
@@ -57,7 +59,8 @@ def _cmd_simulate(args) -> int:
     results = []
     for key in args.configs:
         config = CONFIGS[key]
-        result = Simulator(config).run(trace)
+        auditor = Auditor() if args.audit else None
+        result = Simulator(config, audit=auditor).run(trace)
         results.append(result)
         print(format_result(result))
         print()
@@ -119,6 +122,25 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_audit_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="run every simulation under the runtime invariant auditor "
+             "(slower; fails loudly on the first violated invariant)",
+    )
+
+
+def _apply_audit_env(args) -> None:
+    """Turn ``--audit`` into the ``REPRO_AUDIT`` environment variable.
+
+    The env var (not a threaded flag) is what reaches ``run_workload`` in
+    this process *and* in any pool worker, so one switch audits every
+    simulation a figure or report performs.
+    """
+    if getattr(args, "audit", False):
+        os.environ[AUDIT_ENV] = "1"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -135,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Table 3 configurations to run (default: 1 2)",
     )
     simulate.add_argument("--scale", type=float, default=0.35)
+    _add_audit_argument(simulate)
 
     sub.add_parser("tables", help="print tables 1, 2, 3 and 5")
 
@@ -142,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("number", type=int, choices=range(2, 8))
     figure.add_argument("--scale", type=float, default=0.35)
     _add_jobs_argument(figure)
+    _add_audit_argument(figure)
 
     report = sub.add_parser(
         "report", help="regenerate the full paper-vs-measured report"
@@ -150,12 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sweep-scale", type=float, default=0.35)
     report.add_argument("--output", default="EXPERIMENTS.md")
     _add_jobs_argument(report)
+    _add_audit_argument(report)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_audit_env(args)
     handlers = {
         "workloads": _cmd_workloads,
         "simulate": _cmd_simulate,

@@ -87,17 +87,25 @@ class LookaheadSearch:
         self.empty_searches = 0
         self.predictions_made = 0
         self.miss_reports_made = 0
+        #: Optional :class:`repro.audit.Auditor`; ``None`` = no checking.
+        self.audit = None
 
     # -- control ------------------------------------------------------------
 
     def restart(self, address: int, cycle: int) -> None:
-        """Reset the searcher after a pipeline restart (3.2)."""
+        """Reset the searcher after a pipeline restart (3.2).
+
+        The only event allowed to move the search clock backward: the
+        searcher may have run ahead of the restart point.
+        """
         self.search_address = address
         self.cycle = cycle
         self._consecutive_empty = 0
         self._first_empty_address = address
         self._last_taken_address = None
         self._last_not_taken_row = None
+        if self.audit is not None:
+            self.audit.on_search_restart(self, address, cycle)
 
     # -- main advance --------------------------------------------------------
 
@@ -180,6 +188,17 @@ class LookaheadSearch:
                 raise RuntimeError("runaway sequential search")
 
     def _note_empty_search(self, reports: list[MissReport]) -> None:
+        """Count one empty search; emit a miss report at the limit.
+
+        Timing note (Table 2): callers invoke this *before* charging the
+        row's ``SEQUENTIAL_CYCLES_PER_ROW``, which is deliberate — at that
+        point ``self.cycle`` is the b0 cycle of the empty search just
+        performed, so the report lands on its b3 cycle
+        (``cycle + MISS_DETECT_LATENCY``).  The 2 sequential cycles per row
+        are b0-to-b0 *throughput*, not part of the in-pipeline detection
+        latency; charging them first would stamp reports 2 cycles late.
+        ``tests/core/test_search_timing.py`` pins this against Table 2.
+        """
         if self._consecutive_empty == 0:
             self._first_empty_address = self.search_address
         self._consecutive_empty += 1

@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit -> engine)
+    from repro.audit import Auditor
 
 from repro.btb.btb2 import BTB2
 from repro.caches.icache import ICache
@@ -64,10 +67,15 @@ class SimulationResult:
 class Simulator:
     """One core, one trace, one configuration."""
 
+    #: Pending-prefetch map size beyond which completed/evicted entries are
+    #: pruned (class attribute so tests can lower it).
+    LINE_FILL_PRUNE_LIMIT = 8192
+
     def __init__(
         self,
         config: PredictorConfig = ZEC12_CONFIG_2,
         timing: TimingParams = DEFAULT_TIMING,
+        audit: "Auditor | None" = None,
     ) -> None:
         self.config = config
         self.timing = timing
@@ -101,6 +109,9 @@ class Simulator:
         self._current_line = -1
         #: line address -> cycle its L2 fill completes (prefetches in flight).
         self._line_fills: dict[int, float] = {}
+        self.audit = audit
+        if audit is not None:
+            audit.attach(self)
 
     # -- callbacks -----------------------------------------------------------
 
@@ -125,9 +136,16 @@ class Simulator:
         elif record.address != self._expected_address:
             # Control arrived somewhere the previous record cannot explain:
             # a time-slice switch or interrupt in the trace.  Fetch and the
-            # lookahead searcher restart at the new stream, as on hardware.
+            # lookahead searcher restart at the new stream, as on hardware;
+            # the fetch state of the old stream is dead — forgetting
+            # ``_current_line`` forces a real fetch of the new stream's
+            # first line (even when it aliases the old one), and in-flight
+            # prefetch fills must not attribute hidden misses to a context
+            # that never launched them.
             self.counters.context_switches += 1
             self.search.restart(record.address, math.ceil(self._cycle))
+            self._current_line = -1
+            self._line_fills.clear()
         self._expected_address = record.next_address
         self.counters.instructions += 1
         self._cycle += self.timing.base_decode_cycles
@@ -138,12 +156,16 @@ class Simulator:
             self._branch(record)
         if self.preload is not None:
             self.preload.observe_completion(record.address)
+        if self.audit is not None:
+            self.audit.after_step(self, record)
 
     def finish(self) -> SimulationResult:
         """Finalize clocks and snapshot structure statistics."""
         if self.preload is not None:
             self.preload.flush()
         self.counters.cycles = self._cycle
+        if self.audit is not None:
+            self.audit.after_finish(self)
         return self._result()
 
     # -- instruction fetch -------------------------------------------------------
@@ -180,12 +202,17 @@ class Simulator:
             current = self._line_fills.get(line)
             if current is None or fill_complete < current:
                 self._line_fills[line] = fill_complete
-        if len(self._line_fills) > 8192:
-            horizon = self._cycle
+        if len(self._line_fills) > self.LINE_FILL_PRUNE_LIMIT:
+            # Prune only fills whose line the icache has since evicted: a
+            # demand fetch of such a line misses anyway, so the entry can
+            # never attribute a (partially) hidden miss.  Completed fills
+            # for *resident* lines stay — they are exactly the pending
+            # ``icache_hidden_misses`` attributions, and dropping them
+            # (as a completion-time prune would) silently skews counters.
             self._line_fills = {
                 addr: cycle
                 for addr, cycle in self._line_fills.items()
-                if cycle > horizon
+                if self.icache.contains(addr)
             }
 
     # -- branch handling -----------------------------------------------------------
@@ -207,6 +234,8 @@ class Simulator:
 
     def _dynamic_branch(self, record: TraceRecord, prediction: Prediction) -> None:
         """A prediction was available in time: apply it and resolve."""
+        if self.audit is not None:
+            self.audit.on_prediction_used(self.hierarchy, prediction)
         self.hierarchy.use_prediction(
             RowHit(prediction.entry, prediction.level, prediction.from_mru)
         )
@@ -389,6 +418,7 @@ def simulate(
     records: Iterable[TraceRecord],
     config: PredictorConfig = ZEC12_CONFIG_2,
     timing: TimingParams = DEFAULT_TIMING,
+    audit: "Auditor | None" = None,
 ) -> SimulationResult:
     """Convenience one-call simulation of ``records`` under ``config``."""
-    return Simulator(config=config, timing=timing).run(records)
+    return Simulator(config=config, timing=timing, audit=audit).run(records)

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.audit import Auditor, audit_from_env
 from repro.core.config import PredictorConfig
 from repro.core.events import OutcomeKind
 from repro.engine.params import DEFAULT_TIMING, TimingParams
@@ -185,25 +186,36 @@ def run_workload(
     config: PredictorConfig,
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
+    audit: bool | None = None,
 ) -> RunResult:
     """Simulate ``spec`` under ``config``, using the on-disk result cache.
 
     This is the serial single-run entry point; batches of runs should go
     through :func:`repro.experiments.pool.run_many`, which deduplicates,
     consults the same cache, and can dispatch misses to worker processes.
+
+    ``audit`` runs the simulation under a strict
+    :class:`repro.audit.Auditor` (``None`` defers to the ``REPRO_AUDIT``
+    environment variable).  Audited runs bypass cache *reads* — a hit
+    would skip the checks — but still publish their result, which is
+    identical to an unaudited run's.
     """
     if scale is None:
         scale = default_scale()
+    if audit is None:
+        audit = audit_from_env()
     key = run_fingerprint(spec, config, timing, scale)
-    cached = load_cached_run(key)
-    if cached is not None:
-        return cached
+    if not audit:
+        cached = load_cached_run(key)
+        if cached is not None:
+            return cached
 
     trace = spec.trace(scale)
     if not trace:
         raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
     started = time.perf_counter()
-    result = Simulator(config=config, timing=timing).run(trace)
+    auditor = Auditor() if audit else None
+    result = Simulator(config=config, timing=timing, audit=auditor).run(trace)
     elapsed = time.perf_counter() - started
     run = RunResult(
         workload=spec.name,

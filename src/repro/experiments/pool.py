@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.audit import audit_from_env
 from repro.core.config import PredictorConfig
 from repro.engine.params import DEFAULT_TIMING, TimingParams
 from repro.experiments.common import (
@@ -59,10 +60,19 @@ class RunSpec:
     config: PredictorConfig
     timing: TimingParams = DEFAULT_TIMING
     scale: float | None = None
+    #: Run under a strict :class:`repro.audit.Auditor` (``None`` defers to
+    #: the ``REPRO_AUDIT`` environment variable).  Not part of the cache
+    #: fingerprint: audited results are identical to unaudited ones, but
+    #: audited runs skip cache *reads* so the checks actually execute.
+    audit: bool | None = None
 
     def resolved_scale(self) -> float:
         """The concrete scale (``None`` defers to ``REPRO_SCALE``/1.0)."""
         return self.scale if self.scale is not None else default_scale()
+
+    def resolved_audit(self) -> bool:
+        """The concrete audit switch (``None`` defers to ``REPRO_AUDIT``)."""
+        return self.audit if self.audit is not None else audit_from_env()
 
     def fingerprint(self) -> str:
         """Result-cache fingerprint of this run."""
@@ -145,15 +155,16 @@ session_log = ExecutionLog()
 
 
 def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig,
-                               TimingParams, float]) -> RunResult:
+                               TimingParams, float, bool]) -> RunResult:
     """Pool worker body: one cached simulation run.
 
     Must stay a module-level function so it pickles under every
     ``multiprocessing`` start method.  ``run_workload`` re-checks the cache
-    first, so a run another worker already published is not repeated.
+    first (audited runs excepted), so a run another worker already
+    published is not repeated.
     """
-    spec, config, timing, scale = item
-    return run_workload(spec, config, timing, scale)
+    spec, config, timing, scale, audit = item
+    return run_workload(spec, config, timing, scale, audit=audit)
 
 
 def run_many(
@@ -181,9 +192,12 @@ def run_many(
     for key, spec in zip(keys, ordered):
         unique.setdefault(key, spec)
 
-    # Cache-first: only misses are dispatched.
+    # Cache-first: only misses are dispatched.  Audited specs never read
+    # the cache (a hit would silently skip every invariant check).
     results: dict[str, RunResult] = {}
     for key, spec in unique.items():
+        if spec.resolved_audit():
+            continue
         cached = load_cached_run(key)
         if cached is not None:
             results[key] = cached
@@ -191,7 +205,8 @@ def run_many(
     hits = len(results)
 
     items = [
-        (spec.workload, spec.config, spec.timing, spec.resolved_scale())
+        (spec.workload, spec.config, spec.timing, spec.resolved_scale(),
+         spec.resolved_audit())
         for _, spec in misses
     ]
     if len(items) <= 1 or jobs == 1:

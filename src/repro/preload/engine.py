@@ -66,8 +66,13 @@ class PreloadEngine:
             exclusivity=config.exclusivity,
             on_tracker_drained=self._tracker_drained,
         )
-        # BLOCK-mode waiting deadlines: tracker -> cycle.
-        self._deadlines: dict[int, tuple[SearchTracker, int]] = {}
+        # Trackers that may have a BLOCK-mode wait armed.  The deadline
+        # itself lives on the tracker (``SearchTracker.block_deadline``) so
+        # ``reset()`` disarms it; this list only keeps ``advance`` from
+        # scanning the tracker file when no wait can possibly be pending.
+        self._block_waiters: list[SearchTracker] = []
+        #: Optional :class:`repro.audit.Auditor`; ``None`` = no checking.
+        self.audit = None
         self.full_searches = 0
         self.partial_searches = 0
         self.partial_upgrades = 0
@@ -81,6 +86,11 @@ class PreloadEngine:
 
     def report_btb1_miss(self, report: MissReport) -> None:
         """Handle one perceived first-level miss (3.4 -> 3.5 -> 3.6)."""
+        self._report_btb1_miss(report)
+        if self.audit is not None:
+            self.audit.on_tracker_event(self, "btb1_miss")
+
+    def _report_btb1_miss(self, report: MissReport) -> None:
         block = block_address(report.search_address)
         tracker = self.trackers.find(block)
         if tracker is not None:
@@ -106,6 +116,11 @@ class PreloadEngine:
 
     def report_icache_miss(self, address: int, cycle: int) -> None:
         """Record a demand I-cache miss for tracker correlation."""
+        self._report_icache_miss(address, cycle)
+        if self.audit is not None:
+            self.audit.on_tracker_event(self, "icache_miss")
+
+    def _report_icache_miss(self, address: int, cycle: int) -> None:
         block = block_address(address)
         tracker = self.trackers.find(block)
         if tracker is None:
@@ -122,7 +137,7 @@ class PreloadEngine:
         if tracker.btb1_miss_valid and tracker.state is not TrackerState.FULL:
             # Partial (or BLOCK-mode waiting) tracker becomes fully active.
             self.partial_upgrades += 1
-            self._deadlines.pop(id(tracker), None)
+            tracker.block_deadline = None
             self._start_full_search(tracker, cycle)
 
     def report_decode_miss(self, address: int, cycle: int) -> None:
@@ -170,16 +185,24 @@ class PreloadEngine:
     def advance(self, cycle: int) -> None:
         """Advance transfer timing and expire BLOCK-mode waits."""
         self.transfer.advance(cycle)
-        if self._deadlines:
-            expired = [
-                key
-                for key, (tracker, deadline) in self._deadlines.items()
-                if deadline <= cycle and not tracker.fully_active
-            ]
-            for key in expired:
-                tracker, _ = self._deadlines.pop(key)
-                self.partial_invalidations += 1
-                tracker.reset()
+        if self._block_waiters:
+            still_waiting = []
+            for tracker in self._block_waiters:
+                deadline = tracker.block_deadline
+                if deadline is None:
+                    # Disarmed since arming: reset/recycled, or upgraded to
+                    # a full search by an I-cache miss.  Drop silently.
+                    continue
+                if deadline > cycle:
+                    still_waiting.append(tracker)
+                    continue
+                tracker.block_deadline = None
+                if not tracker.fully_active:
+                    self.partial_invalidations += 1
+                    tracker.reset()
+            self._block_waiters = still_waiting
+            if self.audit is not None:
+                self.audit.on_tracker_event(self, "block_wait_expiry")
 
     # -- activation -------------------------------------------------------------
 
@@ -192,7 +215,9 @@ class PreloadEngine:
             self._start_partial_search(tracker, cycle)
         else:  # FilterMode.BLOCK: no search; wait for an I-cache miss.
             tracker.state = TrackerState.PARTIAL
-            self._deadlines[id(tracker)] = (tracker, cycle + BLOCK_MODE_WAIT_CYCLES)
+            tracker.block_deadline = cycle + BLOCK_MODE_WAIT_CYCLES
+            if tracker not in self._block_waiters:
+                self._block_waiters.append(tracker)
 
     def _start_partial_search(self, tracker: SearchTracker, cycle: int) -> None:
         """4-row (128 B) search at the miss address (3.5/3.6)."""
@@ -245,6 +270,8 @@ class PreloadEngine:
                 tracker.reset()
         elif tracker.state is TrackerState.FULL:
             tracker.reset()
+        if self.audit is not None:
+            self.audit.on_tracker_event(self, "tracker_drained")
 
     def flush(self) -> None:
         """Finish outstanding work (end of simulation).

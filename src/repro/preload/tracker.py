@@ -52,6 +52,11 @@ class SearchTracker:
     miss_address: int = 0
     #: Cycle the tracker (re)activated; used for oldest-first replacement.
     activated_cycle: int = 0
+    #: BLOCK-mode wait expiry cycle, or ``None`` when no wait is armed.
+    #: Kept *on the tracker* (not keyed by object id in the engine) so a
+    #: recycled tracker can never inherit a stale deadline: :meth:`reset`
+    #: disarms it atomically with the rest of the state.
+    block_deadline: int | None = None
     #: Row reads issued and not yet completed.
     outstanding_rows: int = field(default=0, repr=False)
     #: Rows already enqueued for this activation (avoid duplicate reads on
@@ -71,6 +76,7 @@ class SearchTracker:
         self.icache_miss_valid = False
         self.miss_address = 0
         self.activated_cycle = 0
+        self.block_deadline = None
         self.outstanding_rows = 0
         self.enqueued_rows = set()
 

@@ -1,0 +1,125 @@
+"""Auditor wiring, hook behaviour, collect mode, and the event trail."""
+
+import pytest
+
+from repro.audit import AUDIT_ENV, Auditor, AuditViolation, audit_from_env
+from repro.btb.entry import BTBEntry
+from repro.core.config import PredictorConfig
+from repro.engine.simulator import Simulator
+from tests.conftest import loop_trace
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=16, btb1_ways=2, btbp_rows=8, btbp_ways=2,
+        btb2_rows=64, btb2_ways=2, pht_entries=64, ctb_entries=64,
+        fit_entries=4, surprise_bht_entries=64,
+        ordering_table_sets=16, ordering_table_ways=2,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+class TestWiring:
+    def test_attach_plants_auditor_everywhere(self):
+        auditor = Auditor()
+        simulator = Simulator(config=small_config(), audit=auditor)
+        assert simulator.audit is auditor
+        assert simulator.search.audit is auditor
+        assert simulator.hierarchy.btb1.audit is auditor
+        assert simulator.hierarchy.btbp.audit is auditor
+        assert simulator.btb2.audit is auditor
+        assert simulator.preload.audit is auditor
+
+    def test_attach_tolerates_disabled_components(self):
+        simulator = Simulator(
+            config=small_config(btbp_enabled=False, btb2_enabled=False),
+            audit=Auditor(),
+        )
+        assert simulator.hierarchy.btbp is None
+        assert simulator.btb2 is None
+        assert simulator.preload is None
+
+    def test_unaudited_simulator_has_no_hooks(self):
+        simulator = Simulator(config=small_config())
+        assert simulator.audit is None
+        assert simulator.search.audit is None
+        assert simulator.hierarchy.btb1.audit is None
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Auditor(interval=0)
+
+
+class TestCleanRun:
+    def test_audited_run_passes_and_counts_checks(self):
+        auditor = Auditor(interval=8)
+        simulator = Simulator(config=small_config(), audit=auditor)
+        simulator.run(loop_trace(40))
+        summary = auditor.summary()
+        assert summary["clock_monotonicity"] == 40 * 5  # every instruction
+        assert summary["structural_scan"] >= 2  # periodic + finish
+        assert summary["counter_conservation"] == 1
+        assert summary["btb_row"] > 0
+        assert auditor.violations == []
+
+    def test_audited_results_match_unaudited(self):
+        trace = loop_trace(40)
+        plain = Simulator(config=small_config())
+        plain.run(trace)
+        audited = Simulator(config=small_config(), audit=Auditor(interval=8))
+        audited.run(trace)
+        assert audited.counters.cycles == plain.counters.cycles
+        assert audited.counters.outcomes == plain.counters.outcomes
+        assert audited.counters.penalty_cycles == plain.counters.penalty_cycles
+
+
+class TestFailureModes:
+    def corrupt(self, simulator):
+        # One object twice in a row: the identity bug's end state.
+        shared = BTBEntry(address=0x100, target=0x9999)
+        simulator.hierarchy.btb1._rows[
+            simulator.hierarchy.btb1.row_index(0x100)
+        ].extend([shared, shared])
+
+    def test_violation_raised_with_event_trail(self):
+        auditor = Auditor(interval=4)
+        simulator = Simulator(config=small_config(), audit=auditor)
+        self.corrupt(simulator)
+        with pytest.raises(AuditViolation) as exc_info:
+            simulator.run(loop_trace(40))
+        violation = exc_info.value
+        assert violation.check == "structural_scan"
+        assert any("duplicate tag" in problem
+                   for problem in violation.problems)
+        assert violation.events  # the trail made it into the exception
+        assert "last" in str(violation) and "step" in str(violation)
+
+    def test_violation_is_an_assertion_error(self):
+        assert issubclass(AuditViolation, AssertionError)
+
+    def test_collect_mode_keeps_simulating(self):
+        auditor = Auditor(interval=4, collect=True)
+        simulator = Simulator(config=small_config(), audit=auditor)
+        self.corrupt(simulator)
+        simulator.run(loop_trace(40))  # does not raise
+        assert auditor.violations
+        assert all(v.check == "structural_scan" for v in auditor.violations)
+
+    def test_finish_runs_final_scan(self):
+        auditor = Auditor(interval=10_000)  # periodic scan never fires
+        simulator = Simulator(config=small_config(), audit=auditor)
+        simulator.run(loop_trace(5))
+        assert auditor.summary()["structural_scan"] == 1
+
+
+class TestEnv:
+    def test_audit_from_env_parses_truthy_values(self, monkeypatch):
+        for value in ("1", "true", "on", " TRUE "):
+            monkeypatch.setenv(AUDIT_ENV, value)
+            assert audit_from_env()
+        for value in ("", "0", "false", "off", "banana"):
+            monkeypatch.setenv(AUDIT_ENV, value)
+            assert not audit_from_env()
+        monkeypatch.delenv(AUDIT_ENV)
+        assert not audit_from_env()

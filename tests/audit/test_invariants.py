@@ -1,0 +1,238 @@
+"""Each invariant check must catch its hand-corrupted counterexample."""
+
+import pytest
+
+from repro.audit import invariants
+from repro.btb.btb2 import BTB2
+from repro.btb.entry import BTBEntry
+from repro.btb.storage import BranchTargetBuffer
+from repro.caches.icache import ICache
+from repro.core.config import PredictorConfig
+from repro.core.events import Prediction, PredictionLevel
+from repro.core.hierarchy import FirstLevelPredictor
+from repro.engine.simulator import Simulator
+from repro.preload.engine import PreloadEngine
+from repro.preload.tracker import TrackerState
+from tests.conftest import BASE, loop_trace
+
+BLOCK = 0x40_0000
+
+
+def entry(address, target=0x9999):
+    return BTBEntry(address=address, target=target)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=16, btb1_ways=2, btbp_rows=8, btbp_ways=2,
+        btb2_rows=64, btb2_ways=2, pht_entries=64, ctb_entries=64,
+        fit_entries=4, surprise_bht_entries=64,
+        ordering_table_sets=16, ordering_table_ways=2,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+def make_engine(**overrides):
+    config = small_config(**overrides)
+    btb2 = BTB2(rows=config.btb2_rows, ways=config.btb2_ways)
+    hierarchy = FirstLevelPredictor(config, btb2=btb2)
+    icache = ICache(capacity_bytes=4096, ways=2, line_bytes=256,
+                    miss_window=1000)
+    return PreloadEngine(config, btb2, hierarchy, icache)
+
+
+class TestBtbRow:
+    def test_clean_row_passes(self):
+        btb = BranchTargetBuffer(rows=8, ways=2)
+        btb.install(entry(0x100))
+        btb.install(entry(0x110))
+        assert invariants.check_btb(btb) == []
+
+    def test_overfull_row_detected(self):
+        btb = BranchTargetBuffer(rows=8, ways=2)
+        row = btb._rows[0]
+        row.extend([entry(0x100), entry(0x110), entry(0x118)])
+        problems = invariants.check_btb_row(btb, row)
+        assert any("3 entries" in problem for problem in problems)
+
+    def test_duplicate_tags_detected(self):
+        btb = BranchTargetBuffer(rows=8, ways=2)
+        row = btb._rows[0]
+        row.extend([entry(0x100), entry(0x100)])
+        problems = invariants.check_btb_row(btb, row)
+        assert any("duplicate tag" in problem for problem in problems)
+
+    def test_duplicate_objects_detected(self):
+        # The pre-fix ``touch`` could insert one object twice via an
+        # equality match; the duplicate-tag check catches that shape too.
+        btb = BranchTargetBuffer(rows=8, ways=2)
+        shared = entry(0x100)
+        row = btb._rows[0]
+        row.extend([shared, shared])
+        assert invariants.check_btb_row(btb, row)
+
+    def test_whole_btb_scan_finds_corrupt_row(self):
+        btb = BranchTargetBuffer(rows=8, ways=2)
+        btb.install(entry(0x100))
+        btb._rows[3].extend([entry(0x100 + 3 * 0x20)] * 2)
+        assert invariants.check_btb(btb)
+
+
+class TestExclusivity:
+    def test_clean_hierarchy_passes(self):
+        config = small_config()
+        btb2 = BTB2(rows=64, ways=2)
+        hierarchy = FirstLevelPredictor(config, btb2=btb2)
+        hierarchy.btb1.install(entry(0x100))
+        hierarchy.btbp.install(entry(0x200))
+        btb2.install(entry(0x100))  # equal-but-distinct clone is legal
+        assert invariants.check_exclusivity(hierarchy, btb2) == []
+
+    def test_shared_object_between_btb1_and_btbp_detected(self):
+        hierarchy = FirstLevelPredictor(small_config())
+        shared = entry(0x100)
+        hierarchy.btb1.install(shared)
+        hierarchy.btbp._rows[hierarchy.btbp.row_index(0x100)].append(shared)
+        problems = invariants.check_exclusivity(hierarchy)
+        assert any("BTB1 and BTBP share" in problem for problem in problems)
+
+    def test_btb2_reference_leak_detected(self):
+        config = small_config()
+        btb2 = BTB2(rows=64, ways=2)
+        hierarchy = FirstLevelPredictor(config, btb2=btb2)
+        leaked = entry(0x100)
+        hierarchy.btb1.install(leaked)
+        btb2._rows[btb2.row_index(0x100)].append(leaked)
+        problems = invariants.check_exclusivity(hierarchy, btb2)
+        assert any("BTB2 shares" in problem for problem in problems)
+
+
+class TestTrackers:
+    def test_clean_trackers_pass(self):
+        engine = make_engine()
+        assert invariants.check_trackers(engine) == []
+
+    def test_free_tracker_with_armed_deadline_detected(self):
+        # The pre-fix engine kept deadlines keyed by ``id(tracker)`` — after
+        # a reset the recycled tracker aliased the stale deadline.  On the
+        # tracker itself this state is now directly checkable.
+        engine = make_engine()
+        tracker = engine.trackers.trackers[0]
+        tracker.block_deadline = 500
+        problems = invariants.check_trackers(engine)
+        assert any("stale deadline" in problem for problem in problems)
+
+    def test_free_tracker_with_valid_bits_detected(self):
+        engine = make_engine()
+        tracker = engine.trackers.trackers[0]
+        tracker.btb1_miss_valid = True
+        problems = invariants.check_trackers(engine)
+        assert any("FREE but has valid bits" in problem
+                   for problem in problems)
+
+    def test_two_trackers_on_one_block_detected(self):
+        engine = make_engine()
+        for tracker in engine.trackers.trackers[:2]:
+            tracker.state = TrackerState.PARTIAL
+            tracker.block = BLOCK
+            tracker.btb1_miss_valid = True
+        problems = invariants.check_trackers(engine)
+        assert any("both track block" in problem for problem in problems)
+
+    def test_deadline_on_fully_active_tracker_detected(self):
+        engine = make_engine()
+        tracker = engine.trackers.trackers[0]
+        tracker.state = TrackerState.PARTIAL
+        tracker.block = BLOCK
+        tracker.btb1_miss_valid = True
+        tracker.icache_miss_valid = True
+        tracker.block_deadline = 500
+        problems = invariants.check_trackers(engine)
+        assert any("fully active" in problem for problem in problems)
+
+    def test_icache_only_with_search_in_flight_detected(self):
+        engine = make_engine()
+        tracker = engine.trackers.trackers[0]
+        tracker.state = TrackerState.ICACHE_ONLY
+        tracker.block = BLOCK
+        tracker.icache_miss_valid = True
+        tracker.outstanding_rows = 2
+        problems = invariants.check_trackers(engine)
+        assert any("search in flight" in problem for problem in problems)
+
+
+class TestCounterConservation:
+    def run_simulator(self):
+        simulator = Simulator(config=small_config())
+        simulator.run(loop_trace(30))
+        return simulator
+
+    def test_real_run_conserves(self):
+        simulator = self.run_simulator()
+        assert invariants.check_counter_conservation(simulator) == []
+
+    def test_dropped_outcome_detected(self):
+        simulator = self.run_simulator()
+        outcomes = simulator.counters.outcomes
+        kind = next(k for k, v in outcomes.items() if v)
+        outcomes[kind] -= 1
+        problems = invariants.check_counter_conservation(simulator)
+        assert any("outcome kinds sum" in problem for problem in problems)
+
+    def test_unattributed_cycles_detected(self):
+        simulator = self.run_simulator()
+        simulator.counters.cycles += 5.0
+        problems = invariants.check_counter_conservation(simulator)
+        assert any("cycle conservation" in problem for problem in problems)
+
+
+class TestPredictionResidency:
+    def make_prediction(self, resident_entry, level=PredictionLevel.BTB1):
+        return Prediction(
+            branch_address=resident_entry.address, taken=True, target=0x9999,
+            level=level, ready_cycle=0, entry=resident_entry,
+        )
+
+    def test_resident_entry_passes(self):
+        hierarchy = FirstLevelPredictor(small_config())
+        resident = entry(0x100)
+        hierarchy.btb1.install(resident)
+        prediction = self.make_prediction(resident)
+        assert invariants.check_prediction_residency(hierarchy,
+                                                     prediction) == []
+
+    def test_evicted_entry_detected(self):
+        hierarchy = FirstLevelPredictor(small_config())
+        evicted = entry(0x100)
+        prediction = self.make_prediction(evicted)
+        problems = invariants.check_prediction_residency(hierarchy, prediction)
+        assert any("absent" in problem for problem in problems)
+
+    def test_equal_but_distinct_object_detected(self):
+        # The pre-fix identity bug's signature: an equal clone resident
+        # where the prediction's own object should be.
+        hierarchy = FirstLevelPredictor(small_config())
+        hierarchy.btb1.install(entry(0x100))
+        prediction = self.make_prediction(entry(0x100))
+        problems = invariants.check_prediction_residency(hierarchy, prediction)
+        assert any("different object" in problem for problem in problems)
+
+    def test_btbp_claim_without_btbp_detected(self):
+        hierarchy = FirstLevelPredictor(small_config(btbp_enabled=False))
+        prediction = self.make_prediction(entry(0x100),
+                                          level=PredictionLevel.BTBP)
+        problems = invariants.check_prediction_residency(hierarchy, prediction)
+        assert any("no BTBP" in problem for problem in problems)
+
+
+class TestSimulatorScan:
+    def test_fresh_simulator_passes(self):
+        assert invariants.check_simulator(Simulator(config=small_config())) == []
+
+    def test_scan_composes_component_checks(self):
+        simulator = Simulator(config=small_config())
+        shared = entry(0x100)
+        simulator.hierarchy.btb1.install(shared)
+        simulator.btb2._rows[simulator.btb2.row_index(0x100)].append(shared)
+        assert invariants.check_simulator(simulator)

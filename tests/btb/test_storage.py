@@ -134,6 +134,65 @@ class TestReplacement:
         assert btb.evictions == 1
 
 
+class TestIdentitySemantics:
+    """``touch``/``demote`` match by identity, consistent with ``is_mru``.
+
+    Entries cross BTB levels as equal-but-distinct clones; recency
+    operations handed such a clone must not displace the resident object
+    (the pre-fix equality match replaced it, leaving a stale foreign
+    object resident — and could even insert one object into two rows).
+    """
+
+    def test_touch_with_equal_clone_is_noop(self):
+        btb = make_btb(rows=8, ways=2)
+        resident, other = entry(0x100), entry(0x104)
+        btb.install(resident)
+        btb.install(other)  # MRU=other
+        btb.touch(entry(0x100))  # clone, equal to ``resident``
+        assert btb.lookup(0x100) is resident
+        assert btb.is_mru(other)  # recency unchanged
+
+    def test_touch_promotes_the_resident_object_itself(self):
+        btb = make_btb(rows=8, ways=2)
+        resident, other = entry(0x100), entry(0x104)
+        btb.install(resident)
+        btb.install(other)
+        btb.touch(resident)
+        assert btb.is_mru(resident)
+        assert btb.lookup(0x100) is resident
+
+    def test_demote_with_equal_clone_is_noop(self):
+        btb = make_btb(rows=8, ways=2)
+        a, b = entry(0x100), entry(0x104)
+        btb.install(a)
+        btb.install(b)  # MRU=b, LRU=a
+        btb.demote(entry(0x104))  # clone of the MRU entry
+        assert btb.is_mru(b)
+        assert btb.lookup(0x104) is b
+
+    def test_clone_touch_never_duplicates_an_object(self):
+        # Pre-fix failure shape: remove-by-equality then insert-by-reference
+        # could leave the *same object* in the row twice via two clones.
+        btb = make_btb(rows=8, ways=4)
+        resident = entry(0x100)
+        btb.install(resident)
+        btb.install(entry(0x104))
+        btb.touch(entry(0x100))
+        btb.demote(entry(0x100))
+        row = btb._rows[btb.row_index(0x100)]
+        assert len(row) == len({id(e) for e in row}) == 2
+
+    def test_touch_of_evicted_entry_is_noop(self):
+        btb = make_btb(rows=8, ways=1)
+        evicted = entry(0x100)
+        btb.install(evicted)
+        btb.install(entry(0x104))  # evicts ``evicted``
+        btb.touch(evicted)
+        btb.demote(evicted)
+        assert btb.lookup(0x100) is None
+        assert btb.lookup(0x104) is not None
+
+
 class TestProperties:
     @given(st.lists(st.integers(min_value=0, max_value=0x7FF).map(lambda v: v * 2),
                     max_size=300))

@@ -1,5 +1,7 @@
 """Tests for the lookahead search pipeline timing (Tables 1 and 2)."""
 
+import pytest
+
 from repro.btb.btb2 import BTB2
 from repro.btb.btbp import WriteSource
 from repro.btb.entry import BTBEntry, STRONG_NOT_TAKEN
@@ -17,6 +19,7 @@ from repro.core.search import (
     MISS_DETECT_LATENCY,
     SEQUENTIAL_CYCLES_PER_ROW,
 )
+from repro.isa.address import ROW_BYTES
 
 
 def make_search(miss_limit=4, on_miss=None):
@@ -152,6 +155,30 @@ class TestMissDetection:
         # Two full empty searches precede the third's completion.
         expected = 2 * SEQUENTIAL_CYCLES_PER_ROW + MISS_DETECT_LATENCY
         assert outcome.miss_reports[0].cycle == expected
+
+    @pytest.mark.parametrize("miss_limit", (1, 2, 4, 6))
+    @pytest.mark.parametrize("restart_cycle", (0, 37))
+    def test_table2_report_lands_on_b3_of_limit_th_empty_search(
+        self, miss_limit, restart_cycle
+    ):
+        # Table 2 pin: empty search k starts its b0 at
+        # ``restart + (k-1) * SEQUENTIAL_CYCLES_PER_ROW`` (the 2 cycles per
+        # row are b0-to-b0 throughput), and the miss is detected at the b3
+        # stage of search ``miss_limit`` — three cycles after that b0, NOT
+        # after the row's throughput charge.  ``_note_empty_search`` stamps
+        # before charging the row to get exactly this.
+        hierarchy, search = make_search(miss_limit=miss_limit)
+        search.restart(0x1000, restart_cycle)
+        branch_address = 0x1000 + miss_limit * ROW_BYTES + 4
+        install_taken(hierarchy, branch_address, 0x2000)
+        outcome = search.advance_to_branch(branch_address)
+        assert len(outcome.miss_reports) == 1
+        assert outcome.miss_reports[0].cycle == (
+            restart_cycle
+            + (miss_limit - 1) * SEQUENTIAL_CYCLES_PER_ROW
+            + MISS_DETECT_LATENCY
+        )
+        assert outcome.miss_reports[0].search_address == 0x1000
 
     def test_no_miss_below_limit(self):
         hierarchy, search = make_search(miss_limit=4)

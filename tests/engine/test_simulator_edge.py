@@ -46,6 +46,73 @@ class TestContextSwitches:
         result = simulate(trace, config=small_config())
         assert result.counters.outcomes[OutcomeKind.SURPRISE_COMPULSORY] == 1
 
+    def test_switch_forces_refetch_even_within_the_same_line(self):
+        # A discontinuity back into the line being fetched must still go
+        # through the I-cache: the old stream's fetch state is dead.  The
+        # pre-fix simulator kept ``_current_line`` across the switch and
+        # skipped the fetch entirely.
+        simulator = Simulator(config=small_config())
+        for record in straightline(BASE, 4):
+            simulator.step(record)
+        assert simulator.icache.hits == 0  # one demand miss, then in-line
+        for record in straightline(BASE, 4):  # jumps back: context switch
+            simulator.step(record)
+        assert simulator.counters.context_switches == 1
+        assert simulator.icache.hits == 1  # line genuinely re-fetched
+
+    def test_switch_drops_stale_prefetch_attributions(self):
+        # A prefetch launched by the old context must not attribute a
+        # hidden/partially-hidden miss after a context switch: the new
+        # context never launched it.  Pre-fix, the in-flight fill survived
+        # the switch and charged an ``icache_partial_miss`` wait.
+        target = BASE + 0x8000
+        other = BASE + 0x4000_0000
+        trace = (
+            straightline(BASE, 2)
+            + [branch(BASE + 8, taken=True, target=target)]
+            + straightline(other, 2)     # switch: the taken edge never ran
+            + straightline(target, 2)    # switch back into the prefetched line
+        )
+        result = simulate(trace, config=small_config())
+        assert result.counters.context_switches == 2
+        assert result.counters.icache_partially_hidden_misses == 0
+        assert result.counters.icache_hidden_misses == 0
+
+
+class TestLineFillPruning:
+    def test_prune_drops_only_evicted_lines(self):
+        # The fill book-keeping prune must not discard pending hidden-miss
+        # attributions for lines still resident in the I-cache.  The
+        # pre-fix prune dropped every *completed* fill, so a later fetch of
+        # a prefetched resident line lost its ``icache_hidden_misses``
+        # credit.
+        simulator = Simulator(config=small_config())
+        simulator.LINE_FILL_PRUNE_LIMIT = 4
+        resident = BASE + 0x10_0000
+        simulator.icache.prefetch(resident)
+        simulator._line_fills[resident] = 1.0  # long since completed
+        for index in range(5):  # stale fills: lines the icache never kept
+            simulator._line_fills[BASE + 0x20_0000 + index * 0x100] = 1.0
+        simulator._prefetch_target(BASE + 0x30_0000, 0.0)  # triggers prune
+        assert resident in simulator._line_fills
+        assert all(
+            simulator.icache.contains(line)
+            for line in simulator._line_fills
+        )
+
+    def test_pruned_survivor_still_attributes_hidden_miss(self):
+        simulator = Simulator(config=small_config())
+        simulator.LINE_FILL_PRUNE_LIMIT = 4
+        resident = BASE + 0x10_0000
+        simulator.icache.prefetch(resident)
+        simulator._line_fills[resident] = 0.25  # completes before decode
+        for index in range(5):
+            simulator._line_fills[BASE + 0x20_0000 + index * 0x100] = 1.0
+        simulator._prefetch_target(BASE + 0x30_0000, 0.0)
+        for record in straightline(resident, 2):
+            simulator.step(record)
+        assert simulator.counters.icache_hidden_misses == 1
+
 
 class TestEmptyAndTiny:
     def test_empty_trace(self):

@@ -15,6 +15,7 @@ import os
 import pytest
 
 from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING
 from repro.experiments.common import (
     RunResult,
     load_cached_run,
@@ -226,3 +227,57 @@ class TestSessionSummaryRendering:
         from repro.metrics.report import render_run_summary
 
         assert render_run_summary(ExecutionLog()) == ["_runs: none requested._"]
+
+
+class TestAuditedRuns:
+    def test_audited_run_matches_unaudited(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path))
+        plain = run_workload(SPEC, ZEC12_CONFIG_1, scale=SCALE)
+        audited = run_workload(SPEC, ZEC12_CONFIG_1, scale=SCALE, audit=True)
+        # Scientific payload identical (observability fields excluded).
+        assert audited == plain
+
+    def test_audited_run_bypasses_cache_read_but_stores(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path))
+        key = run_fingerprint(SPEC, ZEC12_CONFIG_1, DEFAULT_TIMING, SCALE)
+        # Poison the cache: a plausible but wrong entry.  An unaudited run
+        # would serve it; an audited run must re-simulate past it.
+        bogus = RunResult(
+            workload=SPEC.name, config=ZEC12_CONFIG_1.name, cpi=123.0,
+            instructions=1, branches=1, outcome_fractions={},
+            preload_stats={},
+        )
+        store_cached_run(key, bogus)
+        assert run_workload(SPEC, ZEC12_CONFIG_1, scale=SCALE).cpi == 123.0
+        audited = run_workload(SPEC, ZEC12_CONFIG_1, scale=SCALE, audit=True)
+        assert audited.cpi != 123.0
+        # ... and the fresh result was published over the bogus entry.
+        assert load_cached_run(key) == audited
+
+    def test_env_var_enables_auditing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path))
+        key = run_fingerprint(SPEC, ZEC12_CONFIG_1, DEFAULT_TIMING, SCALE)
+        bogus = RunResult(
+            workload=SPEC.name, config=ZEC12_CONFIG_1.name, cpi=123.0,
+            instructions=1, branches=1, outcome_fractions={},
+            preload_stats={},
+        )
+        store_cached_run(key, bogus)
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        assert run_workload(SPEC, ZEC12_CONFIG_1, scale=SCALE).cpi != 123.0
+
+    def test_run_many_audited_specs_skip_cache_reads(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path))
+        spec = RunSpec(SPEC, ZEC12_CONFIG_1, scale=SCALE)
+        run_many([spec])  # warm the cache
+        log = ExecutionLog()
+        audited_spec = RunSpec(SPEC, ZEC12_CONFIG_1, scale=SCALE, audit=True)
+        (result,) = run_many([audited_spec], log=log)
+        assert log.cache_hits == 0 and log.simulated == 1
+        (unaudited,) = run_many([spec], log=log)
+        assert log.cache_hits == 1
+        assert result == unaudited

@@ -132,6 +132,64 @@ class TestTrackerLifecycle:
         assert engine.trackers.busy() == 0
 
 
+class TestBlockModeDeadlines:
+    """BLOCK-mode wait deadlines must die with the tracker activation.
+
+    The pre-fix engine kept deadlines in a dict keyed by ``id(tracker)``:
+    a tracker reset and recycled for a new block aliased the stale
+    deadline, which then fired and invalidated the *new* activation.
+    """
+
+    def test_recycled_tracker_ignores_stale_deadline(self):
+        engine = make_engine(filter_mode=FilterMode.BLOCK, trackers=1)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        tracker = engine.trackers.trackers[0]
+        deadline = tracker.block_deadline
+        assert deadline == 10 + BLOCK_MODE_WAIT_CYCLES
+        # The wait is abandoned (replacement, flush, ...) and the tracker
+        # is recycled for an unrelated block before the old deadline.
+        tracker.reset()
+        other_block = BLOCK + 0x40_0000
+        engine.report_icache_miss(other_block + 0x80, cycle=12)
+        assert engine.trackers.find(other_block) is tracker
+        assert tracker.state is TrackerState.ICACHE_ONLY
+        engine.advance(deadline + 5)
+        # Pre-fix: the stale deadline fired here and reset the tracker.
+        assert tracker.state is TrackerState.ICACHE_ONLY
+        assert tracker.block == other_block
+        assert engine.partial_invalidations == 0
+
+    def test_upgrade_disarms_the_wait(self):
+        engine = make_engine(filter_mode=FilterMode.BLOCK)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        tracker = engine.trackers.find(BLOCK)
+        assert tracker.block_deadline is not None
+        engine.report_icache_miss(BLOCK + 0x200, cycle=20)
+        assert tracker.block_deadline is None
+        assert tracker.state is TrackerState.FULL
+        engine.advance(10 + BLOCK_MODE_WAIT_CYCLES + 5)
+        assert engine.partial_invalidations == 0
+
+    def test_rearming_after_expiry_works(self):
+        engine = make_engine(filter_mode=FilterMode.BLOCK, trackers=1)
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x100,
+                                           cycle=10))
+        engine.advance(10 + BLOCK_MODE_WAIT_CYCLES + 1)
+        tracker = engine.trackers.trackers[0]
+        assert tracker.state is TrackerState.FREE
+        assert engine.partial_invalidations == 1
+        # The same tracker object arms a fresh wait for a new activation.
+        rearm_cycle = 500
+        engine.report_btb1_miss(MissReport(search_address=BLOCK + 0x300,
+                                           cycle=rearm_cycle))
+        assert tracker.block_deadline == rearm_cycle + BLOCK_MODE_WAIT_CYCLES
+        engine.advance(rearm_cycle + BLOCK_MODE_WAIT_CYCLES + 1)
+        assert tracker.state is TrackerState.FREE
+        assert engine.partial_invalidations == 2
+
+
 class TestTransfersReachBTBP:
     def test_full_search_moves_content_into_btbp(self):
         engine = make_engine(filter_mode=FilterMode.OFF)
