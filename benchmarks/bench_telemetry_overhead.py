@@ -1,0 +1,96 @@
+"""Telemetry off-path overhead measurement.
+
+The ISSUE-3 contract: with telemetry disabled the simulator must pay no
+measurable cost (> 2 %) for carrying the hook sites.  The off path is a
+bare attribute test (``if self.telemetry is not None``) per hook site —
+the same discipline the auditor uses — so the honest way to bound the
+overhead is to measure that guard directly and scale it by a generous
+per-record hook count, then compare against the real per-record
+simulation cost.
+
+``test_off_path_guard_budget`` does exactly that and asserts the ratio.
+``test_whole_run_off_vs_on`` prints the end-to-end rates with telemetry
+off and fully on for the curious (the ON path is allowed to be slower —
+it does real work); it is informational, not a gate.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import ZEC12_CONFIG_2
+from repro.engine.simulator import Simulator
+from repro.telemetry import Telemetry
+from repro.workloads.catalog import workload_by_name
+
+#: Upper bound on telemetry guard evaluations per trace record.  A
+#: non-branch record hits ~2 sites (fetch, sampler tick); a branch adds
+#: lookup/outcome/surprise/profiler sites; preload activity adds a few
+#: more amortised over many records.  8 is comfortably above the mean.
+GUARDS_PER_RECORD = 8
+
+OVERHEAD_BUDGET = 0.02  # the ISSUE-3 "no measurable slowdown" bar
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return workload_by_name("TPF").trace(scale=0.06)
+
+
+class _Host:
+    """Stand-in carrying the exact attribute the hook sites test."""
+
+    __slots__ = ("telemetry",)
+
+    def __init__(self):
+        self.telemetry = None
+
+
+def _guard_cost_seconds(iterations: int = 2_000_000) -> float:
+    """Per-evaluation cost of ``if host.telemetry is not None``."""
+    host = _Host()
+    sink = 0
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if host.telemetry is not None:  # pragma: no cover - never taken
+                sink += 1
+        best = min(best, time.perf_counter() - start)
+    assert sink == 0
+    return best / iterations
+
+
+def test_off_path_guard_budget(trace):
+    runs = [time.perf_counter()]
+    for _ in range(3):
+        Simulator(ZEC12_CONFIG_2).run(trace)
+        runs.append(time.perf_counter())
+    per_record = min(b - a for a, b in zip(runs, runs[1:])) / len(trace)
+
+    per_guard = _guard_cost_seconds()
+    overhead = GUARDS_PER_RECORD * per_guard / per_record
+    print(f"\nper-record sim cost: {per_record * 1e6:.2f} us, "
+          f"guard cost: {per_guard * 1e9:.1f} ns, "
+          f"off-path overhead: {100 * overhead:.3f}% "
+          f"(budget {100 * OVERHEAD_BUDGET:.0f}%)")
+    assert overhead < OVERHEAD_BUDGET
+
+
+def test_whole_run_off_vs_on(benchmark, trace):
+    def run_on():
+        telemetry = Telemetry.full(sample_interval=4096)
+        return Simulator(ZEC12_CONFIG_2, telemetry=telemetry).run(trace)
+
+    off_marks = [time.perf_counter()]
+    for _ in range(3):
+        Simulator(ZEC12_CONFIG_2).run(trace)
+        off_marks.append(time.perf_counter())
+    off = min(b - a for a, b in zip(off_marks, off_marks[1:]))
+
+    result = benchmark.pedantic(run_on, rounds=3, iterations=1)
+    on = benchmark.stats["min"]
+    print(f"\ntelemetry off: {len(trace) / off:,.0f} records/s, "
+          f"fully on: {len(trace) / on:,.0f} records/s "
+          f"({on / off:.2f}x; the ON path does real work)")
+    assert result.counters.instructions == len(trace)

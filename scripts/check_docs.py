@@ -14,6 +14,10 @@ runnable standalone::
    directory with an ``__init__.py``) must be mentioned by name in
    ``docs/ARCHITECTURE.md``, so the module map cannot silently rot as the
    codebase grows.
+3. **Required headings** — sections other parts of the repo rely on
+   (e.g. the observability and tracing how-tos that ARCHITECTURE.md and
+   the CLI docs cross-reference) must keep existing under their
+   registered titles.
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
@@ -33,6 +37,20 @@ _SKIP_DIRS = {".git", ".results_cache", ".trace_cache", "__pycache__",
               ".pytest_cache", "build", "dist", ".eggs", "node_modules"}
 
 ARCHITECTURE_DOC = Path("docs") / "ARCHITECTURE.md"
+
+#: Doc -> headings that must exist verbatim (line-anchored).  Sections
+#: other code or docs link to by name register here so a rename or
+#: deletion fails the suite instead of silently orphaning the reference.
+REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
+    "docs/ARCHITECTURE.md": (
+        "## Observability",
+        "## Auditing & invariants",
+    ),
+    "docs/EXPERIMENTS.md": (
+        "## Tracing, timelines, and profiles",
+        "## Auditing and fuzzing: `--audit` / `REPRO_AUDIT`",
+    ),
+}
 
 
 def markdown_files(root: Path) -> list[Path]:
@@ -106,10 +124,26 @@ def check_architecture_coverage(root: Path) -> list[str]:
     return problems
 
 
+def check_required_headings(root: Path) -> list[str]:
+    """Registered headings missing from their documents."""
+    problems = []
+    for doc, headings in REQUIRED_HEADINGS.items():
+        path = root / doc
+        if not path.exists():
+            problems.append(f"{doc} does not exist")
+            continue
+        lines = {line.rstrip() for line in path.read_text().splitlines()}
+        for heading in headings:
+            if heading not in lines:
+                problems.append(f"{doc}: missing heading '{heading}'")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
-    problems = check_links(root) + check_architecture_coverage(root)
+    problems = (check_links(root) + check_architecture_coverage(root)
+                + check_required_headings(root))
     for problem in problems:
         print(problem)
     if problems:

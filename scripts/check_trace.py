@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Telemetry artifact checker: JSONL event streams and Chrome traces.
+
+Validates the files the ``simulate --trace`` / ``--chrome-trace`` flags
+produce, for CI smoke steps and by hand::
+
+    PYTHONPATH=src python scripts/check_trace.py events.jsonl
+    PYTHONPATH=src python scripts/check_trace.py --chrome trace.json
+    PYTHONPATH=src python scripts/check_trace.py ev1.jsonl ev2.jsonl --chrome t.json
+
+* **JSONL** files are checked line by line against the event schema
+  (``repro.telemetry.events``): required common fields, per-kind payload
+  fields, exact types. Extra fields are fine; unknown kinds are not.
+* **Chrome** files must parse as JSON with a non-empty ``traceEvents``
+  list whose events carry the ``trace_event`` essentials (``ph``/``pid``,
+  names and timestamps per phase type), with every duration begin ("B")
+  matched by an end ("E") on its (pid, tid) stack — Perfetto loads such
+  a file without complaint.
+
+Exit status 0 when every file is clean; 1 with a per-problem report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.telemetry.events import validate_jsonl  # noqa: E402
+
+
+def check_jsonl_file(path: Path) -> list[str]:
+    """Schema problems of one JSONL event file."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as error:
+        return [f"unreadable: {error}"]
+    if not any(line.strip() for line in lines):
+        return ["no events (empty file)"]
+    return validate_jsonl(lines)
+
+
+def check_chrome_file(path: Path) -> list[str]:
+    """Structural problems of one Chrome ``trace_event`` file."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as error:
+        return [f"unreadable: {error}"]
+    except ValueError as error:
+        return [f"not JSON: {error}"]
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["missing top-level 'traceEvents' object"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["'traceEvents' is not a non-empty list"]
+
+    problems = []
+    stacks: dict[tuple, list[str]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str):
+            problems.append(f"event {index}: missing phase 'ph'")
+            continue
+        if "pid" not in event:
+            problems.append(f"event {index}: missing 'pid'")
+        if phase in ("B", "E", "i", "X"):
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event {index}: {phase} without numeric 'ts'")
+            if phase != "E" and not isinstance(event.get("name"), str):
+                problems.append(f"event {index}: {phase} without 'name'")
+        elif phase == "M":
+            if not isinstance(event.get("name"), str):
+                problems.append(f"event {index}: metadata without 'name'")
+        else:
+            problems.append(f"event {index}: unknown phase {phase!r}")
+        if phase in ("B", "E"):
+            key = (event.get("pid"), event.get("tid"))
+            stack = stacks.setdefault(key, [])
+            if phase == "B":
+                stack.append(event.get("name", "?"))
+            elif not stack:
+                problems.append(f"event {index}: E without matching B")
+            else:
+                stack.pop()
+    for key, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"unclosed span(s) on pid/tid {key}: {', '.join(stack)}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", nargs="*", type=Path,
+                        help="JSONL event stream file(s) to validate")
+    parser.add_argument("--chrome", action="append", default=[], type=Path,
+                        metavar="FILE",
+                        help="Chrome trace_event file(s) to validate")
+    args = parser.parse_args(argv)
+    if not args.jsonl and not args.chrome:
+        parser.error("nothing to check: give JSONL files and/or --chrome")
+
+    failures = 0
+    for path in args.jsonl:
+        problems = check_jsonl_file(path)
+        _report(path, "jsonl", problems)
+        failures += bool(problems)
+    for path in args.chrome:
+        problems = check_chrome_file(path)
+        _report(path, "chrome", problems)
+        failures += bool(problems)
+    return 1 if failures else 0
+
+
+def _report(path: Path, kind: str, problems: list[str]) -> None:
+    if problems:
+        for problem in problems[:20]:
+            print(f"{path} [{kind}]: {problem}")
+        if len(problems) > 20:
+            print(f"{path} [{kind}]: ... {len(problems) - 20} more")
+    else:
+        print(f"{path} [{kind}]: OK")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

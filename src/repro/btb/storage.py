@@ -41,6 +41,8 @@ class BranchTargetBuffer:
         #: Optional :class:`repro.audit.Auditor`; ``None`` keeps every write
         #: path on the fast branch (one attribute test per mutation).
         self.audit = None
+        #: Optional :class:`repro.telemetry.Telemetry`; ``None`` = no tracing.
+        self.telemetry = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -108,6 +110,10 @@ class BranchTargetBuffer:
         ways.insert(0 if make_mru else len(ways), entry)
         if self.audit is not None:
             self.audit.on_btb_write(self, "install", ways)
+        if self.telemetry is not None:
+            self.telemetry.on_install(self.name, entry.address)
+            if victim is not None:
+                self.telemetry.on_evict(self.name, victim.address)
         return victim
 
     def install_lru(self, entry: BTBEntry) -> BTBEntry | None:

@@ -3,13 +3,18 @@
 Commands:
 
 * ``simulate`` — run one workload under one or more configurations and
-  print the comparison report.
+  print the comparison report; ``--trace``/``--chrome-trace``/``--sample``/
+  ``--profile`` attach the telemetry subsystem and export its artifacts.
 * ``workloads`` — list the Table 4 workload catalog (paper counters).
 * ``tables`` — print the paper's structural tables (1, 2, 3, 5).
 * ``figure`` — regenerate one figure (2-7) at a chosen scale, optionally
   fanning its simulation runs over ``--jobs`` worker processes.
 * ``report`` — regenerate the full paper-vs-measured report (the
   ``repro.experiments.run_all`` entry point).
+* ``timeline`` — run one workload with the time-series sampler and print
+  the ASCII occupancy/rate timeline (optionally writing the CSV).
+* ``profile`` — run one workload with the per-branch profiler and print
+  the top-K worst-offenders report.
 
 Everything the CLI does is also available as a library API; the CLI is a
 thin argparse layer over :mod:`repro.experiments` and
@@ -33,6 +38,13 @@ from repro.core.config import (
 from repro.engine.simulator import Simulator
 from repro.metrics.counters import cpi_improvement
 from repro.metrics.report import format_result
+from repro.telemetry import (
+    BranchProfiler,
+    Sampler,
+    Telemetry,
+    Tracer,
+    render_timeline,
+)
 from repro.workloads.catalog import TABLE4_WORKLOADS, workload_by_name
 
 CONFIGS: dict[str, PredictorConfig] = {
@@ -51,18 +63,65 @@ def _cmd_workloads(_args) -> int:
     return 0
 
 
+def _build_telemetry(args) -> Telemetry | None:
+    """A telemetry hub matching the ``simulate`` flags, or ``None``."""
+    tracer = Tracer() if (args.trace or args.chrome_trace) else None
+    sampler = Sampler(args.sample_interval) if args.sample else None
+    profiler = BranchProfiler() if args.profile is not None else None
+    if tracer is None and sampler is None and profiler is None:
+        return None
+    return Telemetry(tracer=tracer, sampler=sampler, profiler=profiler)
+
+
+def _suffixed(path: str, key: str, multi: bool) -> str:
+    """Per-config output path: ``out.jsonl`` -> ``out.cfg2.jsonl``."""
+    if not multi:
+        return path
+    root, dot, extension = path.rpartition(".")
+    if not dot or "/" in extension:
+        return f"{path}.cfg{key}"
+    return f"{root}.cfg{key}.{extension}"
+
+
+def _export_telemetry(args, telemetry: Telemetry, key: str,
+                      multi: bool) -> None:
+    """Write the artifacts the ``simulate`` telemetry flags asked for."""
+    if args.trace:
+        count = telemetry.tracer.write_jsonl(
+            _suffixed(args.trace, key, multi))
+        print(f"wrote {count:,} events to "
+              f"{_suffixed(args.trace, key, multi)}")
+    if args.chrome_trace:
+        count = telemetry.tracer.write_chrome_trace(
+            _suffixed(args.chrome_trace, key, multi))
+        print(f"wrote {count:,} trace events to "
+              f"{_suffixed(args.chrome_trace, key, multi)}")
+    if args.sample:
+        count = telemetry.sampler.write_csv(
+            _suffixed(args.sample, key, multi))
+        print(f"wrote {count:,} samples to "
+              f"{_suffixed(args.sample, key, multi)}")
+    if args.profile is not None:
+        print(telemetry.profiler.render(args.profile))
+
+
 def _cmd_simulate(args) -> int:
     spec = workload_by_name(args.workload)
     print(f"workload: {spec.name} (scale {args.scale})")
     trace = spec.trace(scale=args.scale)
     print(f"{len(trace):,} records\n")
     results = []
+    multi = len(args.configs) > 1
     for key in args.configs:
         config = CONFIGS[key]
         auditor = Auditor() if args.audit else None
-        result = Simulator(config, audit=auditor).run(trace)
+        telemetry = _build_telemetry(args)
+        result = Simulator(config, audit=auditor,
+                           telemetry=telemetry).run(trace)
         results.append(result)
         print(format_result(result))
+        if telemetry is not None:
+            _export_telemetry(args, telemetry, key, multi)
         print()
     if len(results) > 1:
         base = results[0]
@@ -70,6 +129,40 @@ def _cmd_simulate(args) -> int:
             gain = cpi_improvement(base.cpi, other.cpi)
             print(f"{other.config_name} vs {base.config_name}: "
                   f"{gain:+.2f}% CPI")
+    return 0
+
+
+def _run_with_telemetry(args, telemetry: Telemetry):
+    """Shared ``timeline``/``profile`` setup: one instrumented run."""
+    spec = workload_by_name(args.workload)
+    trace = spec.trace(scale=args.scale)
+    config = CONFIGS[args.config]
+    auditor = Auditor() if args.audit else None
+    result = Simulator(config, audit=auditor, telemetry=telemetry).run(trace)
+    return spec, result
+
+
+def _cmd_timeline(args) -> int:
+    sampler = Sampler(args.interval)
+    telemetry = Telemetry(sampler=sampler)
+    spec, result = _run_with_telemetry(args, telemetry)
+    title = (f"{spec.name} / {result.config_name} — "
+             f"{result.counters.instructions:,} instructions, "
+             f"CPI {result.cpi:.3f}")
+    print(render_timeline(sampler, title=title, width=args.width))
+    if args.csv:
+        count = sampler.write_csv(args.csv)
+        print(f"wrote {count:,} samples to {args.csv}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    profiler = BranchProfiler()
+    telemetry = Telemetry(profiler=profiler)
+    spec, result = _run_with_telemetry(args, telemetry)
+    title = (f"{spec.name} / {result.config_name} — "
+             f"per-branch penalty profile (top {args.top})")
+    print(profiler.render(args.top, title=title))
     return 0
 
 
@@ -158,6 +251,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--scale", type=float, default=0.35)
     _add_audit_argument(simulate)
+    simulate.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the structured event trace as JSONL to PATH "
+             "(suffixed per config when several run)",
+    )
+    simulate.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON (Perfetto-loadable) to PATH",
+    )
+    simulate.add_argument(
+        "--sample", metavar="PATH", default=None,
+        help="sample occupancy/rates every --sample-interval cycles and "
+             "write the timeline CSV to PATH",
+    )
+    simulate.add_argument(
+        "--sample-interval", type=int, default=1024, metavar="CYCLES",
+        help="cycles between timeline samples (default: 1024)",
+    )
+    simulate.add_argument(
+        "--profile", type=int, nargs="?", const=10, default=None, metavar="K",
+        help="print the top-K per-branch penalty profile (default K: 10)",
+    )
 
     sub.add_parser("tables", help="print tables 1, 2, 3 and 5")
 
@@ -176,6 +291,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(report)
     _add_audit_argument(report)
 
+    timeline = sub.add_parser(
+        "timeline", help="ASCII time-series of one instrumented run"
+    )
+    timeline.add_argument("workload", help="catalog name (substring match)")
+    timeline.add_argument(
+        "--config", choices=sorted(CONFIGS), default="2",
+        help="Table 3 configuration to run (default: 2)",
+    )
+    timeline.add_argument("--scale", type=float, default=0.35)
+    timeline.add_argument(
+        "--interval", type=int, default=1024, metavar="CYCLES",
+        help="cycles between samples (default: 1024)",
+    )
+    timeline.add_argument(
+        "--width", type=int, default=64,
+        help="sparkline width in characters (default: 64)",
+    )
+    timeline.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the sampled columns as CSV to PATH",
+    )
+    _add_audit_argument(timeline)
+
+    profile = sub.add_parser(
+        "profile", help="top-K per-branch penalty profile of one run"
+    )
+    profile.add_argument("workload", help="catalog name (substring match)")
+    profile.add_argument(
+        "--config", choices=sorted(CONFIGS), default="2",
+        help="Table 3 configuration to run (default: 2)",
+    )
+    profile.add_argument("--scale", type=float, default=0.35)
+    profile.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="branches to show (default: 10)",
+    )
+    _add_audit_argument(profile)
+
     return parser
 
 
@@ -188,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "timeline": _cmd_timeline,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -89,6 +89,8 @@ class LookaheadSearch:
         self.miss_reports_made = 0
         #: Optional :class:`repro.audit.Auditor`; ``None`` = no checking.
         self.audit = None
+        #: Optional :class:`repro.telemetry.Telemetry`; ``None`` = no tracing.
+        self.telemetry = None
 
     # -- control ------------------------------------------------------------
 
@@ -231,6 +233,8 @@ class LookaheadSearch:
             used_ctb=resolution.used_ctb,
         )
         self.predictions_made += 1
+        if self.telemetry is not None:
+            self.telemetry.on_prediction(self.cycle, prediction)
         self.cycle += cost
         if resolution.taken and resolution.target is not None:
             self._last_taken_address = hit.entry.address
@@ -261,6 +265,9 @@ class LookaheadSearch:
         return COST_NOT_TAKEN
 
     def _flush(self, reports: list[MissReport]) -> list[MissReport]:
+        if self.telemetry is not None:
+            for report in reports:
+                self.telemetry.on_miss_report(report)
         if self.on_miss is not None:
             for report in reports:
                 self.on_miss(report)

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit -> engine)
     from repro.audit import Auditor
+    from repro.telemetry import Telemetry
 
 from repro.btb.btb2 import BTB2
 from repro.caches.icache import ICache
@@ -76,6 +77,7 @@ class Simulator:
         config: PredictorConfig = ZEC12_CONFIG_2,
         timing: TimingParams = DEFAULT_TIMING,
         audit: "Auditor | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.config = config
         self.timing = timing
@@ -112,6 +114,9 @@ class Simulator:
         self.audit = audit
         if audit is not None:
             audit.attach(self)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach(self)
 
     # -- callbacks -----------------------------------------------------------
 
@@ -146,6 +151,8 @@ class Simulator:
             self.search.restart(record.address, math.ceil(self._cycle))
             self._current_line = -1
             self._line_fills.clear()
+            if self.telemetry is not None:
+                self.telemetry.on_context_switch(self._cycle, record.address)
         self._expected_address = record.next_address
         self.counters.instructions += 1
         self._cycle += self.timing.base_decode_cycles
@@ -158,6 +165,8 @@ class Simulator:
             self.preload.observe_completion(record.address)
         if self.audit is not None:
             self.audit.after_step(self, record)
+        if self.telemetry is not None:
+            self.telemetry.after_step(self, record)
 
     def finish(self) -> SimulationResult:
         """Finalize clocks and snapshot structure statistics."""
@@ -166,6 +175,8 @@ class Simulator:
         self.counters.cycles = self._cycle
         if self.audit is not None:
             self.audit.after_finish(self)
+        if self.telemetry is not None:
+            self.telemetry.after_finish(self)
         return self._result()
 
     # -- instruction fetch -------------------------------------------------------
@@ -178,18 +189,25 @@ class Simulator:
         hit = self.icache.fetch(address, int(self._cycle))
         fill = self._line_fills.pop(line, None)
         if hit:
+            result = "hit"
             if fill is not None:
                 wait = fill - self._cycle
                 if wait > 0:
                     # Prefetch launched but not complete: partially hidden.
                     self._penalize("icache_partial_miss", wait)
                     self.counters.icache_partially_hidden_misses += 1
+                    result = "partial"
                 else:
                     self.counters.icache_hidden_misses += 1
+                    result = "hidden"
+            if self.telemetry is not None:
+                self.telemetry.on_fetch(self._cycle, address, result)
             return
         # Demand miss, L2 hit (L2+ infinite per the paper's methodology).
         self.counters.icache_demand_misses += 1
         self._penalize("icache_miss", self.timing.l2_instruction_latency)
+        if self.telemetry is not None:
+            self.telemetry.on_fetch(self._cycle, address, "miss")
         if self.preload is not None:
             self.preload.report_icache_miss(address, int(self._cycle))
 
@@ -243,6 +261,10 @@ class Simulator:
         correct_target = (not record.taken) or prediction.target == record.target
         if correct_direction and correct_target:
             self.counters.record_outcome(OutcomeKind.GOOD_DYNAMIC)
+            if self.telemetry is not None:
+                self.telemetry.on_outcome(
+                    self._cycle, record, OutcomeKind.GOOD_DYNAMIC, 0.0
+                )
             if record.taken and record.target is not None:
                 self._prefetch_target(record.target, prediction.ready_cycle)
         else:
@@ -254,6 +276,13 @@ class Simulator:
                 kind = OutcomeKind.MISPREDICT_NOT_TAKEN_TAKEN
             self.counters.record_outcome(kind)
             self._penalize("mispredict", self.timing.mispredict_penalty)
+            if self.telemetry is not None:
+                self.telemetry.on_outcome(
+                    self._cycle, record, kind, self.timing.mispredict_penalty
+                )
+                self.telemetry.on_resteer(
+                    self._cycle, record.next_address, "mispredict"
+                )
             self._restart_search(record.next_address)
         self.hierarchy.train(prediction.entry, record)
         self.hierarchy.record_resolved_branch(record)
@@ -273,6 +302,13 @@ class Simulator:
         bad = guess_taken or record.taken
         if not bad:
             self.counters.record_outcome(OutcomeKind.GOOD_SURPRISE)
+            if self.telemetry is not None:
+                self.telemetry.on_surprise(
+                    self._cycle, record.address, "good", guess_taken
+                )
+                self.telemetry.on_outcome(
+                    self._cycle, record, OutcomeKind.GOOD_SURPRISE, 0.0
+                )
             if late_prediction is not None and late_prediction.taken:
                 # The late prediction steered the searcher to a taken target
                 # the pipeline never followed: resync it sequentially (no
@@ -282,9 +318,13 @@ class Simulator:
             self.hierarchy.record_resolved_branch(record)
             return
 
-        self.counters.record_outcome(
-            self._classify_surprise(seen_before, resident_level, late_prediction)
-        )
+        kind = self._classify_surprise(seen_before, resident_level,
+                                       late_prediction)
+        self.counters.record_outcome(kind)
+        if self.telemetry is not None:
+            self.telemetry.on_surprise(
+                self._cycle, record.address, kind.value, guess_taken
+            )
         if (
             self.preload is not None
             and self.config.decode_miss_reporting
@@ -301,6 +341,11 @@ class Simulator:
             math.ceil(self._cycle + penalty - self.timing.frontend_refill_cycles)
         )
         self._penalize("surprise", penalty)
+        if self.telemetry is not None:
+            self.telemetry.on_outcome(self._cycle, record, kind, penalty)
+            self.telemetry.on_resteer(
+                self._cycle, record.next_address, "surprise"
+            )
         if record.taken and record.target is not None:
             self._prefetch_target(record.target, self._cycle)
             self.hierarchy.surprise_install(record)
@@ -419,6 +464,9 @@ def simulate(
     config: PredictorConfig = ZEC12_CONFIG_2,
     timing: TimingParams = DEFAULT_TIMING,
     audit: "Auditor | None" = None,
+    telemetry: "Telemetry | None" = None,
 ) -> SimulationResult:
     """Convenience one-call simulation of ``records`` under ``config``."""
-    return Simulator(config=config, timing=timing, audit=audit).run(records)
+    return Simulator(
+        config=config, timing=timing, audit=audit, telemetry=telemetry
+    ).run(records)

@@ -108,6 +108,10 @@ class ExecutionLog:
 
     cache_hits: int = 0
     simulated: int = 0
+    #: Runs that skipped the cache *read* because they were audited — they
+    #: count under ``simulated`` too, but the cache-hit rate must not treat
+    #: them as misses (they never asked).
+    audit_bypassed: int = 0
     simulated_instructions: int = 0
     simulated_seconds: float = 0.0
     batch_seconds: float = 0.0
@@ -115,12 +119,15 @@ class ExecutionLog:
     max_workers: int = 1
     #: worker name -> (runs, simulated seconds).
     workers: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: Host-side report phase -> wall seconds (``record_phase``).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def record_batch(self, results: Sequence[RunResult], hits: int,
-                     elapsed: float, jobs: int) -> None:
+                     elapsed: float, jobs: int, bypassed: int = 0) -> None:
         """Fold one :func:`run_many` batch into the session totals."""
         self.batches += 1
         self.cache_hits += hits
+        self.audit_bypassed += bypassed
         self.batch_seconds += elapsed
         self.max_workers = max(self.max_workers, jobs)
         for run in results:
@@ -136,6 +143,15 @@ class ExecutionLog:
     def requested(self) -> int:
         """Unique runs requested across all batches (hits + simulations)."""
         return self.cache_hits + self.simulated
+
+    @property
+    def cache_eligible(self) -> int:
+        """Runs that actually consulted the cache (audited ones did not)."""
+        return self.requested - self.audit_bypassed
+
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of host wall time under phase ``name``."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
     @property
     def throughput(self) -> float:
@@ -203,6 +219,7 @@ def run_many(
             results[key] = cached
     misses = [(key, spec) for key, spec in unique.items() if key not in results]
     hits = len(results)
+    bypassed = sum(1 for spec in unique.values() if spec.resolved_audit())
 
     items = [
         (spec.workload, spec.config, spec.timing, spec.resolved_scale(),
@@ -216,7 +233,8 @@ def run_many(
     for (key, _), run in zip(misses, simulated):
         results[key] = run
 
-    log.record_batch(simulated, hits, time.perf_counter() - started, jobs)
+    log.record_batch(simulated, hits, time.perf_counter() - started, jobs,
+                     bypassed=bypassed)
     return [results[key] for key in keys]
 
 

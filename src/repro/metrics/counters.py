@@ -80,6 +80,22 @@ class SimCounters:
         return self.outcomes[kind] / self.branches if self.branches else 0.0
 
     @property
+    def total_penalty_cycles(self) -> float:
+        """All stall cycles attributed across causes."""
+        return sum(self.penalty_cycles.values())
+
+    def penalty_fraction(self, cause: str) -> float:
+        """Share of attributed penalty cycles charged to ``cause``.
+
+        Returns 0.0 on an empty run (no penalties attributed) and for
+        causes never seen, so report code can divide unconditionally.
+        """
+        total = self.total_penalty_cycles
+        if not total:
+            return 0.0
+        return self.penalty_cycles.get(cause, 0.0) / total
+
+    @property
     def bad_outcome_fraction(self) -> float:
         """Fraction of all branch outcomes that are bad (Figure 4 headline)."""
         return self.bad_outcomes / self.branches if self.branches else 0.0

@@ -18,6 +18,10 @@ if TYPE_CHECKING:  # avoid a metrics <-> engine/experiments import cycle
     from repro.engine.simulator import SimulationResult
     from repro.experiments.pool import ExecutionLog
 
+#: Outcome-name column width: the longest taxonomy value, so adding an
+#: OutcomeKind can never misalign the report.
+_OUTCOME_WIDTH = max(len(kind.value) for kind in OutcomeKind)
+
 
 def format_result(result: "SimulationResult", title: str | None = None) -> str:
     """Multi-line report of one simulation run."""
@@ -36,7 +40,7 @@ def format_result(result: "SimulationResult", title: str | None = None) -> str:
         count = counters.outcomes[kind]
         if count:
             lines.append(
-                f"    {kind.value:36s} {count:9,d}  "
+                f"    {kind.value:{_OUTCOME_WIDTH}s} {count:9,d}  "
                 f"{100 * counters.outcome_fraction(kind):5.2f}%"
             )
     if counters.penalty_cycles:
@@ -80,6 +84,12 @@ def render_run_summary(log: "ExecutionLog") -> list[str]:
         f"batches; {log.cache_hits} served from cache, "
         f"{log.simulated} simulated (workers <= {log.max_workers})._"
     ]
+    if log.audit_bypassed:
+        lines.append(
+            f"_  {log.audit_bypassed} audited runs bypassed the cache; "
+            f"hit rate over the {log.cache_eligible} eligible: "
+            f"{100 * log.cache_hits / max(1, log.cache_eligible):.0f}%._"
+        )
     if log.simulated:
         lines.append(
             "_simulated "
@@ -89,6 +99,12 @@ def render_run_summary(log: "ExecutionLog") -> list[str]:
         for name in sorted(log.workers):
             runs, seconds = log.workers[name]
             lines.append(f"_  worker {name}: {runs} runs, {seconds:.1f} s._")
+    if log.phase_seconds:
+        lines.append("_report phases (host wall time):_")
+        for name, seconds in sorted(
+            log.phase_seconds.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"_  {name}: {seconds:.1f} s._")
     return lines
 
 

@@ -73,6 +73,8 @@ class PreloadEngine:
         self._block_waiters: list[SearchTracker] = []
         #: Optional :class:`repro.audit.Auditor`; ``None`` = no checking.
         self.audit = None
+        #: Optional :class:`repro.telemetry.Telemetry`; ``None`` = no tracing.
+        self.telemetry = None
         self.full_searches = 0
         self.partial_searches = 0
         self.partial_upgrades = 0
@@ -106,6 +108,10 @@ class PreloadEngine:
         if tracker is None:
             self.trackers.dropped_miss_reports += 1
             return
+        if self.telemetry is not None:
+            self.telemetry.on_tracker_allocate(
+                report.cycle, self.trackers.slot(tracker), block, "partial"
+            )
         tracker.btb1_miss_valid = True
         tracker.miss_address = report.search_address
         if self.icache is not None and self.icache.recent_miss_in_block(
@@ -129,6 +135,10 @@ class PreloadEngine:
             if tracker is None:
                 self.trackers.dropped_icache_reports += 1
                 return
+            if self.telemetry is not None:
+                self.telemetry.on_tracker_allocate(
+                    cycle, self.trackers.slot(tracker), block, "icache_only"
+                )
             tracker.icache_miss_valid = True
             return
         if tracker.icache_miss_valid:
@@ -148,7 +158,12 @@ class PreloadEngine:
         to* the search-based one when ``decode_miss_reporting`` is enabled.
         """
         self.decode_miss_reports += 1
-        self.report_btb1_miss(MissReport(search_address=address, cycle=cycle))
+        report = MissReport(search_address=address, cycle=cycle)
+        if self.telemetry is not None:
+            # Decode-synthesized reports bypass the searcher's flush, so the
+            # perceived-miss trace event is emitted here instead.
+            self.telemetry.on_miss_report(report)
+        self.report_btb1_miss(report)
 
     def _install_transfer(self, entry) -> None:
         """Install one transferred entry, optionally chasing its target.
@@ -171,6 +186,11 @@ class PreloadEngine:
         tracker = self.trackers.allocate(target_block, self.transfer.clock)
         if tracker is None:
             return
+        if self.telemetry is not None:
+            self.telemetry.on_tracker_allocate(
+                self.transfer.clock, self.trackers.slot(tracker),
+                target_block, "followed",
+            )
         tracker.btb1_miss_valid = True
         tracker.icache_miss_valid = True  # followed blocks bypass the filter
         tracker.miss_address = entry.target
@@ -199,6 +219,11 @@ class PreloadEngine:
                 tracker.block_deadline = None
                 if not tracker.fully_active:
                     self.partial_invalidations += 1
+                    if self.telemetry is not None:
+                        self.telemetry.on_tracker_expire(
+                            cycle, self.trackers.slot(tracker),
+                            tracker.block, "block_wait_expired",
+                        )
                     tracker.reset()
             self._block_waiters = still_waiting
             if self.audit is not None:
@@ -218,18 +243,37 @@ class PreloadEngine:
             tracker.block_deadline = cycle + BLOCK_MODE_WAIT_CYCLES
             if tracker not in self._block_waiters:
                 self._block_waiters.append(tracker)
+            if self.telemetry is not None:
+                self.telemetry.on_tracker_arm(
+                    cycle, self.trackers.slot(tracker), tracker.block,
+                    "block_wait", 0,
+                )
 
     def _start_partial_search(self, tracker: SearchTracker, cycle: int) -> None:
         """4-row (128 B) search at the miss address (3.5/3.6)."""
         tracker.state = TrackerState.PARTIAL
         self.partial_searches += 1
-        self.transfer.enqueue_sector(
+        queued = self.transfer.enqueue_sector(
             tracker,
             sector_address(tracker.miss_address),
             eligible_cycle=cycle + MISS_TO_SEARCH_START,
             priority=PRIORITY_PARTIAL,
             rows=self.config.partial_search_rows,
         )
+        if self.telemetry is not None:
+            slot = self.trackers.slot(tracker)
+            self.telemetry.on_tracker_arm(
+                cycle, slot, tracker.block, "partial",
+                self.config.partial_search_rows,
+            )
+            if queued:
+                sector = (
+                    sector_address(tracker.miss_address)
+                    - block_address(tracker.miss_address)
+                ) // SECTOR_BYTES
+                self.telemetry.on_btb2_search_start(
+                    cycle, slot, sector, queued, PRIORITY_PARTIAL
+                )
 
     def _start_full_search(self, tracker: SearchTracker, cycle: int) -> None:
         """Steered full-block search: all 128 rows of the 4 KB block."""
@@ -242,19 +286,30 @@ class PreloadEngine:
         )
         eligible = cycle + MISS_TO_SEARCH_START
         block = block_address(tracker.miss_address)
-        for sector, priority_class in classify_sectors(entry, tracker.miss_address):
+        sectors = list(classify_sectors(entry, tracker.miss_address))
+        if self.telemetry is not None:
+            self.telemetry.on_tracker_arm(
+                cycle, self.trackers.slot(tracker), tracker.block, "full",
+                len(sectors) * ROWS_PER_SECTOR,
+            )
+        for sector, priority_class in sectors:
             priority = (
                 PRIORITY_DEMAND
                 if priority_class == 0
                 else PRIORITY_REST_BASE + priority_class - 1
             )
-            self.transfer.enqueue_sector(
+            queued = self.transfer.enqueue_sector(
                 tracker,
                 block + sector * SECTOR_BYTES,
                 eligible_cycle=eligible,
                 priority=priority,
                 rows=ROWS_PER_SECTOR,
             )
+            if self.telemetry is not None and queued:
+                self.telemetry.on_btb2_search_start(
+                    cycle, self.trackers.slot(tracker), sector, queued,
+                    priority,
+                )
 
     # -- completion -----------------------------------------------------------
 
@@ -267,11 +322,26 @@ class PreloadEngine:
                 self._start_full_search(tracker, cycle)
             else:
                 self.partial_invalidations += 1
+                self._note_batch_done(tracker, cycle, "partial_invalidated")
                 tracker.reset()
         elif tracker.state is TrackerState.FULL:
+            self._note_batch_done(tracker, cycle, "drained")
             tracker.reset()
         if self.audit is not None:
             self.audit.on_tracker_event(self, "tracker_drained")
+
+    def _note_batch_done(self, tracker: SearchTracker, cycle: int,
+                         reason: str) -> None:
+        """Emit the end-of-activation transfer summary and expiry events."""
+        if self.telemetry is not None:
+            slot = self.trackers.slot(tracker)
+            self.telemetry.on_transfer_batch(
+                cycle, slot, tracker.block,
+                len(tracker.enqueued_rows), tracker.transferred_entries,
+            )
+            self.telemetry.on_tracker_expire(
+                cycle, slot, tracker.block, reason
+            )
 
     def flush(self) -> None:
         """Finish outstanding work (end of simulation).

@@ -62,6 +62,9 @@ class SearchTracker:
     #: Rows already enqueued for this activation (avoid duplicate reads on
     #: partial -> full upgrade).
     enqueued_rows: set[int] = field(default_factory=set, repr=False)
+    #: First-level installs delivered by this activation's transfers
+    #: (telemetry only; summarised in the ``transfer_batch`` trace event).
+    transferred_entries: int = field(default=0, repr=False)
 
     @property
     def fully_active(self) -> bool:
@@ -79,6 +82,7 @@ class SearchTracker:
         self.block_deadline = None
         self.outstanding_rows = 0
         self.enqueued_rows = set()
+        self.transferred_entries = 0
 
 
 class TrackerFile:
@@ -135,6 +139,10 @@ class TrackerFile:
         tracker.activated_cycle = cycle
         tracker.state = state
         self.allocations += 1
+
+    def slot(self, tracker: SearchTracker) -> int:
+        """Index of ``tracker`` in the file (stable telemetry identity)."""
+        return self.trackers.index(tracker)
 
     def busy(self) -> int:
         """Number of non-free trackers."""

@@ -67,6 +67,8 @@ class TransferEngine:
         self.clock = 0
         self.rows_read = 0
         self.entries_transferred = 0
+        #: Optional :class:`repro.telemetry.Telemetry`; ``None`` = no tracing.
+        self.telemetry = None
 
     # -- enqueue -------------------------------------------------------------
 
@@ -131,7 +133,10 @@ class TransferEngine:
     def _complete_until(self, cycle: int) -> None:
         while self._inflight and self._inflight[0][0] <= cycle:
             completion, _, row_address, tracker = heapq.heappop(self._inflight)
-            self._deliver_row(row_address)
+            hits = self._deliver_row(row_address)
+            tracker.transferred_entries += hits
+            if self.telemetry is not None:
+                self.telemetry.on_btb2_row(completion, row_address, hits)
             tracker.outstanding_rows -= 1
             if (
                 tracker.outstanding_rows == 0
@@ -139,8 +144,11 @@ class TransferEngine:
             ):
                 self.on_tracker_drained(tracker, completion)
 
-    def _deliver_row(self, row_address: int) -> None:
-        """Read one BTB2 row and install every hit into the first level."""
+    def _deliver_row(self, row_address: int) -> int:
+        """Read one BTB2 row and install every hit into the first level.
+
+        Returns the number of entries installed.
+        """
         hits = self.btb2.search_row(row_address)
         for entry in hits:
             if self.exclusivity is ExclusivityMode.INCLUSIVE:
@@ -150,6 +158,7 @@ class TransferEngine:
             self.btb2.transfer_hits += 1
             self.entries_transferred += 1
             self.install(entry.clone())
+        return len(hits)
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,0 +1,169 @@
+"""Telemetry event taxonomy and schema validation.
+
+One telemetry event is a flat JSON object: a simulated-cycle timestamp
+(``cycle``), an event kind (``kind``, one of :class:`EventKind`), and the
+kind-specific payload fields of :data:`EVENT_SCHEMA`.  The taxonomy covers
+the full prediction/preload lifecycle the paper's mechanism moves through:
+instruction fetch, first-level lookups, surprise classification, perceived
+misses, tracker lifecycle, BTB2 search and transfer, structure writes, and
+pipeline resteers.
+
+The schema here is the contract for every consumer: the JSONL stream the
+:class:`~repro.telemetry.tracer.Tracer` writes, the Chrome ``trace_event``
+export, and the CI smoke checker (``scripts/check_trace.py``).  Validation
+is dependency-free on purpose (no ``jsonschema`` in the image): field
+presence plus exact-type checks, tolerant of *extra* fields so the schema
+can grow without invalidating old traces.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any, Iterable
+
+
+class EventKind(enum.Enum):
+    """Every event type the tracer can emit."""
+
+    #: A new 256-byte fetch line demanded by decode (``result`` says how
+    #: it resolved: hit / hidden / partial / miss).
+    FETCH = "fetch"
+    #: The lookahead search found a first-level entry and broadcast a
+    #: prediction (the BTB1/BTBP lookup, with PHT/CTB usage flags).
+    LOOKUP = "lookup"
+    #: A branch reached decode unpredicted and was classified
+    #: (compulsory / latency / capacity, or a good surprise).
+    SURPRISE = "surprise"
+    #: A dynamic branch resolved; ``penalty`` is the stall it charged.
+    OUTCOME = "outcome"
+    #: The search pipeline perceived a BTB1 miss (Table 2 report).
+    MISS_PERCEIVED = "miss_perceived"
+    #: A search tracker claimed a 4 KB block.
+    TRACKER_ALLOCATE = "tracker_allocate"
+    #: A tracker armed a search (``mode``: partial / full / block_wait).
+    TRACKER_ARM = "tracker_arm"
+    #: A tracker returned to FREE (``reason`` says why).
+    TRACKER_EXPIRE = "tracker_expire"
+    #: A sector's row reads were queued against the BTB2.
+    BTB2_SEARCH_START = "btb2_search_start"
+    #: One pipelined BTB2 row read completed (``hits`` entries matched).
+    BTB2_ROW = "btb2_row"
+    #: A tracker's whole transfer drained: the bulk-preload burst summary.
+    TRANSFER_BATCH = "transfer_batch"
+    #: An entry was written into a BTB structure.
+    INSTALL = "install"
+    #: An entry was evicted from a BTB structure.
+    EVICT = "evict"
+    #: The pipeline redirected fetch/search (mispredict or bad surprise).
+    RESTEER = "resteer"
+    #: Trace discontinuity: time-slice switch or interrupt.
+    CONTEXT_SWITCH = "context_switch"
+
+
+#: ``kind`` -> required payload fields and their exact python types.
+#: ``bool`` is checked before ``int`` (bool subclasses int); ``float``
+#: accepts ints (JSON round-trips 4.0 as 4).
+EVENT_SCHEMA: dict[str, dict[str, type]] = {
+    EventKind.FETCH.value: {"address": int, "result": str},
+    EventKind.LOOKUP.value: {
+        "address": int, "level": str, "taken": bool,
+        "used_pht": bool, "used_ctb": bool,
+    },
+    EventKind.SURPRISE.value: {
+        "address": int, "class": str, "guess_taken": bool,
+    },
+    EventKind.OUTCOME.value: {
+        "address": int, "outcome": str, "penalty": float,
+    },
+    EventKind.MISS_PERCEIVED.value: {"address": int},
+    EventKind.TRACKER_ALLOCATE.value: {
+        "tracker": int, "block": int, "state": str,
+    },
+    EventKind.TRACKER_ARM.value: {
+        "tracker": int, "block": int, "mode": str, "rows": int,
+    },
+    EventKind.TRACKER_EXPIRE.value: {
+        "tracker": int, "block": int, "reason": str,
+    },
+    EventKind.BTB2_SEARCH_START.value: {
+        "tracker": int, "sector": int, "rows": int, "priority": int,
+    },
+    EventKind.BTB2_ROW.value: {"row": int, "hits": int},
+    EventKind.TRANSFER_BATCH.value: {
+        "tracker": int, "block": int, "rows": int, "entries": int,
+    },
+    EventKind.INSTALL.value: {"btb": str, "address": int},
+    EventKind.EVICT.value: {"btb": str, "address": int},
+    EventKind.RESTEER.value: {"address": int, "cause": str},
+    EventKind.CONTEXT_SWITCH.value: {"address": int},
+}
+
+#: Fields every event must carry regardless of kind.
+COMMON_FIELDS: dict[str, type] = {"cycle": float, "kind": str}
+
+
+def _type_ok(value: Any, expected: type) -> bool:
+    if expected is bool:
+        return isinstance(value, bool)
+    if expected is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, expected)
+
+
+def validate_event(event: Any) -> list[str]:
+    """Schema problems of one event object (empty list = valid)."""
+    if not isinstance(event, dict):
+        return [f"event is not an object: {event!r}"]
+    problems = []
+    for name, expected in COMMON_FIELDS.items():
+        if name not in event:
+            problems.append(f"missing common field '{name}'")
+        elif not _type_ok(event[name], expected):
+            problems.append(
+                f"field '{name}' has type {type(event[name]).__name__}, "
+                f"expected {expected.__name__}"
+            )
+    kind = event.get("kind")
+    if not isinstance(kind, str):
+        return problems
+    fields = EVENT_SCHEMA.get(kind)
+    if fields is None:
+        problems.append(f"unknown event kind '{kind}'")
+        return problems
+    for name, expected in fields.items():
+        if name not in event:
+            problems.append(f"{kind}: missing field '{name}'")
+        elif not _type_ok(event[name], expected):
+            problems.append(
+                f"{kind}: field '{name}' has type "
+                f"{type(event[name]).__name__}, expected {expected.__name__}"
+            )
+    return problems
+
+
+def validate_events(events: Iterable[Any]) -> list[str]:
+    """Schema problems across ``events``, prefixed with their index."""
+    problems = []
+    for index, event in enumerate(events):
+        for problem in validate_event(event):
+            problems.append(f"event {index}: {problem}")
+    return problems
+
+
+def validate_jsonl(lines: Iterable[str]) -> list[str]:
+    """Schema problems of a JSONL event stream (one event per line)."""
+    problems = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError as error:
+            problems.append(f"line {number}: not JSON ({error})")
+            continue
+        for problem in validate_event(event):
+            problems.append(f"line {number}: {problem}")
+    return problems

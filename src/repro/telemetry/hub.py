@@ -1,0 +1,194 @@
+"""The :class:`Telemetry` hub: one object the instrumented components call.
+
+Mirrors the :class:`repro.audit.Auditor` wiring exactly: every
+instrumented component (:class:`~repro.engine.simulator.Simulator`,
+:class:`~repro.core.search.LookaheadSearch`,
+:class:`~repro.btb.storage.BranchTargetBuffer`,
+:class:`~repro.preload.engine.PreloadEngine`,
+:class:`~repro.preload.transfer.TransferEngine`) carries a ``telemetry``
+attribute defaulting to ``None``, and every hook site is a single
+attribute test — zero per-event cost, zero closure allocations, when
+telemetry is off.  Passing a :class:`Telemetry` to the simulator wires it
+into the whole tree (:meth:`attach`).
+
+The hub multiplexes three independent pillars, each optional:
+
+* :class:`~repro.telemetry.tracer.Tracer` — typed lifecycle events;
+* :class:`~repro.telemetry.sampler.Sampler` — fixed-interval snapshots;
+* :class:`~repro.telemetry.profiler.BranchProfiler` — per-static-branch
+  outcome/penalty attribution.
+
+BTB structures have no clock of their own, so install/evict events are
+stamped with the hub's decode-cycle watermark (``now``), refreshed each
+step and at every transfer completion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.telemetry.events import EventKind
+from repro.telemetry.profiler import BranchProfiler
+from repro.telemetry.sampler import Sampler
+from repro.telemetry.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import MissReport, OutcomeKind, Prediction
+    from repro.engine.simulator import Simulator
+    from repro.trace.record import TraceRecord
+
+
+class Telemetry:
+    """Tracing, sampling and profiling for one simulator, behind one hub."""
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        sampler: Sampler | None = None,
+        profiler: BranchProfiler | None = None,
+    ) -> None:
+        self.tracer = tracer
+        self.sampler = sampler
+        self.profiler = profiler
+        #: Decode-clock watermark: the timestamp for clock-less components.
+        self.now = 0.0
+
+    @classmethod
+    def full(cls, sample_interval: int = 1024) -> "Telemetry":
+        """A hub with all three pillars enabled."""
+        return cls(tracer=Tracer(), sampler=Sampler(sample_interval),
+                   profiler=BranchProfiler())
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, simulator: "Simulator") -> None:
+        """Wire this hub into ``simulator`` and its components."""
+        simulator.search.telemetry = self
+        simulator.hierarchy.btb1.telemetry = self
+        if simulator.hierarchy.btbp is not None:
+            simulator.hierarchy.btbp.telemetry = self
+        if simulator.btb2 is not None:
+            simulator.btb2.telemetry = self
+        if simulator.preload is not None:
+            simulator.preload.telemetry = self
+            simulator.preload.transfer.telemetry = self
+        if self.sampler is not None:
+            # Cycle-0 baseline sample, before the first instruction.
+            self.sampler.sample(simulator)
+
+    # -- hooks: simulator --------------------------------------------------
+
+    def after_step(self, simulator: "Simulator",
+                   record: "TraceRecord") -> None:
+        """Per-instruction tick: clock watermark + periodic sampling."""
+        self.now = simulator._cycle
+        if self.sampler is not None:
+            self.sampler.maybe_sample(simulator)
+
+    def after_finish(self, simulator: "Simulator") -> None:
+        """End of run: one final sample so the series covers the tail."""
+        self.now = simulator._cycle
+        if self.sampler is not None:
+            self.sampler.sample(simulator)
+
+    def on_fetch(self, cycle: float, address: int, result: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.FETCH.value,
+                             address=address, result=result)
+
+    def on_outcome(self, cycle: float, record: "TraceRecord",
+                   kind: "OutcomeKind", penalty: float) -> None:
+        """A dynamic branch resolved and was classified (Figure 4)."""
+        if self.profiler is not None:
+            self.profiler.record(record.address, kind, penalty, record.taken)
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.OUTCOME.value,
+                             address=record.address, outcome=kind.value,
+                             penalty=penalty)
+
+    def on_surprise(self, cycle: float, address: int, classified: str,
+                    guess_taken: bool) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.SURPRISE.value, address=address,
+                             **{"class": classified,
+                                "guess_taken": guess_taken})
+
+    def on_resteer(self, cycle: float, address: int, cause: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.RESTEER.value,
+                             address=address, cause=cause)
+
+    def on_context_switch(self, cycle: float, address: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.CONTEXT_SWITCH.value,
+                             address=address)
+
+    # -- hooks: search pipeline --------------------------------------------
+
+    def on_prediction(self, cycle: float, prediction: "Prediction") -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.LOOKUP.value,
+                             address=prediction.branch_address,
+                             level=prediction.level.value,
+                             taken=prediction.taken,
+                             used_pht=prediction.used_pht,
+                             used_ctb=prediction.used_ctb)
+
+    def on_miss_report(self, report: "MissReport") -> None:
+        if self.tracer is not None:
+            self.tracer.emit(report.cycle, EventKind.MISS_PERCEIVED.value,
+                             address=report.search_address)
+
+    # -- hooks: preload engine ---------------------------------------------
+
+    def on_tracker_allocate(self, cycle: float, slot: int, block: int,
+                            state: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.TRACKER_ALLOCATE.value,
+                             tracker=slot, block=block, state=state)
+
+    def on_tracker_arm(self, cycle: float, slot: int, block: int,
+                       mode: str, rows: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.TRACKER_ARM.value,
+                             tracker=slot, block=block, mode=mode, rows=rows)
+
+    def on_tracker_expire(self, cycle: float, slot: int, block: int,
+                          reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.TRACKER_EXPIRE.value,
+                             tracker=slot, block=block, reason=reason)
+
+    def on_btb2_search_start(self, cycle: float, slot: int, sector: int,
+                             rows: int, priority: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.BTB2_SEARCH_START.value,
+                             tracker=slot, sector=sector, rows=rows,
+                             priority=priority)
+
+    def on_transfer_batch(self, cycle: float, slot: int, block: int,
+                          rows: int, entries: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.TRANSFER_BATCH.value,
+                             tracker=slot, block=block, rows=rows,
+                             entries=entries)
+
+    # -- hooks: transfer engine --------------------------------------------
+
+    def on_btb2_row(self, cycle: float, row: int, hits: int) -> None:
+        self.now = max(self.now, cycle)
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.BTB2_ROW.value,
+                             row=row, hits=hits)
+
+    # -- hooks: BTB storage ------------------------------------------------
+
+    def on_install(self, btb_name: str, address: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.now, EventKind.INSTALL.value,
+                             btb=btb_name, address=address)
+
+    def on_evict(self, btb_name: str, address: int) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.now, EventKind.EVICT.value,
+                             btb=btb_name, address=address)

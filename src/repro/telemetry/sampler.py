@@ -1,0 +1,194 @@
+"""Time-series sampling: periodic snapshots of the hierarchy's pressure.
+
+The run-end aggregates of :class:`repro.metrics.counters.SimCounters`
+cannot say *when* BTB1 occupancy saturated or how transfer-bus utilization
+tracked the miss bursts.  The :class:`Sampler` answers that: every
+``interval`` simulated cycles it snapshots occupancy, rolling (since the
+previous sample, not cumulative) outcome rates, tracker-file pressure and
+transfer utilization into a compact columnar record — one python list per
+column, no per-sample objects — exportable as CSV and renderable as the
+``repro timeline`` ASCII chart.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.simulator import Simulator
+
+#: Sampled columns, in CSV order.  "Rolling" columns are rates over the
+#: window since the previous sample; occupancy/pressure columns are
+#: point-in-time snapshots.
+COLUMNS = (
+    "cycle",
+    "instructions",
+    "btb1_occupancy",
+    "btbp_occupancy",
+    "btb2_occupancy",
+    "good_rate",            # good outcomes / branches, rolling window
+    "bad_rate",             # bad outcomes / branches, rolling window
+    "icache_miss_rate",     # demand misses / cycle, rolling window
+    "trackers_busy",
+    "transfer_pending",     # rows queued, not yet issued
+    "transfer_inflight",    # rows issued, not yet completed
+    "transfer_utilization", # rows read / cycle, rolling window
+)
+
+#: Sparkline glyphs, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+class Sampler:
+    """Fixed-interval columnar snapshotter of one simulator's state."""
+
+    def __init__(self, interval: int = 1024) -> None:
+        if interval < 1:
+            raise ValueError("interval must be at least 1")
+        self.interval = interval
+        self.columns: dict[str, list[float]] = {name: [] for name in COLUMNS}
+        self._next_cycle = 0.0
+        # Previous-sample counter snapshot for the rolling-window rates.
+        self._last_branches = 0
+        self._last_good = 0
+        self._last_icache_misses = 0
+        self._last_rows_read = 0
+        self._last_cycle = 0.0
+
+    def __len__(self) -> int:
+        return len(self.columns["cycle"])
+
+    def maybe_sample(self, simulator: "Simulator") -> None:
+        """Take a sample if ``interval`` cycles elapsed since the last."""
+        if simulator._cycle >= self._next_cycle:
+            self.sample(simulator)
+
+    def sample(self, simulator: "Simulator") -> None:
+        """Append one snapshot of ``simulator`` unconditionally."""
+        counters = simulator.counters
+        cycle = simulator._cycle
+        branches = counters.branches
+        good = branches - counters.bad_outcomes
+        instructions = counters.instructions
+        icache_misses = counters.icache_demand_misses
+        window_branches = branches - self._last_branches
+        window_good = good - self._last_good
+        window_misses = icache_misses - self._last_icache_misses
+        window_cycles = cycle - self._last_cycle
+        hierarchy = simulator.hierarchy
+        preload = simulator.preload
+        rows_read = preload.transfer.rows_read if preload is not None else 0
+        window_rows = rows_read - self._last_rows_read
+
+        values = {
+            "cycle": cycle,
+            "instructions": float(instructions),
+            "btb1_occupancy": hierarchy.btb1.occupancy(),
+            "btbp_occupancy": (
+                hierarchy.btbp.occupancy() if hierarchy.btbp is not None else 0.0
+            ),
+            "btb2_occupancy": (
+                simulator.btb2.occupancy() if simulator.btb2 is not None else 0.0
+            ),
+            "good_rate": (
+                window_good / window_branches if window_branches else 0.0
+            ),
+            "bad_rate": (
+                (window_branches - window_good) / window_branches
+                if window_branches else 0.0
+            ),
+            "icache_miss_rate": (
+                window_misses / window_cycles if window_cycles > 0 else 0.0
+            ),
+            "trackers_busy": (
+                float(preload.trackers.busy()) if preload is not None else 0.0
+            ),
+            "transfer_pending": (
+                float(preload.transfer.pending_rows) if preload is not None else 0.0
+            ),
+            "transfer_inflight": (
+                float(preload.transfer.inflight_rows) if preload is not None else 0.0
+            ),
+            "transfer_utilization": (
+                window_rows / window_cycles if window_cycles > 0 else 0.0
+            ),
+        }
+        for name, value in values.items():
+            self.columns[name].append(value)
+        self._last_branches = branches
+        self._last_good = good
+        self._last_icache_misses = icache_misses
+        self._last_rows_read = rows_read
+        self._last_cycle = cycle
+        self._next_cycle = cycle + self.interval
+
+    # -- export ---------------------------------------------------------------
+
+    def rows(self) -> list[tuple[float, ...]]:
+        """The samples as row tuples in :data:`COLUMNS` order."""
+        return list(zip(*(self.columns[name] for name in COLUMNS)))
+
+    def write_csv(self, path: str | Path) -> int:
+        """Write the samples as CSV; returns the sample count."""
+        with Path(path).open("w", newline="") as stream:
+            writer = csv.writer(stream)
+            writer.writerow(COLUMNS)
+            writer.writerows(self.rows())
+        return len(self)
+
+
+def _downsample(values: Sequence[float], width: int) -> list[float]:
+    """Reduce ``values`` to at most ``width`` points (bucket means)."""
+    if len(values) <= width:
+        return list(values)
+    out = []
+    for bucket in range(width):
+        start = bucket * len(values) // width
+        stop = max(start + 1, (bucket + 1) * len(values) // width)
+        chunk = values[start:stop]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def sparkline(values: Sequence[float], width: int = 64) -> str:
+    """Unicode sparkline of ``values``, downsampled to ``width`` chars."""
+    points = _downsample(values, width)
+    if not points:
+        return ""
+    low, high = min(points), max(points)
+    if high <= low:
+        return _SPARK[0] * len(points)
+    scale = (len(_SPARK) - 1) / (high - low)
+    return "".join(_SPARK[int((point - low) * scale)] for point in points)
+
+
+def render_timeline(sampler: Sampler, title: str = "",
+                    width: int = 64) -> str:
+    """Multi-line ASCII timeline of every sampled column.
+
+    One sparkline row per column with its min/max annotated — enough to
+    spot occupancy saturation points and preload bursts from a terminal
+    without loading the CSV into a plotting tool.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    count = len(sampler)
+    if not count:
+        return "\n".join(lines + ["(no samples)"])
+    cycles = sampler.columns["cycle"]
+    lines.append(
+        f"{count} samples, every {sampler.interval} cycles, "
+        f"cycle {cycles[0]:,.0f} .. {cycles[-1]:,.0f}"
+    )
+    for name in COLUMNS:
+        if name == "cycle":
+            continue
+        values = sampler.columns[name]
+        lines.append(
+            f"  {name:22s} [{min(values):10.3f} .. {max(values):10.3f}] "
+            f"{sparkline(values, width)}"
+        )
+    return "\n".join(lines)

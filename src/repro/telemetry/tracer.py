@@ -1,0 +1,201 @@
+"""Structured event tracing: buffered events, JSONL stream, Chrome export.
+
+The :class:`Tracer` is deliberately dumb: :meth:`emit` builds one flat
+dict per event, appends it to an in-memory buffer, and (when a stream is
+attached) writes it as one JSONL line immediately — so a crashed run still
+leaves a readable prefix on disk.  All *selection* logic lives at the hook
+sites in :class:`repro.telemetry.hub.Telemetry`; all *interpretation*
+lives in the exporters below.
+
+Two export formats:
+
+* **JSONL** (:meth:`write_jsonl`) — one schema-valid event object per
+  line (:mod:`repro.telemetry.events`), greppable and streamable;
+* **Chrome ``trace_event``** (:meth:`write_chrome_trace`) — the JSON
+  format Perfetto / ``chrome://tracing`` load.  Simulated cycles map to
+  microseconds (1 cycle = 1 µs).  Tracker lifecycles become nested
+  duration spans on per-tracker rows — a bulk-preload burst renders as
+  ``preload`` enclosing its ``search`` phase — and everything else
+  becomes instant events on the core row, so the "perceived miss →
+  transfer complete" latency the paper's 136-cycle budget promises can be
+  read straight off the timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.telemetry.events import EventKind
+
+#: Chrome trace rows: the core pipeline and one row per search tracker.
+CORE_TID = 0
+TRACKER_TID_BASE = 1
+
+#: Event kinds that render as instants on the core row (everything that
+#: is not part of a tracker span).
+_CORE_INSTANTS = {
+    EventKind.FETCH.value,
+    EventKind.LOOKUP.value,
+    EventKind.SURPRISE.value,
+    EventKind.OUTCOME.value,
+    EventKind.MISS_PERCEIVED.value,
+    EventKind.INSTALL.value,
+    EventKind.EVICT.value,
+    EventKind.RESTEER.value,
+    EventKind.CONTEXT_SWITCH.value,
+    EventKind.BTB2_ROW.value,
+}
+
+
+class Tracer:
+    """Typed lifecycle event collector with optional live JSONL streaming."""
+
+    def __init__(self, stream: IO[str] | None = None,
+                 limit: int | None = None) -> None:
+        #: Buffered events, in emission order.
+        self.events: list[dict[str, Any]] = []
+        #: Events dropped because the buffer ``limit`` was reached (the
+        #: JSONL stream, when attached, still receives every event).
+        self.dropped = 0
+        self._stream = stream
+        self._limit = limit
+
+    def emit(self, cycle: float, kind: str, **fields: Any) -> None:
+        """Record one event at simulated ``cycle``."""
+        event: dict[str, Any] = {"cycle": cycle, "kind": kind, **fields}
+        if self._stream is not None:
+            self._stream.write(json.dumps(event) + "\n")
+        if self._limit is not None and len(self.events) >= self._limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: EventKind | str) -> list[dict[str, Any]]:
+        """All buffered events of one kind, in order."""
+        value = kind.value if isinstance(kind, EventKind) else kind
+        return [event for event in self.events if event["kind"] == value]
+
+    # -- JSONL ----------------------------------------------------------------
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write the buffered events as JSONL; returns the event count."""
+        path = Path(path)
+        with path.open("w") as stream:
+            for event in self.events:
+                stream.write(json.dumps(event) + "\n")
+        return len(self.events)
+
+    # -- Chrome trace_event ---------------------------------------------------
+
+    def to_chrome_trace(self, process_name: str = "repro") -> dict[str, Any]:
+        """The buffered events as a Chrome ``trace_event`` JSON object.
+
+        Uses the JSON-object format (``{"traceEvents": [...]}``) with
+        ``B``/``E`` duration pairs for tracker activations, a nested
+        ``search`` span from arm to batch completion, and ``i`` instants
+        for point events.  Spans still open at the end of the buffer are
+        closed at the last seen timestamp so the file always loads.
+        """
+        trace: list[dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": CORE_TID,
+             "args": {"name": process_name}},
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": CORE_TID,
+             "args": {"name": "core pipeline"}},
+        ]
+        named_trackers: set[int] = set()
+        #: tracker slot -> list of open span names (for balanced closing).
+        open_spans: dict[int, list[str]] = {}
+        last_ts = 0.0
+
+        def tid_of(slot: int) -> int:
+            tid = TRACKER_TID_BASE + slot
+            if slot not in named_trackers:
+                named_trackers.add(slot)
+                trace.append(
+                    {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                     "args": {"name": f"tracker {slot}"}}
+                )
+            return tid
+
+        def begin(slot: int, name: str, ts: float, args: dict) -> None:
+            trace.append({"name": name, "ph": "B", "ts": ts, "pid": 0,
+                          "tid": tid_of(slot), "cat": "preload",
+                          "args": args})
+            open_spans.setdefault(slot, []).append(name)
+
+        def end_all(slot: int, ts: float, down_to: int = 0) -> None:
+            stack = open_spans.get(slot, [])
+            while len(stack) > down_to:
+                name = stack.pop()
+                trace.append({"name": name, "ph": "E", "ts": ts, "pid": 0,
+                              "tid": tid_of(slot), "cat": "preload"})
+
+        for event in self.events:
+            ts = float(event["cycle"])
+            last_ts = max(last_ts, ts)
+            kind = event["kind"]
+            if kind == EventKind.TRACKER_ALLOCATE.value:
+                slot = event["tracker"]
+                end_all(slot, ts)  # a steal closes the previous burst
+                begin(slot, "preload", ts,
+                      {"block": hex(event["block"]),
+                       "state": event["state"]})
+            elif kind == EventKind.TRACKER_ARM.value:
+                slot = event["tracker"]
+                if not open_spans.get(slot):
+                    begin(slot, "preload", ts,
+                          {"block": hex(event["block"])})
+                end_all(slot, ts, down_to=1)  # close a previous search arm
+                begin(slot, f"search:{event['mode']}", ts,
+                      {"rows": event["rows"]})
+            elif kind == EventKind.TRANSFER_BATCH.value:
+                slot = event["tracker"]
+                end_all(slot, ts, down_to=1)
+                trace.append(
+                    {"name": "batch", "ph": "i", "ts": ts, "pid": 0,
+                     "tid": tid_of(slot), "s": "t", "cat": "preload",
+                     "args": {"rows": event["rows"],
+                              "entries": event["entries"]}}
+                )
+            elif kind == EventKind.TRACKER_EXPIRE.value:
+                slot = event["tracker"]
+                end_all(slot, ts)
+                trace.append(
+                    {"name": f"expire:{event['reason']}", "ph": "i",
+                     "ts": ts, "pid": 0, "tid": tid_of(slot), "s": "t",
+                     "cat": "preload"}
+                )
+            elif kind == EventKind.BTB2_SEARCH_START.value:
+                trace.append(
+                    {"name": "btb2_search_start", "ph": "i", "ts": ts,
+                     "pid": 0, "tid": tid_of(event["tracker"]), "s": "t",
+                     "cat": "preload",
+                     "args": {"sector": hex(event["sector"]),
+                              "rows": event["rows"],
+                              "priority": event["priority"]}}
+                )
+            elif kind in _CORE_INSTANTS:
+                args = {key: value for key, value in event.items()
+                        if key not in ("cycle", "kind")}
+                if "address" in args:
+                    args["address"] = hex(args["address"])
+                trace.append(
+                    {"name": kind, "ph": "i", "ts": ts, "pid": 0,
+                     "tid": CORE_TID, "s": "t", "cat": "pipeline",
+                     "args": args}
+                )
+        for slot in list(open_spans):
+            end_all(slot, last_ts)
+        return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | Path,
+                           process_name: str = "repro") -> int:
+        """Write the Chrome trace JSON; returns the trace-event count."""
+        payload = self.to_chrome_trace(process_name)
+        Path(path).write_text(json.dumps(payload))
+        return len(payload["traceEvents"])

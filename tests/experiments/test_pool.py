@@ -281,3 +281,27 @@ class TestAuditedRuns:
         (unaudited,) = run_many([spec], log=log)
         assert log.cache_hits == 1
         assert result == unaudited
+
+    def test_audited_runs_counted_as_bypassed_not_missed(
+        self, tmp_path, monkeypatch
+    ):
+        """Audited runs never consult the cache; the log must attribute
+        them to ``audit_bypassed`` so the session hit rate is computed
+        over cache-eligible runs only."""
+        monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path))
+        plain = RunSpec(SPEC, ZEC12_CONFIG_1, scale=SCALE)
+        audited = RunSpec(SPEC, ZEC12_CONFIG_2, scale=SCALE, audit=True)
+        run_many([plain])  # warm the cache for the unaudited spec
+        log = ExecutionLog()
+        run_many([plain, audited], log=log)
+        assert log.requested == 2
+        assert log.audit_bypassed == 1
+        assert log.cache_eligible == 1
+        assert log.cache_hits == 1  # 100% over eligible, not 50% over all
+
+    def test_env_audit_counts_as_bypassed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        log = ExecutionLog()
+        run_many([RunSpec(SPEC, ZEC12_CONFIG_1, scale=SCALE)], log=log)
+        assert log.audit_bypassed == 1 and log.cache_eligible == 0

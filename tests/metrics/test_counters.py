@@ -47,6 +47,29 @@ class TestSimCounters:
         counters.attribute_penalty("mispredict", 18.0)
         assert counters.penalty_cycles["mispredict"] == 36.0
 
+    def test_penalty_fraction(self):
+        counters = SimCounters()
+        counters.attribute_penalty("mispredict", 30.0)
+        counters.attribute_penalty("surprise", 10.0)
+        assert counters.total_penalty_cycles == 40.0
+        assert counters.penalty_fraction("mispredict") == 0.75
+        assert counters.penalty_fraction("never_seen") == 0.0
+
+    def test_zero_instruction_run_derives_all_zeros(self):
+        """An empty run must yield 0.0 everywhere — never raise or NaN."""
+        counters = SimCounters()
+        assert counters.instructions == 0 and counters.branches == 0
+        assert counters.cpi == 0.0
+        assert counters.bad_outcome_fraction == 0.0
+        for kind in OutcomeKind:
+            assert counters.outcome_fraction(kind) == 0.0
+        assert counters.outcome_fractions() == {k: 0.0 for k in OutcomeKind}
+        assert counters.total_penalty_cycles == 0.0
+        assert counters.penalty_fraction("mispredict") == 0.0
+        assert counters.bad_outcomes == 0
+        assert counters.surprise_outcomes == 0
+        assert counters.mispredict_outcomes == 0
+
 
 class TestDerivedMetrics:
     def test_cpi_improvement(self):

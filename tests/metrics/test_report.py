@@ -1,8 +1,16 @@
 """Tests for the human-readable report formatting."""
 
 from repro.core.config import PredictorConfig
-from repro.engine.simulator import simulate
-from repro.metrics.report import format_comparison, format_result
+from repro.core.events import OutcomeKind
+from repro.engine.simulator import SimulationResult, simulate
+from repro.experiments.pool import ExecutionLog
+from repro.metrics.counters import SimCounters
+from repro.metrics.report import (
+    _OUTCOME_WIDTH,
+    format_comparison,
+    format_result,
+    render_run_summary,
+)
 
 from tests.conftest import loop_trace
 
@@ -42,6 +50,58 @@ class TestFormatResult:
         result = simulate(loop_trace(iterations=50),
                           config=small_config(btb2_enabled=False))
         assert "preload engine" not in format_result(result)
+
+    def test_outcome_width_is_longest_taxonomy_value(self):
+        assert _OUTCOME_WIDTH == max(len(k.value) for k in OutcomeKind)
+
+    def test_golden_layout(self):
+        """Pin the exact report layout for a hand-built run."""
+        counters = SimCounters(instructions=1000, branches=100, cycles=1500.0)
+        counters.outcomes[OutcomeKind.GOOD_DYNAMIC] = 90
+        counters.outcomes[OutcomeKind.SURPRISE_CAPACITY] = 6
+        counters.outcomes[OutcomeKind.MISPREDICT_WRONG_TARGET] = 4
+        counters.attribute_penalty("mispredict", 72.0)
+        result = SimulationResult(config_name="golden", counters=counters)
+        expected = "\n".join([
+            "golden",
+            "  instructions 1,000  branches 100  CPI 1.500",
+            "  bad branch outcomes: 10.0% (mispredicts 4, bad surprises 6)",
+            "    good_dynamic                        90  90.00%",
+            "    bad_wrong_target                     4   4.00%",
+            "    surprise_capacity                    6   6.00%",
+            "  penalty cycles by cause:",
+            "    mispredict                           72",
+        ])
+        assert format_result(result) == expected
+
+
+class TestRenderRunSummary:
+    def test_empty_log(self):
+        assert render_run_summary(ExecutionLog()) == ["_runs: none requested._"]
+
+    def test_audit_bypassed_line_and_eligible_hit_rate(self):
+        log = ExecutionLog()
+        log.record_batch([], hits=3, elapsed=0.1, jobs=1, bypassed=0)
+        log.record_batch([], hits=0, elapsed=0.1, jobs=1, bypassed=2)
+        lines = render_run_summary(log)
+        bypass = next(line for line in lines if "bypassed" in line)
+        assert "2 audited runs bypassed the cache" in bypass
+        assert "hit rate over the 1 eligible: 300%" in bypass
+
+    def test_no_bypass_line_without_audited_runs(self):
+        log = ExecutionLog()
+        log.record_batch([], hits=2, elapsed=0.1, jobs=1)
+        assert not any("bypassed" in line for line in render_run_summary(log))
+
+    def test_phase_lines_sorted_by_cost(self):
+        log = ExecutionLog()
+        log.record_batch([], hits=1, elapsed=0.1, jobs=1)
+        log.record_phase("figure 2", 1.5)
+        log.record_phase("tables", 4.0)
+        lines = render_run_summary(log)
+        start = lines.index("_report phases (host wall time):_")
+        assert lines[start + 1] == "_  tables: 4.0 s._"
+        assert lines[start + 2] == "_  figure 2: 1.5 s._"
 
 
 class TestFormatComparison:

@@ -1,0 +1,95 @@
+"""Tests for the telemetry artifact checker script (CI smoke backend)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_trace  # noqa: E402  (path set up above)
+
+from repro.core.config import PredictorConfig
+from repro.engine.simulator import simulate
+from repro.telemetry import Telemetry
+from tests.conftest import loop_trace
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=16, btb1_ways=2, btbp_rows=8, btbp_ways=2,
+        btb2_rows=64, btb2_ways=2, pht_entries=64, ctb_entries=64,
+        fit_entries=4, surprise_bht_entries=64,
+        ordering_table_sets=16, ordering_table_ways=2,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+def _traced_artifacts(tmp_path):
+    telemetry = Telemetry.full(sample_interval=64)
+    simulate(loop_trace(100), config=small_config(), telemetry=telemetry)
+    jsonl = tmp_path / "events.jsonl"
+    chrome = tmp_path / "trace.json"
+    telemetry.tracer.write_jsonl(jsonl)
+    telemetry.tracer.write_chrome_trace(chrome)
+    return jsonl, chrome
+
+
+class TestRealArtifacts:
+    def test_clean_run_passes_both_checks(self, tmp_path):
+        jsonl, chrome = _traced_artifacts(tmp_path)
+        assert check_trace.check_jsonl_file(jsonl) == []
+        assert check_trace.check_chrome_file(chrome) == []
+        assert check_trace.main([str(jsonl), "--chrome", str(chrome)]) == 0
+
+
+class TestJsonlProblems:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert check_trace.check_jsonl_file(path) == ["no events (empty file)"]
+
+    def test_bad_event_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"cycle": 1.0, "kind": "nope"}\nnot json\n')
+        problems = check_trace.check_jsonl_file(path)
+        assert any("line 1" in p and "unknown event kind" in p
+                   for p in problems)
+        assert any("line 2" in p and "not JSON" in p for p in problems)
+
+    def test_missing_file_is_failure_exit(self, tmp_path):
+        assert check_trace.main([str(tmp_path / "gone.jsonl")]) == 1
+
+
+class TestChromeProblems:
+    def test_missing_trace_events_key(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"other": []}))
+        assert check_trace.check_chrome_file(path) == [
+            "missing top-level 'traceEvents' object"
+        ]
+
+    def test_unbalanced_spans_detected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "preload"},
+        ]}))
+        problems = check_trace.check_chrome_file(path)
+        assert any("unclosed span" in p for p in problems)
+
+    def test_end_without_begin_detected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 5},
+        ]}))
+        problems = check_trace.check_chrome_file(path)
+        assert any("E without matching B" in p for p in problems)
+
+    def test_unknown_phase_detected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"traceEvents": [
+            {"ph": "Z", "pid": 1, "ts": 0, "name": "x"},
+        ]}))
+        problems = check_trace.check_chrome_file(path)
+        assert any("unknown phase" in p for p in problems)

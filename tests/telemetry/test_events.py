@@ -1,0 +1,88 @@
+"""Event schema: taxonomy completeness and validator behaviour."""
+
+import json
+
+from repro.telemetry import EVENT_SCHEMA, validate_event, validate_events, validate_jsonl
+from repro.telemetry.events import COMMON_FIELDS, EventKind
+
+
+class TestTaxonomy:
+    def test_every_kind_has_a_schema(self):
+        assert set(EVENT_SCHEMA) == {kind.value for kind in EventKind}
+
+    def test_common_fields_are_cycle_and_kind(self):
+        assert set(COMMON_FIELDS) == {"cycle", "kind"}
+
+
+class TestValidateEvent:
+    def test_valid_event_passes(self):
+        event = {"cycle": 12.0, "kind": "fetch", "address": 0x100,
+                 "result": "hit"}
+        assert validate_event(event) == []
+
+    def test_int_cycle_accepted_as_float(self):
+        event = {"cycle": 12, "kind": "fetch", "address": 0x100,
+                 "result": "miss"}
+        assert validate_event(event) == []
+
+    def test_missing_payload_field_reported(self):
+        event = {"cycle": 1.0, "kind": "fetch", "address": 0x100}
+        problems = validate_event(event)
+        assert any("result" in problem for problem in problems)
+
+    def test_unknown_kind_reported(self):
+        problems = validate_event({"cycle": 1.0, "kind": "nonsense"})
+        assert any("unknown event kind" in problem for problem in problems)
+
+    def test_wrong_type_reported(self):
+        event = {"cycle": 1.0, "kind": "fetch", "address": "0x100",
+                 "result": "hit"}
+        problems = validate_event(event)
+        assert any("address" in problem for problem in problems)
+
+    def test_bool_does_not_satisfy_int(self):
+        event = {"cycle": 1.0, "kind": "fetch", "address": True,
+                 "result": "hit"}
+        assert validate_event(event)
+
+    def test_bool_field_rejects_int(self):
+        event = {"cycle": 1.0, "kind": "lookup", "address": 1, "level": "btb1",
+                 "taken": 1, "used_pht": False, "used_ctb": False}
+        problems = validate_event(event)
+        assert any("taken" in problem for problem in problems)
+
+    def test_extra_fields_tolerated(self):
+        event = {"cycle": 1.0, "kind": "fetch", "address": 1, "result": "hit",
+                 "experimental": "yes"}
+        assert validate_event(event) == []
+
+    def test_non_object_reported(self):
+        assert validate_event([1, 2, 3])
+
+
+class TestValidateStreams:
+    def test_validate_events_prefixes_index(self):
+        events = [
+            {"cycle": 1.0, "kind": "fetch", "address": 1, "result": "hit"},
+            {"cycle": 2.0, "kind": "fetch"},
+        ]
+        problems = validate_events(events)
+        assert problems and all(p.startswith("event 1:") for p in problems)
+
+    def test_validate_jsonl_reports_bad_json_and_bad_events(self):
+        lines = [
+            json.dumps({"cycle": 1.0, "kind": "fetch", "address": 1,
+                        "result": "hit"}),
+            "not json at all {",
+            "",  # blank lines skipped
+            json.dumps({"cycle": 3.0, "kind": "resteer", "address": 4}),
+        ]
+        problems = validate_jsonl(lines)
+        assert any(p.startswith("line 2: not JSON") for p in problems)
+        assert any(p.startswith("line 4:") and "cause" in p for p in problems)
+
+    def test_validate_jsonl_clean_stream(self):
+        lines = [json.dumps({"cycle": float(i), "kind": "fetch",
+                             "address": i, "result": "miss"})
+                 for i in range(5)]
+        assert validate_jsonl(lines) == []

@@ -1,0 +1,114 @@
+"""Telemetry hub wiring and the end-to-end instrumented run."""
+
+from repro.core.config import PredictorConfig
+from repro.engine.simulator import Simulator, simulate
+from repro.telemetry import EventKind, Telemetry, validate_events
+from tests.conftest import branch, loop_trace, straightline
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=16, btb1_ways=2, btbp_rows=8, btbp_ways=2,
+        btb2_rows=64, btb2_ways=2, pht_entries=64, ctb_entries=64,
+        fit_entries=4, surprise_bht_entries=64,
+        ordering_table_sets=16, ordering_table_ways=2,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+def cold_misses_trace():
+    """Spread branches over many 4 KB blocks to exercise the preload path."""
+    records = []
+    base = 0x4000_0000
+    for block in range(12):
+        start = base + block * 0x1000
+        records.extend(straightline(start, 30))
+        # Jump to the next block: taken branch, cold everything.
+        records.append(branch(start + 30 * 4, taken=True,
+                              target=base + (block + 1) * 0x1000))
+    return records
+
+
+class TestWiring:
+    def test_attach_plants_telemetry_everywhere(self):
+        telemetry = Telemetry.full()
+        simulator = Simulator(config=small_config(), telemetry=telemetry)
+        assert simulator.telemetry is telemetry
+        assert simulator.search.telemetry is telemetry
+        assert simulator.hierarchy.btb1.telemetry is telemetry
+        assert simulator.hierarchy.btbp.telemetry is telemetry
+        assert simulator.btb2.telemetry is telemetry
+        assert simulator.preload.telemetry is telemetry
+        assert simulator.preload.transfer.telemetry is telemetry
+
+    def test_attach_tolerates_disabled_components(self):
+        simulator = Simulator(
+            config=small_config(btbp_enabled=False, btb2_enabled=False),
+            telemetry=Telemetry.full(),
+        )
+        assert simulator.hierarchy.btbp is None
+        assert simulator.btb2 is None
+        assert simulator.preload is None
+
+    def test_pillars_are_independent(self):
+        hub = Telemetry()
+        assert hub.tracer is None and hub.sampler is None
+        assert hub.profiler is None
+        full = Telemetry.full(sample_interval=64)
+        assert full.sampler.interval == 64
+
+
+class TestInstrumentedRun:
+    def test_events_cover_the_lifecycle_and_validate(self):
+        telemetry = Telemetry.full(sample_interval=64)
+        simulate(cold_misses_trace(), config=small_config(),
+                 telemetry=telemetry)
+        events = telemetry.tracer.events
+        assert validate_events(events) == []
+        kinds = {event["kind"] for event in events}
+        expected = {
+            EventKind.FETCH.value,
+            EventKind.SURPRISE.value,
+            EventKind.OUTCOME.value,
+            EventKind.MISS_PERCEIVED.value,
+            EventKind.TRACKER_ALLOCATE.value,
+            EventKind.TRACKER_ARM.value,
+            EventKind.TRACKER_EXPIRE.value,
+            EventKind.BTB2_SEARCH_START.value,
+            EventKind.BTB2_ROW.value,
+            EventKind.TRANSFER_BATCH.value,
+            EventKind.INSTALL.value,
+            EventKind.RESTEER.value,
+        }
+        assert expected <= kinds
+
+    def test_event_cycles_are_monotonic_per_component_clock(self):
+        telemetry = Telemetry.full()
+        simulate(loop_trace(100), config=small_config(), telemetry=telemetry)
+        fetches = telemetry.tracer.of_kind(EventKind.FETCH)
+        cycles = [event["cycle"] for event in fetches]
+        assert cycles == sorted(cycles)
+
+    def test_profiler_totals_match_counters(self):
+        telemetry = Telemetry.full()
+        result = simulate(loop_trace(100), config=small_config(),
+                          telemetry=telemetry)
+        assert (telemetry.profiler.total_executions
+                == result.counters.branches)
+
+    def test_outcome_events_match_counters(self):
+        telemetry = Telemetry.full()
+        result = simulate(loop_trace(100), config=small_config(),
+                          telemetry=telemetry)
+        outcomes = telemetry.tracer.of_kind(EventKind.OUTCOME)
+        assert len(outcomes) == result.counters.branches
+        bad = [event for event in outcomes if event["penalty"] > 0]
+        assert len(bad) == result.counters.bad_outcomes
+
+    def test_lookup_events_use_prediction_levels(self):
+        telemetry = Telemetry.full()
+        simulate(loop_trace(100), config=small_config(), telemetry=telemetry)
+        lookups = telemetry.tracer.of_kind(EventKind.LOOKUP)
+        assert lookups
+        assert {event["level"] for event in lookups} <= {"btb1", "btbp"}

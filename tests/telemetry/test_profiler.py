@@ -1,0 +1,78 @@
+"""BranchProfiler attribution, ranking, and rendering."""
+
+from repro.core.events import OutcomeKind
+from repro.telemetry import BranchProfiler
+
+
+def fed_profiler():
+    profiler = BranchProfiler()
+    # Branch A: hot and expensive.
+    for _ in range(10):
+        profiler.record(0x100, OutcomeKind.GOOD_DYNAMIC, 0.0, taken=True)
+    for _ in range(4):
+        profiler.record(0x100, OutcomeKind.SURPRISE_CAPACITY, 20.0, taken=True)
+    # Branch B: cheap.
+    profiler.record(0x200, OutcomeKind.MISPREDICT_NOT_TAKEN_TAKEN, 6.0,
+                    taken=True)
+    # Branch C: never bad.
+    profiler.record(0x300, OutcomeKind.GOOD_SURPRISE, 0.0, taken=False)
+    return profiler
+
+
+class TestRecording:
+    def test_totals_match_feeds(self):
+        profiler = fed_profiler()
+        assert profiler.total_executions == 16
+        assert profiler.total_penalty_cycles == 86.0
+        assert len(profiler.profiles) == 3
+
+    def test_per_branch_aggregation(self):
+        profile = fed_profiler().profiles[0x100]
+        assert profile.executions == 14
+        assert profile.taken == 14
+        assert profile.penalty_cycles == 80.0
+        assert profile.bad == 4
+        assert profile.bad_fraction == 4 / 14
+        assert profile.dominant_outcome is OutcomeKind.SURPRISE_CAPACITY
+
+    def test_never_bad_branch_has_no_dominant_outcome(self):
+        profile = fed_profiler().profiles[0x300]
+        assert profile.bad == 0
+        assert profile.bad_fraction == 0.0
+        assert profile.dominant_outcome is None
+
+    def test_empty_profile_fractions_are_zero(self):
+        profiler = BranchProfiler()
+        assert profiler.total_executions == 0
+        assert profiler.total_penalty_cycles == 0.0
+        assert profiler.top() == []
+
+
+class TestRanking:
+    def test_top_ranks_by_penalty(self):
+        top = fed_profiler().top(2)
+        assert [profile.address for profile in top] == [0x100, 0x200]
+
+    def test_ties_break_by_address(self):
+        profiler = BranchProfiler()
+        profiler.record(0x500, OutcomeKind.MISPREDICT_WRONG_TARGET, 5.0, taken=True)
+        profiler.record(0x400, OutcomeKind.MISPREDICT_WRONG_TARGET, 5.0, taken=True)
+        assert [p.address for p in profiler.top()] == [0x400, 0x500]
+
+    def test_top_zero_and_negative(self):
+        profiler = fed_profiler()
+        assert profiler.top(0) == []
+        assert profiler.top(-3) == []
+
+
+class TestRendering:
+    def test_render_shows_top_branches_and_shares(self):
+        text = fed_profiler().render(2, title="worst offenders")
+        assert text.startswith("worst offenders")
+        assert "0x100" in text and "0x200" in text
+        assert "0x300" not in text  # beyond k
+        assert OutcomeKind.SURPRISE_CAPACITY.value in text
+
+    def test_render_empty_profiler(self):
+        text = BranchProfiler().render(5)
+        assert "0 static branches" in text

@@ -1,0 +1,117 @@
+"""Sampler snapshots, rolling windows, CSV export, and the ASCII timeline."""
+
+import csv
+
+import pytest
+
+from repro.core.config import PredictorConfig
+from repro.engine.simulator import Simulator
+from repro.telemetry import COLUMNS, Sampler, Telemetry, render_timeline, sparkline
+from repro.telemetry.sampler import _downsample
+from tests.conftest import loop_trace
+
+
+def small_config(**overrides):
+    defaults = dict(
+        btb1_rows=16, btb1_ways=2, btbp_rows=8, btbp_ways=2,
+        btb2_rows=64, btb2_ways=2, pht_entries=64, ctb_entries=64,
+        fit_entries=4, surprise_bht_entries=64,
+        ordering_table_sets=16, ordering_table_ways=2,
+    )
+    defaults.update(overrides)
+    return PredictorConfig(**defaults)
+
+
+def sampled_run(interval=16, iterations=200):
+    sampler = Sampler(interval)
+    telemetry = Telemetry(sampler=sampler)
+    simulator = Simulator(config=small_config(), telemetry=telemetry)
+    simulator.run(loop_trace(iterations))
+    return sampler, simulator
+
+
+class TestSampling:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Sampler(0)
+
+    def test_samples_cover_the_run(self):
+        sampler, simulator = sampled_run()
+        assert len(sampler) >= 2
+        cycles = sampler.columns["cycle"]
+        assert cycles[0] == 0.0  # attach takes the cycle-0 baseline
+        assert cycles == sorted(cycles)
+        assert cycles[-1] == simulator.counters.cycles  # finish() sample
+
+    def test_every_column_has_every_sample(self):
+        sampler, _ = sampled_run()
+        lengths = {name: len(sampler.columns[name]) for name in COLUMNS}
+        assert set(lengths.values()) == {len(sampler)}
+
+    def test_rates_are_rolling_not_cumulative(self):
+        sampler, _ = sampled_run()
+        good = sampler.columns["good_rate"]
+        bad = sampler.columns["bad_rate"]
+        for g, b in zip(good, bad):
+            assert 0.0 <= g <= 1.0 and 0.0 <= b <= 1.0
+            assert g == 0.0 or b == 0.0 or g + b == pytest.approx(1.0)
+        # A warmed loop predicts well: good-dominated windows outweigh bad
+        # ones, which cumulative averaging would smear toward the start.
+        assert sum(good) > sum(bad)
+
+    def test_occupancy_grows_then_holds(self):
+        sampler, _ = sampled_run()
+        occupancy = sampler.columns["btb1_occupancy"]
+        assert occupancy[0] == 0.0
+        assert max(occupancy) > 0.0
+        assert all(0.0 <= value <= 1.0 for value in occupancy)
+
+
+class TestExport:
+    def test_rows_zip_columns_in_order(self):
+        sampler, _ = sampled_run()
+        rows = sampler.rows()
+        assert len(rows) == len(sampler)
+        assert rows[0][0] == sampler.columns["cycle"][0]
+
+    def test_write_csv_round_trips(self, tmp_path):
+        sampler, _ = sampled_run()
+        path = tmp_path / "timeline.csv"
+        count = sampler.write_csv(path)
+        with path.open() as stream:
+            reader = csv.reader(stream)
+            header = next(reader)
+            body = list(reader)
+        assert header == list(COLUMNS)
+        assert len(body) == count == len(sampler)
+        assert float(body[0][0]) == 0.0
+
+
+class TestRendering:
+    def test_downsample_preserves_short_series(self):
+        assert _downsample([1.0, 2.0], 8) == [1.0, 2.0]
+
+    def test_downsample_buckets_long_series(self):
+        values = list(map(float, range(100)))
+        points = _downsample(values, 10)
+        assert len(points) == 10
+        assert points == sorted(points)
+
+    def test_sparkline_spans_glyph_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+        assert sparkline([]) == ""
+
+    def test_render_timeline_lists_every_column(self):
+        sampler, _ = sampled_run()
+        text = render_timeline(sampler, title="demo")
+        assert text.startswith("demo")
+        for name in COLUMNS:
+            if name != "cycle":
+                assert name in text
+
+    def test_render_timeline_empty_sampler(self):
+        assert "(no samples)" in render_timeline(Sampler(64))

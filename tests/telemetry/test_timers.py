@@ -1,0 +1,56 @@
+"""Host-side wall-time phase timers."""
+
+from repro.telemetry import PhaseTimers, phase_timer
+
+
+class TestPhaseTimers:
+    def test_phase_accumulates_wall_time(self):
+        timers = PhaseTimers()
+        with timers.phase("alpha"):
+            pass
+        with timers.phase("alpha"):
+            pass
+        with timers.phase("beta"):
+            pass
+        assert set(timers.phases) == {"alpha", "beta"}
+        assert timers.phases["alpha"] >= 0.0
+        assert timers.phases["beta"] >= 0.0
+
+    def test_phase_records_on_exception(self):
+        timers = PhaseTimers()
+        try:
+            with timers.phase("boom"):
+                raise RuntimeError("expected")
+        except RuntimeError:
+            pass
+        assert "boom" in timers.phases
+
+    def test_merge_into_replays_every_phase(self):
+        timers = PhaseTimers()
+        with timers.phase("alpha"):
+            pass
+        seen = {}
+        timers.merge_into(lambda name, seconds: seen.__setitem__(name, seconds))
+        assert seen == timers.phases
+
+
+class TestPhaseTimer:
+    def test_one_shot_reports_to_record(self):
+        seen = {}
+
+        def record(name, seconds):
+            seen[name] = seen.get(name, 0.0) + seconds
+
+        with phase_timer("tables", record):
+            pass
+        assert "tables" in seen
+        assert seen["tables"] >= 0.0
+
+    def test_one_shot_reports_on_exception(self):
+        seen = {}
+        try:
+            with phase_timer("boom", lambda n, s: seen.__setitem__(n, s)):
+                raise ValueError("expected")
+        except ValueError:
+            pass
+        assert "boom" in seen

@@ -1,0 +1,128 @@
+"""Tracer buffering, streaming, and the Chrome trace_event export."""
+
+import io
+import json
+
+from repro.telemetry import EventKind, Tracer, validate_jsonl
+
+
+def preload_burst(tracer: Tracer) -> None:
+    """A realistic tracker lifecycle: allocate -> arm -> batch -> expire."""
+    tracer.emit(10.0, EventKind.TRACKER_ALLOCATE.value,
+                tracker=0, block=0x1000, state="partial")
+    tracer.emit(10.0, EventKind.TRACKER_ARM.value,
+                tracker=0, block=0x1000, mode="partial", rows=4)
+    tracer.emit(12.0, EventKind.BTB2_SEARCH_START.value,
+                tracker=0, sector=2, rows=4, priority=0)
+    tracer.emit(25.0, EventKind.BTB2_ROW.value, row=0x1040, hits=2)
+    tracer.emit(29.0, EventKind.TRANSFER_BATCH.value,
+                tracker=0, block=0x1000, rows=4, entries=2)
+    tracer.emit(29.0, EventKind.TRACKER_EXPIRE.value,
+                tracker=0, block=0x1000, reason="drained")
+
+
+class TestBuffering:
+    def test_emit_buffers_in_order(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "fetch", address=0x10, result="hit")
+        tracer.emit(2.0, "fetch", address=0x20, result="miss")
+        assert len(tracer) == 2
+        assert [event["address"] for event in tracer.events] == [0x10, 0x20]
+
+    def test_limit_drops_and_counts(self):
+        tracer = Tracer(limit=2)
+        for i in range(5):
+            tracer.emit(float(i), "fetch", address=i, result="hit")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_stream_receives_every_event_despite_limit(self):
+        stream = io.StringIO()
+        tracer = Tracer(stream=stream, limit=1)
+        for i in range(3):
+            tracer.emit(float(i), "fetch", address=i, result="hit")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 3
+        assert validate_jsonl(lines) == []
+
+    def test_of_kind_filters(self):
+        tracer = Tracer()
+        preload_burst(tracer)
+        assert len(tracer.of_kind(EventKind.BTB2_ROW)) == 1
+        assert len(tracer.of_kind("tracker_arm")) == 1
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer()
+        preload_burst(tracer)
+        path = tmp_path / "events.jsonl"
+        count = tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == len(tracer)
+        assert validate_jsonl(lines) == []
+
+
+class TestChromeTrace:
+    def test_spans_are_balanced(self):
+        tracer = Tracer()
+        preload_burst(tracer)
+        trace = tracer.to_chrome_trace()["traceEvents"]
+        depth = {}
+        for event in trace:
+            if event["ph"] == "B":
+                depth[event["tid"]] = depth.get(event["tid"], 0) + 1
+            elif event["ph"] == "E":
+                depth[event["tid"]] = depth.get(event["tid"], 0) - 1
+                assert depth[event["tid"]] >= 0
+        assert all(value == 0 for value in depth.values())
+
+    def test_burst_renders_nested_preload_and_search_spans(self):
+        tracer = Tracer()
+        preload_burst(tracer)
+        trace = tracer.to_chrome_trace()["traceEvents"]
+        begins = [event["name"] for event in trace if event["ph"] == "B"]
+        assert begins == ["preload", "search:partial"]
+
+    def test_open_spans_closed_at_last_timestamp(self):
+        tracer = Tracer()
+        tracer.emit(5.0, EventKind.TRACKER_ALLOCATE.value,
+                    tracker=1, block=0x2000, state="partial")
+        tracer.emit(9.0, EventKind.FETCH.value, address=0x30, result="hit")
+        trace = tracer.to_chrome_trace()["traceEvents"]
+        ends = [event for event in trace if event["ph"] == "E"]
+        assert ends and all(event["ts"] == 9.0 for event in ends)
+
+    def test_reallocation_closes_previous_burst(self):
+        tracer = Tracer()
+        tracer.emit(1.0, EventKind.TRACKER_ALLOCATE.value,
+                    tracker=0, block=0x1000, state="icache_only")
+        tracer.emit(8.0, EventKind.TRACKER_ALLOCATE.value,
+                    tracker=0, block=0x2000, state="partial")
+        trace = tracer.to_chrome_trace()["traceEvents"]
+        phases = [(event["ph"], event["ts"]) for event in trace
+                  if event["ph"] in "BE"]
+        assert phases[:2] == [("B", 1.0), ("E", 8.0)]
+
+    def test_metadata_names_core_and_trackers(self):
+        tracer = Tracer()
+        preload_burst(tracer)
+        trace = tracer.to_chrome_trace(process_name="demo")["traceEvents"]
+        meta = [event for event in trace if event["ph"] == "M"]
+        names = {event["args"]["name"] for event in meta}
+        assert {"demo", "core pipeline", "tracker 0"} <= names
+
+    def test_instants_hexify_addresses(self):
+        tracer = Tracer()
+        tracer.emit(3.0, EventKind.RESTEER.value, address=0x1234,
+                    cause="mispredict")
+        trace = tracer.to_chrome_trace()["traceEvents"]
+        instant = next(event for event in trace if event["ph"] == "i")
+        assert instant["args"]["address"] == "0x1234"
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        preload_burst(tracer)
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert count == len(payload["traceEvents"])

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _suffixed, build_parser, main
+from repro.telemetry import validate_jsonl
 
 
 class TestParser:
@@ -33,6 +36,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_simulate_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "TPF", "--trace", "ev.jsonl",
+             "--chrome-trace", "trace.json", "--sample", "tl.csv",
+             "--sample-interval", "256", "--profile"]
+        )
+        assert args.trace == "ev.jsonl"
+        assert args.chrome_trace == "trace.json"
+        assert args.sample == "tl.csv"
+        assert args.sample_interval == 256
+        assert args.profile == 10  # bare --profile defaults to top 10
+
+    def test_timeline_defaults(self):
+        args = build_parser().parse_args(["timeline", "TPF"])
+        assert args.command == "timeline"
+        assert args.config == "2" and args.interval == 1024
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "TPF"])
+        assert args.command == "profile" and args.top == 10
+
+    def test_suffixed_paths(self):
+        assert _suffixed("out.jsonl", "2", True) == "out.cfg2.jsonl"
+        assert _suffixed("out.jsonl", "2", False) == "out.jsonl"
+
 
 class TestCommands:
     def test_workloads_lists_catalog(self, capsys):
@@ -61,3 +89,41 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["simulate", "NOPE"])
+
+
+class TestTelemetryCommands:
+    def test_simulate_exports_all_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        chrome = tmp_path / "trace.json"
+        sample = tmp_path / "timeline.csv"
+        assert main(["simulate", "TPF", "--scale", "0.02", "--configs", "2",
+                     "--trace", str(trace), "--chrome-trace", str(chrome),
+                     "--sample", str(sample), "--sample-interval", "256",
+                     "--profile", "3"]) == 0
+        assert validate_jsonl(trace.read_text().splitlines()) == []
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+        header, *rows = sample.read_text().splitlines()
+        assert header.startswith("cycle,") and rows
+        out = capsys.readouterr().out
+        assert "penalty profile" in out
+
+    def test_simulate_multi_config_suffixes_exports(self, tmp_path):
+        trace = tmp_path / "events.jsonl"
+        assert main(["simulate", "TPF", "--scale", "0.02",
+                     "--configs", "1", "2", "--trace", str(trace)]) == 0
+        assert (tmp_path / "events.cfg1.jsonl").exists()
+        assert (tmp_path / "events.cfg2.jsonl").exists()
+
+    def test_timeline_renders(self, tmp_path, capsys):
+        csv = tmp_path / "timeline.csv"
+        assert main(["timeline", "TPF", "--scale", "0.02",
+                     "--interval", "256", "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "instructions, CPI" in out
+        assert csv.exists()
+
+    def test_profile_renders_top_k(self, capsys):
+        assert main(["profile", "TPF", "--scale", "0.02", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "penalty profile (top 5)" in out

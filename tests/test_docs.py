@@ -31,6 +31,27 @@ def test_package_discovery_sees_known_packages():
         assert expected in packages
 
 
+def test_required_headings_present():
+    assert check_docs.check_required_headings(REPO_ROOT) == []
+
+
+def test_required_headings_cover_observability_docs():
+    # The telemetry docs are load-bearing (cross-referenced from the CLI
+    # and CI); their sections must stay registered.
+    assert ("## Observability"
+            in check_docs.REQUIRED_HEADINGS["docs/ARCHITECTURE.md"])
+    assert ("## Tracing, timelines, and profiles"
+            in check_docs.REQUIRED_HEADINGS["docs/EXPERIMENTS.md"])
+
+
+def test_required_headings_reports_missing(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "ARCHITECTURE.md").write_text("# nothing\n")
+    problems = check_docs.check_required_headings(tmp_path)
+    assert any("missing heading '## Observability'" in p for p in problems)
+    assert any("EXPERIMENTS.md does not exist" in p for p in problems)
+
+
 def test_link_extraction_skips_code_fences():
     text = "a [ok](target.md)\n```\n[no](missing.md)\n```\n"
     assert check_docs.extract_links(text) == ["target.md"]
