@@ -1,0 +1,86 @@
+"""Sampled vs full simulation: wall-clock speedup and estimation error.
+
+The acceptance demonstration for `repro.sampling`: one full detailed run
+of a Table-4-scale workload against one sampled run under the pinned
+plan, asserting the sampled run is **≥5× faster** with **|ΔCPI| ≤ 2 %**
+and **|Δbad-outcome-fraction| ≤ 2 %** (absolute).  The measured numbers
+— wall times, speedup, both errors, and the per-metric confidence
+intervals — are recorded into ``BENCH_sampling.json`` at the repo root.
+
+The plan is fixed (stratified, interval 500 / period 20,000 / warmup
+500, seed 777), so the error figures are deterministic; only the wall
+times vary with the host.  A smaller-scale version of the same
+comparison is pinned in ``tests/sampling/test_runner.py`` so plain
+``pytest`` guards the accuracy without paying for the full trace.
+
+This bench always runs the workload at full scale (``scale=1``),
+ignoring ``REPRO_SCALE``: "Table-4-scale" is the claim being
+demonstrated, and the 5× figure depends on the warming/detailed
+throughput ratio integrated over the real trace length.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import ZEC12_CONFIG_2
+from repro.engine.simulator import simulate
+from repro.sampling import SamplingPlan, error_report, run_sampled
+from repro.workloads.catalog import workload_by_name
+
+BENCH_WORKLOAD = "TPF"
+BENCH_SCALE = 1.0
+BENCH_PLAN = SamplingPlan(mode="stratified", interval=500, period=20_000,
+                          warmup=500, seed=777)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sampling.json"
+
+
+def test_sampled_speedup_and_error(benchmark):
+    trace = workload_by_name(BENCH_WORKLOAD).trace(scale=BENCH_SCALE)
+
+    start = time.perf_counter()
+    full = simulate(trace, config=ZEC12_CONFIG_2)
+    full_seconds = time.perf_counter() - start
+
+    def sampled_run():
+        return run_sampled(trace, config=ZEC12_CONFIG_2, plan=BENCH_PLAN)
+
+    sampled = benchmark.pedantic(sampled_run, rounds=1, iterations=1)
+    sampled_seconds = benchmark.stats["mean"]
+
+    speedup = full_seconds / sampled_seconds
+    cpi_error = abs(sampled.cpi - full.cpi) / full.cpi
+    bad_error = abs(sampled.bad_outcome_fraction - full.bad_outcome_fraction)
+
+    record = {
+        "workload": BENCH_WORKLOAD,
+        "scale": BENCH_SCALE,
+        "config": ZEC12_CONFIG_2.name,
+        "records": len(trace),
+        "plan": BENCH_PLAN.describe(),
+        "detailed_records": sampled.detailed_records,
+        "detailed_fraction": sampled.detailed_records / len(trace),
+        "full_seconds": round(full_seconds, 3),
+        "sampled_seconds": round(sampled_seconds, 3),
+        "speedup": round(speedup, 2),
+        "full_cpi": full.cpi,
+        "sampled_cpi": sampled.cpi,
+        "cpi_rel_error": cpi_error,
+        "full_bad_fraction": full.bad_outcome_fraction,
+        "sampled_bad_fraction": sampled.bad_outcome_fraction,
+        "bad_fraction_abs_error": bad_error,
+        "estimates": {
+            est.name: {"value": est.value, "ci_halfwidth": est.ci_halfwidth}
+            for est in sampled.metric_estimates()
+        },
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(error_report(sampled, full=full, max_ci=1.0))
+    print(f"\nfull: {full_seconds:.1f} s   sampled: {sampled_seconds:.1f} s"
+          f"   speedup: {speedup:.1f}x   -> {OUTPUT.name}")
+
+    assert speedup >= 5.0, f"sampled speedup {speedup:.2f}x < 5x"
+    assert cpi_error <= 0.02, f"|dCPI| {cpi_error:.2%} > 2%"
+    assert bad_error <= 0.02, f"|dBad| {bad_error:.4f} > 0.02"

@@ -45,10 +45,12 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
     "docs/ARCHITECTURE.md": (
         "## Observability",
         "## Auditing & invariants",
+        "## Sampling & checkpoints",
     ),
     "docs/EXPERIMENTS.md": (
         "## Tracing, timelines, and profiles",
         "## Auditing and fuzzing: `--audit` / `REPRO_AUDIT`",
+        "## Sampled runs and checkpoints: `--sampled` / `repro checkpoint`",
     ),
 }
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.btb.entry import BTBEntry
 from repro.btb.storage import BranchTargetBuffer
+from repro.isa.address import BLOCK_BYTES, ROW_BYTES
 
 BTB2_ROWS = 4096
 BTB2_WAYS = 6
@@ -55,6 +56,42 @@ class BTB2(BranchTargetBuffer):
             clones.append(entry.clone())
         return clones
 
+    def transfer_span(self, start: int, row_count: int) -> list[BTBEntry]:
+        """Read ``row_count`` consecutive rows starting at ``start``.
+
+        Behaviorally identical to calling :meth:`transfer_row` for each row
+        address in ascending order (pinned by test), but with the row loop
+        inside one frame — this is the functional-warming fast path, where
+        per-call overhead dominates.
+        """
+        clones: list[BTBEntry] = []
+        rows = self._rows
+        total_rows = self.rows
+        hits_total = 0
+        for row_start in range(start, start + row_count * ROW_BYTES,
+                               ROW_BYTES):
+            ways = rows[(row_start >> 5) % total_rows]
+            if not ways:
+                continue
+            hits = [
+                entry for entry in ways
+                if entry.address & ~(ROW_BYTES - 1) == row_start
+            ]
+            if not hits:
+                continue
+            if len(hits) > 1:
+                hits.sort(key=lambda entry: entry.address)
+            hits_total += len(hits)
+            for entry in hits:
+                self.demote(entry)
+                clones.append(entry.clone())
+        self.transfer_hits += hits_total
+        return clones
+
+    def transfer_block(self, block: int) -> list[BTBEntry]:
+        """Read every row of one 4 KB block (:meth:`transfer_span`)."""
+        return self.transfer_span(block, BLOCK_BYTES // ROW_BYTES)
+
     def write_victim(self, entry: BTBEntry) -> BTBEntry | None:
         """Write a BTB1 victim into the LRU column and make it MRU."""
         self.victim_writes += 1
@@ -64,3 +101,16 @@ class BTB2(BranchTargetBuffer):
         """Duplicate a surprise install into the BTB2 (clone, MRU)."""
         self.surprise_writes += 1
         return self.install(entry.clone())
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["transfer_hits"] = self.transfer_hits
+        state["victim_writes"] = self.victim_writes
+        state["surprise_writes"] = self.surprise_writes
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.transfer_hits = state["transfer_hits"]
+        self.victim_writes = state["victim_writes"]
+        self.surprise_writes = state["surprise_writes"]

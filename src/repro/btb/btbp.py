@@ -56,3 +56,17 @@ class BTBP(BranchTargetBuffer):
         """
         self.writes_by_source[source] += 1
         return self.install(entry)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["writes_by_source"] = {
+            source.value: count for source, count in self.writes_by_source.items()
+        }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.writes_by_source = {
+            WriteSource(name): count
+            for name, count in state["writes_by_source"].items()
+        }

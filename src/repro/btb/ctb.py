@@ -60,3 +60,25 @@ class CTB:
         """Record the resolved target for this path."""
         index = history.ctb_index(self.entries)
         self._table[index] = _CTBEntry(tag=self._tag(branch_address), target=target)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Sparse JSON-serializable snapshot: ``[index, tag, target]``."""
+        return {
+            "table": [
+                [index, slot.tag, slot.target]
+                for index, slot in enumerate(self._table)
+                if slot is not None
+            ],
+            "tag_hits": self.tag_hits,
+            "tag_misses": self.tag_misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._table = [None] * self.entries
+        for index, tag, target in state["table"]:
+            self._table[index] = _CTBEntry(tag=tag, target=target)
+        self.tag_hits = state["tag_hits"]
+        self.tag_misses = state["tag_misses"]

@@ -106,3 +106,34 @@ class BTBEntry:
             bimodal_misses=self.bimodal_misses,
             target_misses=self.target_misses,
         )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of this entry."""
+        return {
+            "address": self.address,
+            "target": self.target,
+            "kind": self.kind.name,
+            "counter": self.counter,
+            "use_pht": self.use_pht,
+            "use_ctb": self.use_ctb,
+            "ctb_confidence": self.ctb_confidence,
+            "bimodal_misses": self.bimodal_misses,
+            "target_misses": self.target_misses,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "BTBEntry":
+        """Reconstruct an entry snapshotted by :meth:`state_dict`."""
+        return cls(
+            address=state["address"],
+            target=state["target"],
+            kind=BranchKind[state["kind"]],
+            counter=state["counter"],
+            use_pht=state["use_pht"],
+            use_ctb=state["use_ctb"],
+            ctb_confidence=state["ctb_confidence"],
+            bimodal_misses=state["bimodal_misses"],
+            target_misses=state["target_misses"],
+        )

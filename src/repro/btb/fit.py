@@ -49,6 +49,24 @@ class FIT:
         while len(self._table) > self.entries:
             self._table.popitem(last=False)
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot: ``[address, hint]`` pairs in LRU-to-MRU order."""
+        return {
+            "table": [[address, hint] for address, hint in self._table.items()],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._table = OrderedDict(
+            (address, hint) for address, hint in state["table"]
+        )
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     def __len__(self) -> int:
         return len(self._table)
 

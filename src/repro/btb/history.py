@@ -28,12 +28,38 @@ class PathHistory:
     def __init__(self) -> None:
         self._directions: deque[bool] = deque(maxlen=DIRECTION_DEPTH)
         self._taken_addresses: deque[int] = deque(maxlen=CTB_ADDRESS_DEPTH)
+        # Incrementally maintained index material, so the per-branch
+        # :meth:`record` and the per-lookup index computations are O(1)
+        # instead of re-folding the windows.  ``_fold_addresses`` stays as
+        # the reference implementation; :meth:`restore` recomputes from it
+        # and a property test pins the equivalence.
+        self._dir_bits = 0
+        self._pht_fold = 0
+        self._ctb_fold = 0
 
     def record(self, branch_address: int, taken: bool) -> None:
         """Push one predicted/resolved branch into the history."""
+        self._dir_bits = ((self._dir_bits << 1) | taken) & 0xFFF
         self._directions.append(taken)
         if taken:
-            self._taken_addresses.append(branch_address)
+            addresses = self._taken_addresses
+            count = len(addresses)
+            half = (branch_address >> 1) & 0xFFFF
+            # Rotate the whole fold left 3, then cancel the element leaving
+            # the window: its contribution now sits at rotation 3*depth
+            # (mod 16) — rotl 2 for the 6-deep PHT fold, rotl 4 for the
+            # 12-deep CTB fold.
+            fold = ((self._pht_fold << 3) | (self._pht_fold >> 13)) & 0xFFFF
+            if count >= PHT_ADDRESS_DEPTH:
+                old = (addresses[-PHT_ADDRESS_DEPTH] >> 1) & 0xFFFF
+                fold ^= ((old << 2) | (old >> 14)) & 0xFFFF
+            self._pht_fold = fold ^ half
+            fold = ((self._ctb_fold << 3) | (self._ctb_fold >> 13)) & 0xFFFF
+            if count >= CTB_ADDRESS_DEPTH:
+                old = (addresses[0] >> 1) & 0xFFFF
+                fold ^= ((old << 4) | (old >> 12)) & 0xFFFF
+            self._ctb_fold = fold ^ half
+            addresses.append(branch_address)
 
     def snapshot(self) -> tuple[tuple[bool, ...], tuple[int, ...]]:
         """Immutable copy of the current history state."""
@@ -44,6 +70,23 @@ class PathHistory:
         directions, addresses = state
         self._directions = deque(directions, maxlen=DIRECTION_DEPTH)
         self._taken_addresses = deque(addresses, maxlen=CTB_ADDRESS_DEPTH)
+        bits = 0
+        for bit in self._directions:
+            bits = (bits << 1) | int(bit)
+        self._dir_bits = bits
+        self._pht_fold = self._fold_addresses(PHT_ADDRESS_DEPTH)
+        self._ctb_fold = self._fold_addresses(CTB_ADDRESS_DEPTH)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of both history streams."""
+        return {
+            "directions": list(self._directions),
+            "taken_addresses": list(self._taken_addresses),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.restore((tuple(state["directions"]), tuple(state["taken_addresses"])))
 
     def _fold_addresses(self, depth: int) -> int:
         folded = 0
@@ -57,11 +100,8 @@ class PathHistory:
 
     def pht_index(self, table_entries: int) -> int:
         """PHT index: 12 direction bits xor 6 folded taken addresses."""
-        directions = 0
-        for bit in self._directions:
-            directions = (directions << 1) | int(bit)
-        return (directions ^ self._fold_addresses(PHT_ADDRESS_DEPTH)) % table_entries
+        return (self._dir_bits ^ self._pht_fold) % table_entries
 
     def ctb_index(self, table_entries: int) -> int:
         """CTB index: 12 folded taken-branch addresses."""
-        return self._fold_addresses(CTB_ADDRESS_DEPTH) % table_entries
+        return self._ctb_fold % table_entries

@@ -68,3 +68,25 @@ class PHT:
             slot.counter = min(STRONG_TAKEN, slot.counter + 1)
         else:
             slot.counter = max(STRONG_NOT_TAKEN, slot.counter - 1)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Sparse JSON-serializable snapshot: ``[index, tag, counter]``."""
+        return {
+            "table": [
+                [index, slot.tag, slot.counter]
+                for index, slot in enumerate(self._table)
+                if slot is not None
+            ],
+            "tag_hits": self.tag_hits,
+            "tag_misses": self.tag_misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._table = [None] * self.entries
+        for index, tag, counter in state["table"]:
+            self._table[index] = _PHTEntry(tag=tag, counter=counter)
+        self.tag_hits = state["tag_hits"]
+        self.tag_misses = state["tag_misses"]

@@ -65,25 +65,25 @@ class BranchTargetBuffer:
         and returned in ascending branch-address order, the order in which
         the search pipeline would encounter them.
         """
-        row_start = row_address(address)
+        row_start = address & ~(ROW_BYTES - 1)
         entries = [
             entry
-            for entry in self._rows[self.row_index(address)]
-            if row_address(entry.address) == row_start
+            for entry in self._rows[(address >> 5) % self.rows]
+            if entry.address & ~(ROW_BYTES - 1) == row_start
         ]
         entries.sort(key=lambda entry: entry.address)
         return entries
 
     def lookup(self, branch_address: int) -> BTBEntry | None:
         """Exact-address probe, without touching LRU state."""
-        for entry in self._rows[self.row_index(branch_address)]:
+        for entry in self._rows[(branch_address >> 5) % self.rows]:
             if entry.address == branch_address:
                 return entry
         return None
 
     def is_mru(self, entry: BTBEntry) -> bool:
         """True when ``entry`` occupies the most recently used way."""
-        ways = self._rows[self.row_index(entry.address)]
+        ways = self._rows[(entry.address >> 5) % self.rows]
         return bool(ways) and ways[0] is entry
 
     # -- write paths ------------------------------------------------------
@@ -94,7 +94,7 @@ class BranchTargetBuffer:
         An existing entry for the same branch address is replaced in place
         (no victim).  Otherwise the LRU way is evicted when the row is full.
         """
-        ways = self._rows[self.row_index(entry.address)]
+        ways = self._rows[(entry.address >> 5) % self.rows]
         for position, existing in enumerate(ways):
             if existing.address == entry.address:
                 ways.pop(position)
@@ -137,7 +137,7 @@ class BranchTargetBuffer:
         replace — a resident entry with a distinct stale object.  An entry
         no longer resident (by identity) is a no-op.
         """
-        ways = self._rows[self.row_index(entry.address)]
+        ways = self._rows[(entry.address >> 5) % self.rows]
         for position, existing in enumerate(ways):
             if existing is entry:
                 if position:
@@ -152,7 +152,7 @@ class BranchTargetBuffer:
 
         Identity-matched for the same reason as :meth:`touch`.
         """
-        ways = self._rows[self.row_index(entry.address)]
+        ways = self._rows[(entry.address >> 5) % self.rows]
         for position, existing in enumerate(ways):
             if existing is entry:
                 if position != len(ways) - 1:
@@ -177,6 +177,40 @@ class BranchTargetBuffer:
         """Drop all entries (counters preserved)."""
         for ways in self._rows:
             ways.clear()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: occupied rows (MRU-first) + counters.
+
+        Rows are stored sparsely as ``[index, [entry, ...]]`` pairs; way
+        order is the LRU order, so a restore reproduces replacement behavior
+        exactly.  Subclasses extend this with their own counters.
+        """
+        return {
+            "rows": [
+                [index, [entry.state_dict() for entry in ways]]
+                for index, ways in enumerate(self._rows)
+                if ways
+            ],
+            "installs": self.installs,
+            "evictions": self.evictions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        Entries are rebuilt as fresh objects, preserving the level
+        object-exclusivity invariant (no object shared across structures).
+        """
+        for ways in self._rows:
+            ways.clear()
+        for index, ways in state["rows"]:
+            self._rows[index] = [
+                BTBEntry.from_state_dict(entry) for entry in ways
+            ]
+        self.installs = state["installs"]
+        self.evictions = state["evictions"]
 
     # -- introspection ----------------------------------------------------
 

@@ -57,6 +57,28 @@ class SurpriseBHT:
         if guessed == taken:
             self.correct_guesses += 1
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Sparse snapshot: ``[index, bit]`` for every written slot."""
+        return {
+            "bits": [
+                [index, bit]
+                for index, bit in enumerate(self._bits)
+                if bit is not None
+            ],
+            "guesses": self.guesses,
+            "correct_guesses": self.correct_guesses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._bits = [None] * self.entries
+        for index, bit in state["bits"]:
+            self._bits[index] = bit
+        self.guesses = state["guesses"]
+        self.correct_guesses = state["correct_guesses"]
+
     @property
     def accuracy(self) -> float:
         """Fraction of recorded guesses that matched the resolution."""

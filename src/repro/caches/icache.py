@@ -72,6 +72,22 @@ class ICache:
         while self._recent_misses and self._recent_misses[0][0] < horizon:
             self._recent_misses.popleft()
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot: underlying tag array + recent-miss window."""
+        return {
+            "cache": self._cache.state_dict(),
+            "recent_misses": [[cycle, block] for cycle, block in self._recent_misses],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._cache.load_state_dict(state["cache"])
+        self._recent_misses = deque(
+            (cycle, block) for cycle, block in state["recent_misses"]
+        )
+
     @property
     def hits(self) -> int:
         """Demand fetch hits."""

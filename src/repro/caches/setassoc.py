@@ -59,13 +59,18 @@ class SetAssociativeCache:
         # Per set: list of tags ordered MRU first.  Lists are tiny (= ways),
         # so list operations beat any fancier structure in CPython.
         self._sets: list[list[int]] = [[] for _ in range(geometry.sets)]
+        # Geometry scalars cached locally: contains/access/install are the
+        # per-record hot path and the attribute/method chain dominates there.
+        self._line_bytes = geometry.line_bytes
+        self._set_count = geometry.sets
+        self._way_count = geometry.ways
         self.hits = 0
         self.misses = 0
 
     def contains(self, address: int) -> bool:
         """Non-destructive presence probe (does not touch LRU or counters)."""
-        tags = self._sets[self.geometry.index(address)]
-        return self.geometry.tag(address) in tags
+        line = address // self._line_bytes
+        return line // self._set_count in self._sets[line % self._set_count]
 
     def access(self, address: int) -> bool:
         """Reference ``address``: return True on hit; install on miss.
@@ -73,9 +78,9 @@ class SetAssociativeCache:
         Hits are promoted to MRU; misses install the line, evicting LRU when
         the set is full.
         """
-        index = self.geometry.index(address)
-        tag = self.geometry.tag(address)
-        tags = self._sets[index]
+        line = address // self._line_bytes
+        tag = line // self._set_count
+        tags = self._sets[line % self._set_count]
         if tag in tags:
             if tags[0] != tag:
                 tags.remove(tag)
@@ -84,25 +89,48 @@ class SetAssociativeCache:
             return True
         self.misses += 1
         tags.insert(0, tag)
-        if len(tags) > self.geometry.ways:
+        if len(tags) > self._way_count:
             tags.pop()
         return False
 
     def install(self, address: int) -> None:
         """Install ``address`` (MRU) without counting an access."""
-        index = self.geometry.index(address)
-        tag = self.geometry.tag(address)
-        tags = self._sets[index]
+        line = address // self._line_bytes
+        tag = line // self._set_count
+        tags = self._sets[line % self._set_count]
         if tag in tags:
             tags.remove(tag)
         tags.insert(0, tag)
-        if len(tags) > self.geometry.ways:
+        if len(tags) > self._way_count:
             tags.pop()
 
     def flush(self) -> None:
         """Empty the cache (counters are preserved)."""
         for tags in self._sets:
             tags.clear()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Sparse snapshot: occupied sets as ``[index, [tags MRU-first]]``."""
+        return {
+            "sets": [
+                [index, list(tags)]
+                for index, tags in enumerate(self._sets)
+                if tags
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        for tags in self._sets:
+            tags.clear()
+        for index, tags in state["sets"]:
+            self._sets[index] = list(tags)
+        self.hits = state["hits"]
+        self.misses = state["misses"]
 
     @property
     def accesses(self) -> int:

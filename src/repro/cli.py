@@ -4,7 +4,12 @@ Commands:
 
 * ``simulate`` — run one workload under one or more configurations and
   print the comparison report; ``--trace``/``--chrome-trace``/``--sample``/
-  ``--profile`` attach the telemetry subsystem and export its artifacts.
+  ``--profile`` attach the telemetry subsystem and export its artifacts;
+  ``--sampled`` switches to interval sampling (``--interval``/``--period``/
+  ``--warmup``/``--sampling-mode``, checkpoint reuse via
+  ``--checkpoint-dir``).
+* ``checkpoint`` — create, list or clear the warmed-state checkpoints a
+  sampled run reuses.
 * ``workloads`` — list the Table 4 workload catalog (paper counters).
 * ``tables`` — print the paper's structural tables (1, 2, 3, 5).
 * ``figure`` — regenerate one figure (2-7) at a chosen scale, optionally
@@ -38,6 +43,14 @@ from repro.core.config import (
 from repro.engine.simulator import Simulator
 from repro.metrics.counters import cpi_improvement
 from repro.metrics.report import format_result
+from repro.sampling import (
+    CheckpointStore,
+    ConfidenceBoundExceeded,
+    DEFAULT_CI_BOUND,
+    SamplingPlan,
+    error_report,
+    run_sampled,
+)
 from repro.telemetry import (
     BranchProfiler,
     Sampler,
@@ -105,6 +118,26 @@ def _export_telemetry(args, telemetry: Telemetry, key: str,
         print(telemetry.profiler.render(args.profile))
 
 
+def _sampling_plan(args) -> SamplingPlan:
+    """The :class:`SamplingPlan` described by the ``--sampled`` flags."""
+    return SamplingPlan(
+        mode=args.sampling_mode,
+        interval=args.interval,
+        period=args.period,
+        warmup=args.warmup,
+        seed=args.sampling_seed,
+    )
+
+
+def _checkpoint_context(args, spec):
+    """(store, trace_key) for ``--checkpoint-dir``, or (None, None)."""
+    if getattr(args, "checkpoint_dir", None) is None:
+        return None, None
+    from repro.experiments.common import trace_identity
+
+    return CheckpointStore(args.checkpoint_dir), trace_identity(spec, args.scale)
+
+
 def _cmd_simulate(args) -> int:
     spec = workload_by_name(args.workload)
     print(f"workload: {spec.name} (scale {args.scale})")
@@ -116,8 +149,27 @@ def _cmd_simulate(args) -> int:
         config = CONFIGS[key]
         auditor = Auditor() if args.audit else None
         telemetry = _build_telemetry(args)
-        result = Simulator(config, audit=auditor,
-                           telemetry=telemetry).run(trace)
+        if args.sampled:
+            store, trace_key = _checkpoint_context(args, spec)
+            sampled = run_sampled(
+                trace, config=config, plan=_sampling_plan(args),
+                audit=auditor, telemetry=telemetry,
+                checkpoint_store=store, trace_key=trace_key,
+            )
+            result = sampled.result
+            try:
+                print(error_report(sampled, max_ci=args.max_ci))
+            except ConfidenceBoundExceeded as refusal:
+                print(refusal, file=sys.stderr)
+                return 1
+            if store is not None:
+                print(f"  checkpoints: {sampled.checkpoints_loaded} loaded, "
+                      f"{sampled.checkpoints_saved} saved "
+                      f"({args.checkpoint_dir})")
+            print()
+        else:
+            result = Simulator(config, audit=auditor,
+                               telemetry=telemetry).run(trace)
         results.append(result)
         print(format_result(result))
         if telemetry is not None:
@@ -166,6 +218,42 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_checkpoint(args) -> int:
+    store = CheckpointStore(args.dir)
+    if args.action == "list":
+        entries = store.entries()
+        total = sum(path.stat().st_size for path in entries)
+        for path in entries:
+            print(f"{path.stat().st_size:12,d}  {path.name}")
+        print(f"{len(entries)} checkpoint(s), {total:,} bytes in {args.dir}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} checkpoint(s) from {args.dir}")
+        return 0
+    # create: one sampled pass with the store attached warms every interval
+    # start through the exact save/load lineage a later sampled run replays.
+    if args.workload is None:
+        print("checkpoint create requires a workload", file=sys.stderr)
+        return 2
+    spec = workload_by_name(args.workload)
+    config = CONFIGS[args.config]
+    trace = spec.trace(scale=args.scale)
+    from repro.experiments.common import trace_identity
+
+    auditor = Auditor() if args.audit else None
+    sampled = run_sampled(
+        trace, config=config, plan=_sampling_plan(args), audit=auditor,
+        checkpoint_store=store, trace_key=trace_identity(spec, args.scale),
+    )
+    print(f"workload: {spec.name} (scale {args.scale}), "
+          f"config {config.name}")
+    print(f"plan: {sampled.plan.describe()}")
+    print(f"checkpoints: {sampled.checkpoints_saved} saved, "
+          f"{sampled.checkpoints_loaded} reused ({args.dir})")
+    return 0
+
+
 def _cmd_tables(_args) -> int:
     from repro.experiments.tables import (
         render_table1,
@@ -205,6 +293,35 @@ def _cmd_report(args) -> int:
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
     return run_all_main(argv)
+
+
+def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
+    """Plan-geometry flags shared by ``simulate --sampled``/``checkpoint``.
+
+    Defaults mirror :class:`repro.sampling.SamplingPlan`.
+    """
+    parser.add_argument(
+        "--interval", type=int, default=1000, metavar="N",
+        help="measured records per interval (default: 1000)",
+    )
+    parser.add_argument(
+        "--period", type=int, default=20000, metavar="N",
+        help="records per sampling period; one interval each (default: 20000)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=1000, metavar="N",
+        help="detailed-but-unmeasured records before each interval "
+             "(default: 1000)",
+    )
+    parser.add_argument(
+        "--sampling-mode", choices=("systematic", "stratified"),
+        default="stratified",
+        help="interval placement within each period (default: stratified)",
+    )
+    parser.add_argument(
+        "--sampling-seed", type=int, default=12345, metavar="SEED",
+        help="stratified offset-selection seed (default: 12345)",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -273,6 +390,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", type=int, nargs="?", const=10, default=None, metavar="K",
         help="print the top-K per-branch penalty profile (default K: 10)",
     )
+    simulate.add_argument(
+        "--sampled", action="store_true",
+        help="interval sampling: functional-warm between measured intervals "
+             "and extrapolate whole-trace estimates with confidence intervals",
+    )
+    _add_sampling_arguments(simulate)
+    simulate.add_argument(
+        "--max-ci", type=float, default=DEFAULT_CI_BOUND, metavar="BOUND",
+        help="refuse sampled estimates whose 95%% CI exceeds this bound "
+             f"(default: {DEFAULT_CI_BOUND})",
+    )
+    simulate.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="checkpoint store for sampled runs: warmed interval states are "
+             "saved on first run and reused afterwards",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="manage warmed-state checkpoints for sampled runs"
+    )
+    checkpoint.add_argument(
+        "action", choices=("create", "list", "clear"),
+        help="create (run one sampled pass saving every interval state), "
+             "list, or clear the store",
+    )
+    checkpoint.add_argument(
+        "workload", nargs="?", default=None,
+        help="catalog name (substring match; required for create)",
+    )
+    checkpoint.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="checkpoint store directory",
+    )
+    checkpoint.add_argument(
+        "--config", choices=sorted(CONFIGS), default="2",
+        help="Table 3 configuration to warm (default: 2)",
+    )
+    checkpoint.add_argument("--scale", type=float, default=0.35)
+    _add_sampling_arguments(checkpoint)
+    _add_audit_argument(checkpoint)
 
     sub.add_parser("tables", help="print tables 1, 2, 3 and 5")
 
@@ -338,6 +495,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "workloads": _cmd_workloads,
         "simulate": _cmd_simulate,
+        "checkpoint": _cmd_checkpoint,
         "tables": _cmd_tables,
         "figure": _cmd_figure,
         "report": _cmd_report,

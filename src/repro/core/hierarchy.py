@@ -228,6 +228,40 @@ class FirstLevelPredictor:
         self.surprise_bht.update(record.address, record.kind, record.taken)
         self.history.record(record.address, record.taken)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of every first-level structure and counter.
+
+        The BTB2 is *not* included: it is owned by the preload side and the
+        hierarchy only holds a reference; :class:`repro.engine.simulator.Simulator`
+        serializes it once at the top level.
+        """
+        return {
+            "btb1": self.btb1.state_dict(),
+            "btbp": self.btbp.state_dict() if self.btbp is not None else None,
+            "pht": self.pht.state_dict(),
+            "ctb": self.ctb.state_dict(),
+            "fit": self.fit.state_dict(),
+            "surprise_bht": self.surprise_bht.state_dict(),
+            "history": self.history.state_dict(),
+            "btbp_promotions": self.btbp_promotions,
+            "surprise_installs": self.surprise_installs,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.btb1.load_state_dict(state["btb1"])
+        if self.btbp is not None:
+            self.btbp.load_state_dict(state["btbp"])
+        self.pht.load_state_dict(state["pht"])
+        self.ctb.load_state_dict(state["ctb"])
+        self.fit.load_state_dict(state["fit"])
+        self.surprise_bht.load_state_dict(state["surprise_bht"])
+        self.history.load_state_dict(state["history"])
+        self.btbp_promotions = state["btbp_promotions"]
+        self.surprise_installs = state["surprise_installs"]
+
     # -- probes --------------------------------------------------------------
 
     def probe_level(self, branch_address: int) -> PredictionLevel | None:

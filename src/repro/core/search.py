@@ -109,6 +109,36 @@ class LookaheadSearch:
         if self.audit is not None:
             self.audit.on_search_restart(self, address, cycle)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of the searcher's position, pattern state and counters."""
+        return {
+            "cycle": self.cycle,
+            "search_address": self.search_address,
+            "consecutive_empty": self._consecutive_empty,
+            "first_empty_address": self._first_empty_address,
+            "last_taken_address": self._last_taken_address,
+            "last_not_taken_row": self._last_not_taken_row,
+            "searches": self.searches,
+            "empty_searches": self.empty_searches,
+            "predictions_made": self.predictions_made,
+            "miss_reports_made": self.miss_reports_made,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.cycle = state["cycle"]
+        self.search_address = state["search_address"]
+        self._consecutive_empty = state["consecutive_empty"]
+        self._first_empty_address = state["first_empty_address"]
+        self._last_taken_address = state["last_taken_address"]
+        self._last_not_taken_row = state["last_not_taken_row"]
+        self.searches = state["searches"]
+        self.empty_searches = state["empty_searches"]
+        self.predictions_made = state["predictions_made"]
+        self.miss_reports_made = state["miss_reports_made"]
+
     # -- main advance --------------------------------------------------------
 
     def advance_to_branch(self, branch_address: int) -> SearchOutcome:

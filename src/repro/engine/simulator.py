@@ -22,7 +22,9 @@ Simulation contract (see DESIGN.md §1/§7 for the substitution rationale):
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -33,10 +35,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (audit -> engine)
 from repro.btb.btb2 import BTB2
 from repro.caches.icache import ICache
 from repro.core.config import PredictorConfig, ZEC12_CONFIG_2
-from repro.core.events import MissReport, OutcomeKind, Prediction
+from repro.core.events import MissReport, OutcomeKind, Prediction, PredictionLevel
 from repro.core.hierarchy import FirstLevelPredictor, RowHit
 from repro.core.search import LookaheadSearch
 from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.isa.address import block_address, sector_address
 from repro.metrics.counters import SimCounters
 from repro.preload.engine import PreloadEngine
 from repro.trace.record import TraceRecord
@@ -71,6 +74,20 @@ class Simulator:
     #: Pending-prefetch map size beyond which completed/evicted entries are
     #: pruned (class attribute so tests can lower it).
     LINE_FILL_PRUNE_LIMIT = 8192
+
+    #: Version of the :meth:`state_dict` schema.  Bump on any change to what
+    #: a snapshot contains; :meth:`load_state_dict` refuses other versions.
+    STATE_VERSION = 1
+
+    #: 4 KB blocks remembered by the functional-warming bulk preload
+    #: (:meth:`warm_step`): a block already preloaded this recently is not
+    #: preloaded again.  The window mirrors the tracker file's per-block
+    #: dedup, so it must stay near the architected tracker count — a wide
+    #: window would suppress the re-preloads that happen on every block
+    #: revisit in detailed mode, and a very narrow one re-preloads far more
+    #: often than the real engine ever searches.  16 was calibrated against
+    #: the detailed engine's transfer volume on the Table 4 workloads.
+    WARM_PRELOAD_BLOCKS = 16
 
     def __init__(
         self,
@@ -111,6 +128,8 @@ class Simulator:
         self._current_line = -1
         #: line address -> cycle its L2 fill completes (prefetches in flight).
         self._line_fills: dict[int, float] = {}
+        #: Recently warm-preloaded 4 KB blocks (LRU order), warming-mode only.
+        self._warm_blocks: OrderedDict[int, None] = OrderedDict()
         self.audit = audit
         if audit is not None:
             audit.attach(self)
@@ -168,6 +187,193 @@ class Simulator:
         if self.telemetry is not None:
             self.telemetry.after_step(self, record)
 
+    # -- functional warming ----------------------------------------------------
+
+    def warm_step(self, record: TraceRecord) -> None:
+        """Consume one record in functional-warming mode (SMARTS-style).
+
+        Predictors and caches keep learning — BTB content migrates, the
+        bimodal/PHT/CTB/surprise-BHT state trains, icache tags update — but
+        no cycle accounting, no lookahead-search timing, and no counter
+        mutation happens.  This is what makes interval sampling fast: the
+        fast-forward path costs a couple of table probes per record instead
+        of the full pipeline model.
+
+        The search/transfer machinery idles during warming; the sampling
+        runner calls :meth:`begin_interval` before each measured interval to
+        resynchronize it.
+        """
+        if not self._started:
+            self._started = True
+        elif record.address != self._expected_address:
+            # Context switch while warming: the old stream's fetch state is
+            # dead, exactly as in :meth:`step`, but without cycle accounting.
+            self._current_line = -1
+            self._line_fills.clear()
+        self._expected_address = record.next_address
+        line = record.address & ~(self.timing.icache_line_bytes - 1)
+        if line != self._current_line:
+            self._current_line = line
+            self.icache.fetch(record.address, int(self._cycle))
+        if record.kind is None:
+            return
+        entry = self.hierarchy.btb1.lookup(record.address)
+        if entry is not None:
+            self.hierarchy.btb1.touch(entry)
+        elif self.hierarchy.btbp is not None:
+            entry = self.hierarchy.btbp.lookup(record.address)
+            if entry is not None:
+                # Warming approximates every BTBP hit as a used prediction:
+                # the entry is promoted into the BTB1 and the victim chain
+                # runs, keeping capacity pressure realistic.
+                self.hierarchy.use_prediction(
+                    RowHit(entry, PredictionLevel.BTBP,
+                           self.hierarchy.btbp.is_mru(entry))
+                )
+        if entry is not None:
+            self.hierarchy.train(entry, record)
+        else:
+            if self.btb2 is not None:
+                self._warm_preload(record.address)
+            if record.taken and record.target is not None:
+                self.hierarchy.surprise_install(record)
+        if record.taken and record.target is not None:
+            self.icache.prefetch(record.target)
+        self.hierarchy.record_resolved_branch(record)
+        self._seen_branches.add(record.address)
+
+    def _warm_preload(self, address: int) -> None:
+        """Functional stand-in for the bulk-preload engine during warming.
+
+        A first-level miss in detailed mode produces a miss report, a
+        tracker, and BTB2→BTBP transfers.  Warming has no timing to drive
+        that machinery, so it approximates the steady-state *content* effect
+        directly, mirroring the tracker escalation of section 3.5/3.6: the
+        first miss in a 4 KB block runs the partial search (a few rows at
+        the miss sector), a repeat miss in the same block upgrades to the
+        full-block search, further misses are absorbed — all with the same
+        clone/demote transfer semantics as the real engine, deduplicated
+        per block over a small LRU window sized like the tracker file.
+        Without this, measured intervals would start with a systematically
+        underfilled BTBP and overestimate CPI.
+        """
+        block = block_address(address)
+        stage = self._warm_blocks.get(block)
+        if stage == 2:
+            self._warm_blocks.move_to_end(block)
+            return
+        preload_write = self.hierarchy.preload_write
+        if stage is None:
+            self._warm_blocks[block] = 1
+            if len(self._warm_blocks) > self.WARM_PRELOAD_BLOCKS:
+                self._warm_blocks.popitem(last=False)
+            entries = self.btb2.transfer_span(
+                sector_address(address), self.config.partial_search_rows
+            )
+        else:
+            self._warm_blocks[block] = 2
+            self._warm_blocks.move_to_end(block)
+            entries = self.btb2.transfer_block(block)
+        for entry in entries:
+            preload_write(entry)
+
+    def warm_run(self, records: Iterable[TraceRecord]) -> None:
+        """Functionally warm a span of records (bulk :meth:`warm_step`).
+
+        Behaviorally identical to calling :meth:`warm_step` on each record
+        in order — pinned by an equivalence test over full state snapshots —
+        but with the record loop and every hot attribute lookup hoisted into
+        one frame.  Warming throughput bounds sampled-simulation speedup
+        (the detailed fraction is small), so this path is worth the
+        duplication.
+        """
+        hierarchy = self.hierarchy
+        btb1 = hierarchy.btb1
+        btb1_lookup = btb1.lookup
+        btb1_touch = btb1.touch
+        btbp = hierarchy.btbp
+        btbp_lookup = btbp.lookup if btbp is not None else None
+        btbp_is_mru = btbp.is_mru if btbp is not None else None
+        warm_preload = self._warm_preload if self.btb2 is not None else None
+        train = hierarchy.train
+        use_prediction = hierarchy.use_prediction
+        surprise_install = hierarchy.surprise_install
+        # record_resolved_branch and icache.prefetch, unwrapped: the former
+        # is two calls, and a prefetch's install alone leaves the cache in
+        # the same state as probe+install (the probe only feeds the unused
+        # already-present return).
+        bht_update = hierarchy.surprise_bht.update
+        history_record = hierarchy.history.record
+        icache_fetch = self.icache.fetch
+        icache_prefetch = self.icache._cache.install
+        seen_add = self._seen_branches.add
+        line_mask = ~(self.timing.icache_line_bytes - 1)
+        btbp_level = PredictionLevel.BTBP
+        cycle = int(self._cycle)
+        started = self._started
+        expected = self._expected_address
+        current_line = self._current_line
+        for record in records:
+            address = record.address
+            if address != expected:
+                if started:
+                    current_line = -1
+                    self._line_fills.clear()
+                else:
+                    started = True
+            kind = record.kind
+            if kind is None:
+                expected = address + record.length
+                line = address & line_mask
+                if line != current_line:
+                    current_line = line
+                    icache_fetch(address, cycle)
+                continue
+            taken = record.taken
+            target = record.target
+            expected = target if taken else address + record.length
+            line = address & line_mask
+            if line != current_line:
+                current_line = line
+                icache_fetch(address, cycle)
+            entry = btb1_lookup(address)
+            if entry is not None:
+                btb1_touch(entry)
+                train(entry, record)
+            else:
+                entry = (btbp_lookup(address)
+                         if btbp_lookup is not None else None)
+                if entry is not None:
+                    use_prediction(
+                        RowHit(entry, btbp_level, btbp_is_mru(entry))
+                    )
+                    train(entry, record)
+                else:
+                    if warm_preload is not None:
+                        warm_preload(address)
+                    if taken and target is not None:
+                        surprise_install(record)
+            if taken and target is not None:
+                icache_prefetch(target)
+            bht_update(address, kind, taken)
+            history_record(address, taken)
+            seen_add(address)
+        self._started = started
+        self._expected_address = expected
+        self._current_line = current_line
+
+    def begin_interval(self, address: int) -> None:
+        """Resynchronize timing machinery at a measured-interval start.
+
+        After a functional-warming gap the lookahead searcher's position is
+        stale (it idled while the warmed path moved on); restart it at the
+        interval's first instruction, as a pipeline restart would.  Pending
+        prefetch fills from the previous detailed interval are dropped so
+        hidden-miss attribution cannot cross a warming gap.
+        """
+        self.search.restart(address, math.ceil(self._cycle))
+        self._line_fills.clear()
+
     def finish(self) -> SimulationResult:
         """Finalize clocks and snapshot structure statistics."""
         if self.preload is not None:
@@ -178,6 +384,88 @@ class Simulator:
         if self.telemetry is not None:
             self.telemetry.after_finish(self)
         return self._result()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def model_fingerprint(self) -> str:
+        """Digest of the (config, timing) pair a snapshot is only valid for.
+
+        Snapshots encode learned *state*, not geometry: loading BTB rows
+        into a different geometry would silently corrupt indexing, so the
+        fingerprint is checked on load.
+        """
+        payload = repr((self.config, self.timing))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def state_dict(self) -> dict:
+        """Versioned, JSON-serializable snapshot of all architectural state.
+
+        Covers every structure whose content affects future behavior: the
+        three BTB levels, PHT/CTB/FIT/surprise-BHT/path history, icache
+        tags, lookahead-search position, preload trackers and in-flight
+        transfers, counters, and the simulator's own fetch/clock state.
+        Attached observers (audit, telemetry) are wiring, not state, and
+        are not included.
+        """
+        return {
+            "version": self.STATE_VERSION,
+            "model": self.model_fingerprint(),
+            "config_name": self.config.name,
+            "cycle": self._cycle,
+            "started": self._started,
+            "expected_address": self._expected_address,
+            "seen_branches": sorted(self._seen_branches),
+            "current_line": self._current_line,
+            "warm_blocks": [
+                [block, stage] for block, stage in self._warm_blocks.items()
+            ],
+            "line_fills": [
+                [line, fill] for line, fill in sorted(self._line_fills.items())
+            ],
+            "counters": self.counters.state_dict(),
+            "hierarchy": self.hierarchy.state_dict(),
+            "btb2": self.btb2.state_dict() if self.btb2 is not None else None,
+            "icache": self.icache.state_dict(),
+            "search": self.search.state_dict(),
+            "preload": (
+                self.preload.state_dict() if self.preload is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        Raises ``ValueError`` on a schema-version or model-fingerprint
+        mismatch rather than restoring into an incompatible simulator.
+        """
+        if state.get("version") != self.STATE_VERSION:
+            raise ValueError(
+                f"checkpoint schema version {state.get('version')!r} != "
+                f"supported {self.STATE_VERSION}"
+            )
+        if state.get("model") != self.model_fingerprint():
+            raise ValueError(
+                "checkpoint was taken under a different config/timing "
+                f"(snapshot model {state.get('model')!r}, "
+                f"this simulator {self.model_fingerprint()!r})"
+            )
+        self._cycle = state["cycle"]
+        self._started = state["started"]
+        self._expected_address = state["expected_address"]
+        self._seen_branches = set(state["seen_branches"])
+        self._current_line = state["current_line"]
+        self._warm_blocks = OrderedDict(
+            (block, stage) for block, stage in state["warm_blocks"]
+        )
+        self._line_fills = {line: fill for line, fill in state["line_fills"]}
+        self.counters.load_state_dict(state["counters"])
+        self.hierarchy.load_state_dict(state["hierarchy"])
+        if self.btb2 is not None:
+            self.btb2.load_state_dict(state["btb2"])
+        self.icache.load_state_dict(state["icache"])
+        self.search.load_state_dict(state["search"])
+        if self.preload is not None:
+            self.preload.load_state_dict(state["preload"])
 
     # -- instruction fetch -------------------------------------------------------
 

@@ -37,6 +37,7 @@ from repro.core.config import PredictorConfig
 from repro.core.events import OutcomeKind
 from repro.engine.params import DEFAULT_TIMING, TimingParams
 from repro.engine.simulator import Simulator
+from repro.sampling import CheckpointStore, SamplingPlan, run_sampled
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec, default_scale
 
 #: Environment variable overriding the result-cache directory
@@ -61,6 +62,11 @@ class RunResult:
     branches: int
     outcome_fractions: dict[str, float]
     preload_stats: dict[str, int]
+    #: Sampled-run provenance (plan description, interval count, CI
+    #: halfwidths, checkpoint traffic); ``None`` for full-detail runs.
+    #: Part of equality: a sampled estimate is a different scientific
+    #: object from a full measurement and must never compare equal to one.
+    sampling: dict | None = None
     #: Wall-clock seconds the producing simulation took (0 when unknown).
     wall_seconds: float = field(default=0.0, compare=False)
     #: Name of the process that simulated this run (e.g. ``MainProcess`` or
@@ -98,15 +104,23 @@ _KNOWN_FIELDS = frozenset(f.name for f in dataclasses.fields(RunResult))
 
 
 def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
-                    timing: TimingParams, scale: float) -> str:
+                    timing: TimingParams, scale: float,
+                    sampling: SamplingPlan | None = None) -> str:
     """Stable cache key of one (workload, config, timing, scale) run.
 
     Any change to the workload's generator parameters, the configuration's
     structural knobs (``name`` excluded), the timing model, or the scale
     yields a new fingerprint — which is also the cache invalidation rule:
     nothing is ever invalidated in place, changed inputs simply miss.
+
+    A sampled run keys on the sampling plan as well: its estimates must
+    never be served from (or to) a full-detail run's cache slot.  Full runs
+    keep their historical fingerprints (``sampling=None`` adds nothing to
+    the payload).
     """
     payload = repr((spec, _config_key(config), dataclasses.astuple(timing), scale))
+    if sampling is not None:
+        payload += repr(("sampled", sampling.cache_key()))
     return hashlib.sha256(payload.encode()).hexdigest()[:20]
 
 
@@ -181,12 +195,19 @@ def store_cached_run(key: str, run: RunResult) -> None:
     os.replace(scratch, path)  # atomic vs concurrent readers and writers
 
 
+def trace_identity(spec: WorkloadSpec, scale: float) -> str:
+    """Stable identity of one generated trace (checkpoint provenance)."""
+    return hashlib.sha256(repr((spec, scale)).encode()).hexdigest()[:16]
+
+
 def run_workload(
     spec: WorkloadSpec,
     config: PredictorConfig,
     timing: TimingParams = DEFAULT_TIMING,
     scale: float | None = None,
     audit: bool | None = None,
+    sampling: SamplingPlan | None = None,
+    checkpoint_dir: str | None = None,
 ) -> RunResult:
     """Simulate ``spec`` under ``config``, using the on-disk result cache.
 
@@ -199,12 +220,19 @@ def run_workload(
     environment variable).  Audited runs bypass cache *reads* — a hit
     would skip the checks — but still publish their result, which is
     identical to an unaudited run's.
+
+    ``sampling`` switches the run to interval sampling
+    (:func:`repro.sampling.run_sampled`): the result carries extrapolated
+    estimates plus a ``sampling`` provenance block, and caches under a
+    distinct fingerprint.  ``checkpoint_dir`` (sampled runs only) names a
+    :class:`repro.sampling.CheckpointStore` so warmed interval states are
+    created once and reused.
     """
     if scale is None:
         scale = default_scale()
     if audit is None:
         audit = audit_from_env()
-    key = run_fingerprint(spec, config, timing, scale)
+    key = run_fingerprint(spec, config, timing, scale, sampling)
     if not audit:
         cached = load_cached_run(key)
         if cached is not None:
@@ -215,7 +243,28 @@ def run_workload(
         raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
     started = time.perf_counter()
     auditor = Auditor() if audit else None
-    result = Simulator(config=config, timing=timing, audit=auditor).run(trace)
+    sampling_info: dict | None = None
+    if sampling is not None:
+        store = (CheckpointStore(checkpoint_dir)
+                 if checkpoint_dir is not None else None)
+        sampled = run_sampled(
+            trace, config=config, timing=timing, plan=sampling,
+            audit=auditor, checkpoint_store=store,
+            trace_key=trace_identity(spec, scale),
+        )
+        result = sampled.result
+        sampling_info = {
+            "plan": sampled.plan.describe(),
+            "plan_key": list(sampled.plan.cache_key()),
+            "intervals": len(sampled.measurements),
+            "detailed_records": sampled.detailed_records,
+            "cpi_ci": sampled.cpi_ci,
+            "bad_outcome_ci": sampled.bad_outcome_ci,
+            "checkpoints_loaded": sampled.checkpoints_loaded,
+            "checkpoints_saved": sampled.checkpoints_saved,
+        }
+    else:
+        result = Simulator(config=config, timing=timing, audit=auditor).run(trace)
     elapsed = time.perf_counter() - started
     run = RunResult(
         workload=spec.name,
@@ -228,6 +277,7 @@ def run_workload(
             for kind, fraction in result.counters.outcome_fractions().items()
         },
         preload_stats=dict(result.preload_stats),
+        sampling=sampling_info,
         wall_seconds=elapsed,
         worker=multiprocessing.current_process().name,
     )

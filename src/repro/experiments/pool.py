@@ -43,6 +43,7 @@ from repro.experiments.common import (
     run_fingerprint,
     run_workload,
 )
+from repro.sampling import SamplingPlan
 from repro.workloads.catalog import WorkloadSpec, default_scale
 
 #: Environment variable supplying the default worker count for batch runs.
@@ -65,6 +66,12 @@ class RunSpec:
     #: fingerprint: audited results are identical to unaudited ones, but
     #: audited runs skip cache *reads* so the checks actually execute.
     audit: bool | None = None
+    #: Interval-sampling plan; ``None`` runs full detail.  Part of the
+    #: fingerprint — sampled estimates cache separately from full runs.
+    sampling: SamplingPlan | None = None
+    #: Checkpoint-store directory for sampled runs (not fingerprinted:
+    #: checkpoints change wall time, never results).
+    checkpoint_dir: str | None = None
 
     def resolved_scale(self) -> float:
         """The concrete scale (``None`` defers to ``REPRO_SCALE``/1.0)."""
@@ -77,7 +84,8 @@ class RunSpec:
     def fingerprint(self) -> str:
         """Result-cache fingerprint of this run."""
         return run_fingerprint(
-            self.workload, self.config, self.timing, self.resolved_scale()
+            self.workload, self.config, self.timing, self.resolved_scale(),
+            self.sampling,
         )
 
 
@@ -170,8 +178,9 @@ class ExecutionLog:
 session_log = ExecutionLog()
 
 
-def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig,
-                               TimingParams, float, bool]) -> RunResult:
+def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig, TimingParams,
+                               float, bool, SamplingPlan | None,
+                               str | None]) -> RunResult:
     """Pool worker body: one cached simulation run.
 
     Must stay a module-level function so it pickles under every
@@ -179,8 +188,9 @@ def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig,
     first (audited runs excepted), so a run another worker already
     published is not repeated.
     """
-    spec, config, timing, scale, audit = item
-    return run_workload(spec, config, timing, scale, audit=audit)
+    spec, config, timing, scale, audit, sampling, checkpoint_dir = item
+    return run_workload(spec, config, timing, scale, audit=audit,
+                        sampling=sampling, checkpoint_dir=checkpoint_dir)
 
 
 def run_many(
@@ -223,7 +233,7 @@ def run_many(
 
     items = [
         (spec.workload, spec.config, spec.timing, spec.resolved_scale(),
-         spec.resolved_audit())
+         spec.resolved_audit(), spec.sampling, spec.checkpoint_dir)
         for _, spec in misses
     ]
     if len(items) <= 1 or jobs == 1:

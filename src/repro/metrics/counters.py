@@ -51,6 +51,43 @@ class SimCounters:
         """
         self.penalty_cycles[cause] = self.penalty_cycles.get(cause, 0.0) + cycles
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every raw counter.
+
+        ``cycles`` and the penalty attributions are binary64 floats; JSON
+        round-trips them exactly (repr-based encoding), so a restored run's
+        derived CPI is bit-identical.
+        """
+        return {
+            "instructions": self.instructions,
+            "branches": self.branches,
+            "taken_branches": self.taken_branches,
+            "cycles": self.cycles,
+            "outcomes": {kind.value: count for kind, count in self.outcomes.items()},
+            "penalty_cycles": dict(self.penalty_cycles),
+            "icache_demand_misses": self.icache_demand_misses,
+            "icache_hidden_misses": self.icache_hidden_misses,
+            "icache_partially_hidden_misses": self.icache_partially_hidden_misses,
+            "context_switches": self.context_switches,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.instructions = state["instructions"]
+        self.branches = state["branches"]
+        self.taken_branches = state["taken_branches"]
+        self.cycles = state["cycles"]
+        self.outcomes = {kind: 0 for kind in OutcomeKind}
+        for name, count in state["outcomes"].items():
+            self.outcomes[OutcomeKind(name)] = count
+        self.penalty_cycles = dict(state["penalty_cycles"])
+        self.icache_demand_misses = state["icache_demand_misses"]
+        self.icache_hidden_misses = state["icache_hidden_misses"]
+        self.icache_partially_hidden_misses = state["icache_partially_hidden_misses"]
+        self.context_switches = state["context_switches"]
+
     # -- derived -------------------------------------------------------------
 
     @property

@@ -343,6 +343,56 @@ class PreloadEngine:
                 cycle, slot, tracker.block, reason
             )
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of trackers, transfer machinery, steering and counters.
+
+        The BTB2 itself is owned by the simulator and serialized there;
+        tracker references inside the transfer engine are encoded as
+        tracker-file slot indices (the stable architected identity).
+        """
+        return {
+            "trackers": self.trackers.state_dict(),
+            "ordering_table": self.ordering_table.state_dict(),
+            "ordering_tracker": self.ordering_tracker.state_dict(),
+            "transfer": self.transfer.state_dict(self.trackers.slot),
+            "block_waiters": [
+                self.trackers.slot(tracker) for tracker in self._block_waiters
+            ],
+            "counters": {
+                "full_searches": self.full_searches,
+                "partial_searches": self.partial_searches,
+                "partial_upgrades": self.partial_upgrades,
+                "partial_invalidations": self.partial_invalidations,
+                "filtered_misses": self.filtered_misses,
+                "duplicate_miss_reports": self.duplicate_miss_reports,
+                "decode_miss_reports": self.decode_miss_reports,
+                "followed_blocks": self.followed_blocks,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.trackers.load_state_dict(state["trackers"])
+        self.ordering_table.load_state_dict(state["ordering_table"])
+        self.ordering_tracker.load_state_dict(state["ordering_tracker"])
+        self.transfer.load_state_dict(
+            state["transfer"], lambda slot: self.trackers.trackers[slot]
+        )
+        self._block_waiters = [
+            self.trackers.trackers[slot] for slot in state["block_waiters"]
+        ]
+        counters = state["counters"]
+        self.full_searches = counters["full_searches"]
+        self.partial_searches = counters["partial_searches"]
+        self.partial_upgrades = counters["partial_upgrades"]
+        self.partial_invalidations = counters["partial_invalidations"]
+        self.filtered_misses = counters["filtered_misses"]
+        self.duplicate_miss_reports = counters["duplicate_miss_reports"]
+        self.decode_miss_reports = counters["decode_miss_reports"]
+        self.followed_blocks = counters["followed_blocks"]
+
     def flush(self) -> None:
         """Finish outstanding work (end of simulation).
 

@@ -80,6 +80,23 @@ class OrderingEntry:
             quartile_refs=list(self.quartile_refs),
         )
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of this entry."""
+        return {
+            "block": self.block,
+            "sector_bits": self.sector_bits,
+            "quartile_refs": list(self.quartile_refs),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "OrderingEntry":
+        """Reconstruct an entry snapshotted by :meth:`state_dict`."""
+        return cls(
+            block=state["block"],
+            sector_bits=state["sector_bits"],
+            quartile_refs=list(state["quartile_refs"]),
+        )
+
 
 class OrderingTable:
     """512-entry, 2-way set associative, tagged by 4 KB block address."""
@@ -134,6 +151,29 @@ class OrderingTable:
         if len(ways) > self.ways:
             ways.pop()
 
+    def state_dict(self) -> dict:
+        """Sparse snapshot: occupied sets as ``[index, [entries MRU-first]]``."""
+        return {
+            "sets": [
+                [index, [entry.state_dict() for entry in ways]]
+                for index, ways in enumerate(self._sets)
+                if ways
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        for ways in self._sets:
+            ways.clear()
+        for index, ways in state["sets"]:
+            self._sets[index] = [
+                OrderingEntry.from_state_dict(entry) for entry in ways
+            ]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
 
 class OrderingTracker:
     """Runtime sector/quartile tracking as a function of completing instructions."""
@@ -170,6 +210,28 @@ class OrderingTracker:
         """Commit the in-flight block entry (end of simulation)."""
         self._commit()
         self._block = None
+
+    def state_dict(self) -> dict:
+        """Snapshot of the in-flight tracking state (table held separately)."""
+        return {
+            "block": self._block,
+            "demand_quartile": self._demand_quartile,
+            "current_quartile": self._current_quartile,
+            "pending": (
+                self._pending.state_dict() if self._pending is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._block = state["block"]
+        self._demand_quartile = state["demand_quartile"]
+        self._current_quartile = state["current_quartile"]
+        self._pending = (
+            OrderingEntry.from_state_dict(state["pending"])
+            if state["pending"] is not None
+            else None
+        )
 
 
 def classify_sectors(

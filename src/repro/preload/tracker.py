@@ -84,6 +84,36 @@ class SearchTracker:
         self.enqueued_rows = set()
         self.transferred_entries = 0
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of this tracker."""
+        return {
+            "block": self.block,
+            "state": self.state.value,
+            "btb1_miss_valid": self.btb1_miss_valid,
+            "icache_miss_valid": self.icache_miss_valid,
+            "miss_address": self.miss_address,
+            "activated_cycle": self.activated_cycle,
+            "block_deadline": self.block_deadline,
+            "outstanding_rows": self.outstanding_rows,
+            "enqueued_rows": sorted(self.enqueued_rows),
+            "transferred_entries": self.transferred_entries,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.block = state["block"]
+        self.state = TrackerState(state["state"])
+        self.btb1_miss_valid = state["btb1_miss_valid"]
+        self.icache_miss_valid = state["icache_miss_valid"]
+        self.miss_address = state["miss_address"]
+        self.activated_cycle = state["activated_cycle"]
+        self.block_deadline = state["block_deadline"]
+        self.outstanding_rows = state["outstanding_rows"]
+        self.enqueued_rows = set(state["enqueued_rows"])
+        self.transferred_entries = state["transferred_entries"]
+
 
 class TrackerFile:
     """The fixed pool of search trackers with allocation/matching policy."""
@@ -139,6 +169,28 @@ class TrackerFile:
         tracker.activated_cycle = cycle
         tracker.state = state
         self.allocations += 1
+
+    def state_dict(self) -> dict:
+        """Snapshot of every tracker (by slot) plus file counters."""
+        return {
+            "trackers": [tracker.state_dict() for tracker in self.trackers],
+            "allocations": self.allocations,
+            "dropped_miss_reports": self.dropped_miss_reports,
+            "dropped_icache_reports": self.dropped_icache_reports,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        Tracker *objects* are reused (slot identity is the architected
+        identity — the transfer engine's queued reads reference trackers by
+        slot index across a checkpoint).
+        """
+        for tracker, tracker_state in zip(self.trackers, state["trackers"]):
+            tracker.load_state_dict(tracker_state)
+        self.allocations = state["allocations"]
+        self.dropped_miss_reports = state["dropped_miss_reports"]
+        self.dropped_icache_reports = state["dropped_icache_reports"]
 
     def slot(self, tracker: SearchTracker) -> int:
         """Index of ``tracker`` in the file (stable telemetry identity)."""

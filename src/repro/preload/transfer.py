@@ -160,6 +160,65 @@ class TransferEngine:
             self.install(entry.clone())
         return len(hits)
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self, slot_of: Callable[[SearchTracker], int]) -> dict:
+        """Snapshot queue/in-flight state with trackers encoded by slot.
+
+        Queued and in-flight reads hold live tracker references; ``slot_of``
+        maps them to their stable :class:`~repro.preload.tracker.TrackerFile`
+        slot indices so the snapshot is pure data.  Heap lists are stored in
+        their internal order — pop order is total ((priority, sequence) /
+        (completion, sequence)), so rebuilding the heaps from any order is
+        behavior-identical.
+        """
+        return {
+            "queue": [
+                [item.priority, item.sequence, item.row_address,
+                 item.eligible_cycle, slot_of(item.tracker)]
+                for item in self._queue
+            ],
+            "inflight": [
+                [completion, sequence, row_address, slot_of(tracker)]
+                for completion, sequence, row_address, tracker in self._inflight
+            ],
+            "sequence": self._sequence,
+            "next_issue_cycle": self._next_issue_cycle,
+            "clock": self.clock,
+            "rows_read": self.rows_read,
+            "entries_transferred": self.entries_transferred,
+        }
+
+    def load_state_dict(
+        self, state: dict, tracker_at: Callable[[int], SearchTracker]
+    ) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`.
+
+        ``tracker_at`` resolves slot indices back to live tracker objects.
+        """
+        self._queue = [
+            _QueuedRead(
+                priority=priority,
+                sequence=sequence,
+                row_address=row_address,
+                eligible_cycle=eligible_cycle,
+                tracker=tracker_at(slot),
+            )
+            for priority, sequence, row_address, eligible_cycle, slot
+            in state["queue"]
+        ]
+        heapq.heapify(self._queue)
+        self._inflight = [
+            (completion, sequence, row_address, tracker_at(slot))
+            for completion, sequence, row_address, slot in state["inflight"]
+        ]
+        heapq.heapify(self._inflight)
+        self._sequence = state["sequence"]
+        self._next_issue_cycle = state["next_issue_cycle"]
+        self.clock = state["clock"]
+        self.rows_read = state["rows_read"]
+        self.entries_transferred = state["entries_transferred"]
+
     # -- introspection ---------------------------------------------------------
 
     @property

@@ -1,0 +1,95 @@
+"""On-disk checkpoints of simulator architectural state.
+
+A checkpoint is the gzip-compressed JSON of
+:meth:`repro.engine.simulator.Simulator.state_dict` — pure data, no pickled
+live objects — so a warmed state is created once and reused across runs,
+experiments and processes.  The :class:`CheckpointStore` keys checkpoints by
+(model fingerprint, trace identity, sampling plan, interval index): the full
+provenance a snapshot is valid for, hashed into a filename.
+
+Writes are atomic (scratch file + ``os.replace``) so concurrent experiment
+workers can share a store the same way they share the result cache.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+from pathlib import Path
+
+
+def save_state(path, state: dict) -> None:
+    """Atomically write ``state`` as gzip-JSON to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_suffix(f".tmp{os.getpid()}")
+    # mtime=0 and an empty embedded name keep the gzip output byte-stable
+    # for identical states, whatever the file is called.
+    with open(scratch, "wb") as raw:
+        with gzip.GzipFile(filename="", mode="wb", fileobj=raw,
+                           mtime=0) as stream:
+            stream.write(json.dumps(state, separators=(",", ":")).encode())
+    os.replace(scratch, path)
+
+
+def load_state(path) -> dict:
+    """Read a checkpoint written by :func:`save_state`."""
+    with gzip.open(path, "rb") as stream:
+        return json.loads(stream.read().decode())
+
+
+class CheckpointStore:
+    """A directory of provenance-keyed simulator checkpoints."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, model: str, trace_key: str, plan_key: tuple,
+                 index: int) -> Path:
+        """Checkpoint file for one (model, trace, plan, interval) identity."""
+        digest = hashlib.sha256(
+            repr((model, trace_key, plan_key, index)).encode()
+        ).hexdigest()[:20]
+        return self.directory / f"ckpt-{digest}.json.gz"
+
+    def has(self, model: str, trace_key: str, plan_key: tuple,
+            index: int) -> bool:
+        """True when a checkpoint exists for this identity."""
+        return self.path_for(model, trace_key, plan_key, index).exists()
+
+    def load(self, model: str, trace_key: str, plan_key: tuple,
+             index: int) -> dict | None:
+        """The stored state, or ``None`` when absent or unreadable.
+
+        Tolerant reads, like the result cache: a corrupt or half-written
+        file (only possible outside the atomic-rename protocol) degrades to
+        a recompute, never an error.
+        """
+        path = self.path_for(model, trace_key, plan_key, index)
+        try:
+            return load_state(path)
+        except (OSError, ValueError):
+            return None
+
+    def save(self, model: str, trace_key: str, plan_key: tuple,
+             index: int, state: dict) -> Path:
+        """Store ``state`` under this identity; returns the path."""
+        path = self.path_for(model, trace_key, plan_key, index)
+        save_state(path, state)
+        return path
+
+    def entries(self) -> list[Path]:
+        """Every checkpoint file in the store, sorted by name."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("ckpt-*.json.gz"))
+
+    def clear(self) -> int:
+        """Delete every checkpoint in the store; returns the count removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,137 @@
+"""Statistical extrapolation and error accounting for sampled runs.
+
+The measured intervals are treated as a sample of the trace's behavior:
+point estimates are ratio-of-sums (total measured cycles over total measured
+instructions — the standard ratio estimator, robust to unequal interval
+weights), and per-metric 95% confidence intervals come from the spread of
+the per-interval values (z·s/√n, the SMARTS error model).
+
+The error-accounting report (:func:`error_report`) is deliberately strict:
+when a metric's estimated confidence interval exceeds the configured bound,
+it *refuses* to render — raising :class:`ConfidenceBoundExceeded` — instead
+of printing a number that looks five digits precise and isn't.  Callers
+either sample more intervals or pass a looser bound explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.runner import SampledResult
+
+#: Two-sided 95% normal quantile.
+Z_95 = 1.96
+
+#: Default refusal bound: CPI CI half-width over the CPI estimate, and the
+#: bad-outcome-fraction CI half-width (absolute), must both stay within 2%.
+DEFAULT_CI_BOUND = 0.02
+
+
+class ConfidenceBoundExceeded(RuntimeError):
+    """A sampled estimate's confidence interval exceeds the allowed bound."""
+
+
+def confidence_interval(samples: Sequence[float],
+                        z: float = Z_95) -> tuple[float, float]:
+    """(mean, CI half-width) of ``samples`` at confidence level ``z``.
+
+    One sample (or none) carries no spread information: the half-width is
+    ``inf`` so downstream bounds checks refuse rather than pretend.
+    """
+    n = len(samples)
+    if n == 0:
+        return (0.0, math.inf)
+    mean = sum(samples) / n
+    if n < 2:
+        return (mean, math.inf)
+    variance = sum((value - mean) ** 2 for value in samples) / (n - 1)
+    return (mean, z * math.sqrt(variance / n))
+
+
+def ratio_estimate(numerators: Sequence[float],
+                   denominators: Sequence[float]) -> float:
+    """Ratio-of-sums point estimate (Σnum / Σden)."""
+    total = sum(denominators)
+    return sum(numerators) / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class MetricEstimate:
+    """One sampled metric: point estimate + CI half-width."""
+
+    name: str
+    value: float
+    ci_halfwidth: float
+    #: The CI size the refusal bound is checked against: relative to the
+    #: estimate (CPI-like metrics) or absolute (fraction metrics).
+    ci_measure: float
+
+    def within(self, bound: float) -> bool:
+        """True when the CI measure respects ``bound``."""
+        return self.ci_measure <= bound
+
+
+def check_bounds(sampled: "SampledResult",
+                 max_ci: float = DEFAULT_CI_BOUND) -> list[str]:
+    """Bound violations of ``sampled``'s estimates (empty = all within)."""
+    problems = []
+    for metric in sampled.metric_estimates():
+        if not metric.within(max_ci):
+            problems.append(
+                f"{metric.name}: CI measure {metric.ci_measure:.4f} exceeds "
+                f"bound {max_ci:.4f} "
+                f"(estimate {metric.value:.4f} ± {metric.ci_halfwidth:.4f}); "
+                f"sample more intervals (shorter --period) or loosen the bound"
+            )
+    return problems
+
+
+def error_report(sampled: "SampledResult",
+                 full=None,
+                 max_ci: float = DEFAULT_CI_BOUND) -> str:
+    """Render the sampled-vs-full error accounting, or refuse.
+
+    ``full`` is an optional full-run reference carrying ``cpi`` and
+    ``bad_outcome_fraction`` attributes (a
+    :class:`~repro.engine.simulator.SimulationResult` or a
+    :class:`~repro.experiments.common.RunResult`); without it the report
+    shows estimates and CIs only.
+
+    Raises :class:`ConfidenceBoundExceeded` when any estimate's CI measure
+    exceeds ``max_ci`` — the report never prints numbers it cannot back.
+    """
+    problems = check_bounds(sampled, max_ci)
+    if problems:
+        raise ConfidenceBoundExceeded(
+            "refusing to report sampled estimates:\n  " + "\n  ".join(problems)
+        )
+    lines = [
+        f"sampled-run error accounting — {sampled.config_name}",
+        f"  plan: {sampled.plan.describe()}",
+        f"  intervals measured: {len(sampled.measurements)} "
+        f"({sampled.measured_instructions:,} of "
+        f"{sampled.total_records:,} records detailed-measured)",
+        f"  CI bound: {max_ci:.2%} (95% confidence)",
+    ]
+    references = {}
+    if full is not None:
+        bad = getattr(full, "bad_outcome_fraction", None)
+        if bad is None:  # RunResult spells it bad_fraction
+            bad = full.bad_fraction
+        references = {"cpi": full.cpi, "bad_outcome_fraction": bad}
+    for metric in sampled.metric_estimates():
+        line = (f"  {metric.name}: {metric.value:.4f} "
+                f"± {metric.ci_halfwidth:.4f}")
+        reference = references.get(metric.name)
+        if reference is not None:
+            if metric.name == "cpi":
+                error = (metric.value - reference) / reference if reference else 0.0
+                line += f"  (full {reference:.4f}, error {error:+.2%})"
+            else:
+                error = metric.value - reference
+                line += f"  (full {reference:.4f}, error {error:+.4f} abs)"
+        lines.append(line)
+    return "\n".join(lines)

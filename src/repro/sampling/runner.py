@@ -1,0 +1,331 @@
+"""The sampled-simulation interval runner.
+
+Executes a :class:`~repro.sampling.plan.SamplingPlan` over one trace:
+fast-forwards between measured intervals in functional-warming mode
+(:meth:`~repro.engine.simulator.Simulator.warm_step` — predictors and
+caches learn, no cycles), runs each interval's detailed warmup prefix
+unmeasured, snapshots the counters around the measured window, and
+extrapolates whole-trace estimates from the per-interval deltas with
+confidence intervals (:mod:`repro.sampling.estimate`).
+
+With a :class:`~repro.sampling.checkpoint.CheckpointStore` attached, the
+warmed state reached at each interval's warm-start is serialized once; a
+rerun (same model fingerprint, trace identity and plan) loads the snapshot
+and skips the fast-forward entirely.
+
+The trace argument is anything indexable-by-window: a materialized
+``list[TraceRecord]`` or — the cheap path — a
+:class:`~repro.trace.reader.TraceFile`, whose fixed record size makes each
+interval a seek instead of a scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit import Auditor
+    from repro.telemetry import Telemetry
+
+from repro.core.config import PredictorConfig, ZEC12_CONFIG_2
+from repro.core.events import OutcomeKind
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.engine.simulator import SimulationResult, Simulator
+from repro.metrics.counters import SimCounters
+from repro.sampling.checkpoint import CheckpointStore
+from repro.sampling.estimate import (
+    MetricEstimate,
+    confidence_interval,
+    ratio_estimate,
+)
+from repro.sampling.plan import SamplingPlan
+from repro.trace.record import TraceRecord
+
+
+def _window(trace, start: int, stop: int) -> Iterator[TraceRecord]:
+    """Records ``[start, stop)`` of ``trace`` (seeks on a TraceFile)."""
+    if stop <= start:
+        return iter(())
+    iter_from = getattr(trace, "iter_from", None)
+    if iter_from is not None:
+        return iter_from(start, stop)
+    return iter(trace[start:stop])
+
+
+def _diff_counters(before: dict, after: dict) -> dict:
+    """Per-field delta of two :meth:`SimCounters.state_dict` snapshots."""
+    delta: dict = {}
+    for key, value in after.items():
+        previous = before[key]
+        if isinstance(value, dict):
+            delta[key] = {
+                name: value.get(name, 0) - previous.get(name, 0)
+                for name in set(value) | set(previous)
+            }
+        else:
+            delta[key] = value - previous
+    return delta
+
+
+@dataclass(frozen=True)
+class IntervalMeasurement:
+    """Counter deltas of one measured interval."""
+
+    index: int
+    start: int
+    stop: int
+    #: Whether the fast-forward to this interval was skipped via checkpoint.
+    from_checkpoint: bool
+    #: :meth:`SimCounters.state_dict`-shaped delta (``cycles`` from the
+    #: simulator clock, since counters only latch cycles at finish).
+    delta: dict
+
+    @property
+    def instructions(self) -> int:
+        return self.delta["instructions"]
+
+    @property
+    def cycles(self) -> float:
+        return self.delta["cycles"]
+
+    @property
+    def branches(self) -> int:
+        return self.delta["branches"]
+
+    @property
+    def bad_outcomes(self) -> int:
+        outcomes = self.delta["outcomes"]
+        return sum(outcomes.get(kind.value, 0)
+                   for kind in OutcomeKind if kind.is_bad)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def bad_outcome_fraction(self) -> float:
+        return self.bad_outcomes / self.branches if self.branches else 0.0
+
+
+@dataclass
+class SampledResult:
+    """Everything a sampled run produces: estimates, CIs, provenance."""
+
+    config_name: str
+    plan: SamplingPlan
+    total_records: int
+    measurements: list[IntervalMeasurement]
+    #: Extrapolated whole-trace result (counters scaled from the measured
+    #: intervals; structure stats are the partial run's actual state).
+    result: SimulationResult
+    cpi: float
+    cpi_ci: float
+    bad_outcome_fraction: float
+    bad_outcome_ci: float
+    measured_instructions: int
+    #: Records stepped through the full detailed model (warmup + measured).
+    detailed_records: int
+    checkpoints_loaded: int
+    checkpoints_saved: int
+
+    def metric_estimates(self) -> list[MetricEstimate]:
+        """The bound-checked headline metrics (CPI relative, fraction abs)."""
+        return [
+            MetricEstimate(
+                name="cpi",
+                value=self.cpi,
+                ci_halfwidth=self.cpi_ci,
+                ci_measure=(self.cpi_ci / self.cpi
+                            if self.cpi else float("inf")),
+            ),
+            MetricEstimate(
+                name="bad_outcome_fraction",
+                value=self.bad_outcome_fraction,
+                ci_halfwidth=self.bad_outcome_ci,
+                ci_measure=self.bad_outcome_ci,
+            ),
+        ]
+
+
+def _extrapolate(measurements: Sequence[IntervalMeasurement],
+                 total_records: int, cpi: float) -> SimCounters:
+    """Whole-trace counters scaled from the measured deltas.
+
+    Instruction count is exact (one record per instruction); cycles follow
+    the ratio-estimator CPI; event counts scale by the sampled fraction and
+    round to integers.
+    """
+    measured = sum(m.instructions for m in measurements)
+    scale = total_records / measured if measured else 0.0
+    counters = SimCounters()
+    counters.instructions = total_records
+    counters.cycles = cpi * total_records
+
+    def scaled(field: str) -> int:
+        return round(sum(m.delta[field] for m in measurements) * scale)
+
+    counters.branches = scaled("branches")
+    counters.taken_branches = scaled("taken_branches")
+    counters.icache_demand_misses = scaled("icache_demand_misses")
+    counters.icache_hidden_misses = scaled("icache_hidden_misses")
+    counters.icache_partially_hidden_misses = scaled(
+        "icache_partially_hidden_misses")
+    counters.context_switches = scaled("context_switches")
+    for kind in OutcomeKind:
+        counters.outcomes[kind] = round(
+            sum(m.delta["outcomes"].get(kind.value, 0)
+                for m in measurements) * scale
+        )
+    causes: set[str] = set()
+    for m in measurements:
+        causes.update(m.delta["penalty_cycles"])
+    for cause in sorted(causes):
+        counters.penalty_cycles[cause] = (
+            sum(m.delta["penalty_cycles"].get(cause, 0.0)
+                for m in measurements) * scale
+        )
+    return counters
+
+
+def run_sampled(
+    trace,
+    config: PredictorConfig = ZEC12_CONFIG_2,
+    timing: TimingParams = DEFAULT_TIMING,
+    plan: SamplingPlan | None = None,
+    *,
+    audit: "Auditor | None" = None,
+    telemetry: "Telemetry | None" = None,
+    checkpoint_store: CheckpointStore | None = None,
+    trace_key: str | None = None,
+) -> SampledResult:
+    """Simulate ``trace`` under ``plan`` and extrapolate whole-trace metrics.
+
+    ``trace`` is a ``Sequence[TraceRecord]`` or an open
+    :class:`~repro.trace.reader.TraceFile`.  Checkpointing needs both
+    ``checkpoint_store`` and ``trace_key`` (a stable trace identity, e.g.
+    the workload's cache key); with them, each interval's warmed state is
+    saved on first computation and loaded — skipping the functional
+    fast-forward — on reruns.  Records after the last measured interval are
+    never touched: they cannot affect any measurement.
+    """
+    if plan is None:
+        plan = SamplingPlan()
+    total_records = len(trace)
+    intervals = plan.intervals(total_records)
+    if not intervals:
+        raise ValueError(
+            f"trace of {total_records} records is shorter than one "
+            f"warmup+interval footprint ({plan.warmup}+{plan.interval}); "
+            f"run it in full instead"
+        )
+    sim = Simulator(config=config, timing=timing, audit=audit,
+                    telemetry=telemetry)
+    model = sim.model_fingerprint()
+    plan_key = plan.cache_key()
+    use_store = checkpoint_store is not None and trace_key is not None
+    position = 0
+    detailed_records = 0
+    checkpoints_loaded = 0
+    checkpoints_saved = 0
+    measurements: list[IntervalMeasurement] = []
+    for interval in intervals:
+        state = None
+        if use_store:
+            state = checkpoint_store.load(model, trace_key, plan_key,
+                                          interval.index)
+        from_checkpoint = False
+        if state is not None:
+            try:
+                sim.load_state_dict(state)
+            except ValueError:
+                # Stale schema or foreign fingerprint: recompute.
+                state = None
+        if state is not None:
+            from_checkpoint = True
+            checkpoints_loaded += 1
+            position = interval.warm_start
+        else:
+            if telemetry is not None and position < interval.warm_start:
+                telemetry.on_interval(sim._cycle, interval.index, position,
+                                      "warming")
+            sim.warm_run(_window(trace, position, interval.warm_start))
+            position = interval.warm_start
+            if use_store:
+                checkpoint_store.save(model, trace_key, plan_key,
+                                      interval.index, sim.state_dict())
+                checkpoints_saved += 1
+        if telemetry is not None:
+            telemetry.on_interval(sim._cycle, interval.index,
+                                  interval.warm_start, "warmup")
+        warmup_len = interval.start - interval.warm_start
+        before: dict | None = None
+        cycle_before = 0.0
+        for offset, record in enumerate(
+            _window(trace, interval.warm_start, interval.stop)
+        ):
+            if offset == 0:
+                sim.begin_interval(record.address)
+            if offset == warmup_len:
+                before = sim.counters.state_dict()
+                cycle_before = sim._cycle
+                if telemetry is not None:
+                    telemetry.on_interval(sim._cycle, interval.index,
+                                          interval.start, "measure")
+            sim.step(record)
+            detailed_records += 1
+        delta = _diff_counters(before, sim.counters.state_dict())
+        delta["cycles"] = sim._cycle - cycle_before
+        measurements.append(
+            IntervalMeasurement(
+                index=interval.index,
+                start=interval.start,
+                stop=interval.stop,
+                from_checkpoint=from_checkpoint,
+                delta=delta,
+            )
+        )
+        position = interval.stop
+        if telemetry is not None:
+            telemetry.on_interval(sim._cycle, interval.index, interval.stop,
+                                  "end")
+    raw = sim.finish()
+    cpi = ratio_estimate(
+        [m.cycles for m in measurements],
+        [m.instructions for m in measurements],
+    )
+    bad_fraction = ratio_estimate(
+        [m.bad_outcomes for m in measurements],
+        [m.branches for m in measurements],
+    )
+    _, cpi_ci = confidence_interval(
+        [m.cpi for m in measurements if m.instructions]
+    )
+    _, bad_ci = confidence_interval(
+        [m.bad_outcome_fraction for m in measurements if m.branches]
+    )
+    counters = _extrapolate(measurements, total_records, cpi)
+    result = SimulationResult(
+        config_name=raw.config_name,
+        counters=counters,
+        search_stats=raw.search_stats,
+        btbp_stats=raw.btbp_stats,
+        btb2_stats=raw.btb2_stats,
+        preload_stats=raw.preload_stats,
+        icache_stats=raw.icache_stats,
+    )
+    return SampledResult(
+        config_name=raw.config_name,
+        plan=plan,
+        total_records=total_records,
+        measurements=measurements,
+        result=result,
+        cpi=cpi,
+        cpi_ci=cpi_ci,
+        bad_outcome_fraction=bad_fraction,
+        bad_outcome_ci=bad_ci,
+        measured_instructions=sum(m.instructions for m in measurements),
+        detailed_records=detailed_records,
+        checkpoints_loaded=checkpoints_loaded,
+        checkpoints_saved=checkpoints_saved,
+    )

@@ -59,6 +59,10 @@ class EventKind(enum.Enum):
     RESTEER = "resteer"
     #: Trace discontinuity: time-slice switch or interrupt.
     CONTEXT_SWITCH = "context_switch"
+    #: Sampled-simulation interval boundary (``phase``: warming /
+    #: warmup / measure / end; ``index`` is the measured-interval number,
+    #: ``record`` the trace position).
+    INTERVAL = "interval"
 
 
 #: ``kind`` -> required payload fields and their exact python types.
@@ -97,6 +101,7 @@ EVENT_SCHEMA: dict[str, dict[str, type]] = {
     EventKind.EVICT.value: {"btb": str, "address": int},
     EventKind.RESTEER.value: {"address": int, "cause": str},
     EventKind.CONTEXT_SWITCH.value: {"address": int},
+    EventKind.INTERVAL.value: {"index": int, "record": int, "phase": str},
 }
 
 #: Fields every event must carry regardless of kind.

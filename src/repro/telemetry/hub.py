@@ -123,6 +123,13 @@ class Telemetry:
             self.tracer.emit(cycle, EventKind.CONTEXT_SWITCH.value,
                              address=address)
 
+    def on_interval(self, cycle: float, index: int, record: int,
+                    phase: str) -> None:
+        """Sampled-simulation interval boundary (warming/warmup/measure/end)."""
+        if self.tracer is not None:
+            self.tracer.emit(cycle, EventKind.INTERVAL.value,
+                             index=index, record=record, phase=phase)
+
     # -- hooks: search pipeline --------------------------------------------
 
     def on_prediction(self, cycle: float, prediction: "Prediction") -> None:

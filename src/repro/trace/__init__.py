@@ -1,6 +1,12 @@
 """Trace substrate: records, binary round-trip, and Table 4 statistics."""
 
-from repro.trace.reader import TraceFormatError, iter_trace, load_trace
+from repro.trace.reader import (
+    TraceFile,
+    TraceFormatError,
+    iter_trace,
+    load_trace,
+    open_trace,
+)
 from repro.trace.record import TraceRecord
 from repro.trace.stats import (
     LARGE_FOOTPRINT_TAKEN_BRANCHES,
@@ -11,12 +17,14 @@ from repro.trace.writer import save_trace, write_trace
 
 __all__ = [
     "LARGE_FOOTPRINT_TAKEN_BRANCHES",
+    "TraceFile",
     "TraceFormatError",
     "TraceRecord",
     "TraceStats",
     "collect_stats",
     "iter_trace",
     "load_trace",
+    "open_trace",
     "save_trace",
     "write_trace",
 ]

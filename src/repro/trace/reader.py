@@ -1,49 +1,89 @@
 """Compact on-disk trace format (reader side).
 
-See :mod:`repro.trace.writer` for the format definition.
+See :mod:`repro.trace.writer` for the format definition and version history.
+
+Two access styles are provided:
+
+* :func:`iter_trace` / :func:`load_trace` — forward streaming / full
+  materialization over an already-open stream or a path.
+* :func:`open_trace` / :class:`TraceFile` — random access over the file.
+  Because every record is a fixed :data:`~repro.trace.writer.RECORD` size,
+  ``TraceFile`` can seek straight to record *i* and stream any
+  ``[start, stop)`` window without touching the rest of the file.  The
+  sampled-simulation fast-forward path uses this so warming a trace never
+  requires materializing millions of ``TraceRecord`` objects up front.
 """
 
 from __future__ import annotations
 
+import os
 from typing import BinaryIO, Iterator
 
 from repro.trace.record import TraceRecord
-from repro.trace.writer import CODE_KINDS, HEADER, MAGIC, RECORD, VERSION
+from repro.trace.writer import (
+    CODE_KINDS,
+    HEADER,
+    MAGIC,
+    RECORD,
+    SUPPORTED_VERSIONS,
+    TAKEN_BIT,
+    TARGET_VALID_BIT,
+)
 
 
 class TraceFormatError(ValueError):
     """Raised when a trace stream does not conform to the format."""
 
 
-def read_header(stream: BinaryIO) -> int:
-    """Consume and validate the header; return the declared record count."""
+def read_header(stream: BinaryIO) -> tuple[int, int]:
+    """Consume and validate the header; return ``(record count, version)``."""
     raw = stream.read(HEADER.size)
     if len(raw) != HEADER.size:
         raise TraceFormatError("truncated trace header")
     magic, version, count = HEADER.unpack(raw)
     if magic != MAGIC:
         raise TraceFormatError(f"bad magic {magic!r}")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceFormatError(f"unsupported trace version {version}")
-    return count
+    return count, version
+
+
+def _decode(raw: bytes, version: int) -> TraceRecord:
+    """Decode one packed record according to ``version``."""
+    meta, address, target = RECORD.unpack(raw)
+    kind = CODE_KINDS.get((meta >> 3) & 0x7)
+    taken = bool(meta & TAKEN_BIT)
+    if version >= 2:
+        has_target = bool(meta & TARGET_VALID_BIT)
+    else:
+        # v1 wrote no target-valid bit; reconstruct with the historical
+        # heuristic (lossy for not-taken branches carrying a target).
+        has_target = bool(taken or (kind is not None and target))
+    return TraceRecord(
+        address=address,
+        length=meta & 0x7,
+        kind=kind,
+        taken=taken,
+        target=target if has_target else None,
+    )
 
 
 def iter_trace(stream: BinaryIO) -> Iterator[TraceRecord]:
-    """Yield records from an open trace stream, validating the count."""
-    count = read_header(stream)
+    """Yield records from an open trace stream, validating the count.
+
+    The stream must contain exactly the declared number of records: both a
+    short read and trailing bytes after the last record raise
+    :class:`TraceFormatError`.
+    """
+    count, version = read_header(stream)
     for index in range(count):
         raw = stream.read(RECORD.size)
         if len(raw) != RECORD.size:
             raise TraceFormatError(f"truncated at record {index}/{count}")
-        meta, address, target = RECORD.unpack(raw)
-        kind = CODE_KINDS.get((meta >> 3) & 0x7)
-        taken = bool(meta & (1 << 6))
-        yield TraceRecord(
-            address=address,
-            length=meta & 0x7,
-            kind=kind,
-            taken=taken,
-            target=target if (taken or (kind is not None and target)) else None,
+        yield _decode(raw, version)
+    if stream.read(1):
+        raise TraceFormatError(
+            f"trailing bytes after declared record count {count}"
         )
 
 
@@ -51,3 +91,103 @@ def load_trace(path) -> list[TraceRecord]:
     """Read the entire trace at ``path`` into memory."""
     with open(path, "rb") as stream:
         return list(iter_trace(stream))
+
+
+class TraceFile:
+    """Random-access view of an on-disk trace.
+
+    Keeps only the open file handle; records are decoded on demand.  Usable
+    as a context manager and as a sequence-like source of windows::
+
+        with open_trace(path) as trace:
+            for record in trace.iter_from(1_000_000, 1_010_000):
+                ...
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._stream: BinaryIO | None = open(self.path, "rb")
+        try:
+            self.count, self.version = read_header(self._stream)
+            expected = HEADER.size + self.count * RECORD.size
+            actual = os.fstat(self._stream.fileno()).st_size
+            if actual != expected:
+                raise TraceFormatError(
+                    f"file size {actual} != {expected} implied by "
+                    f"record count {self.count}"
+                )
+        except BaseException:
+            self._stream.close()
+            self._stream = None
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "TraceFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _require_stream(self) -> BinaryIO:
+        if self._stream is None:
+            raise ValueError(f"trace file {self.path} is closed")
+        return self._stream
+
+    def record(self, index: int) -> TraceRecord:
+        """Decode the single record at ``index``."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"record {index} out of range [0, {self.count})")
+        stream = self._require_stream()
+        stream.seek(HEADER.size + index * RECORD.size)
+        raw = stream.read(RECORD.size)
+        if len(raw) != RECORD.size:
+            raise TraceFormatError(f"truncated at record {index}/{self.count}")
+        return _decode(raw, self.version)
+
+    def iter_from(self, start: int = 0,
+                  stop: int | None = None) -> Iterator[TraceRecord]:
+        """Stream records in ``[start, stop)`` without loading the rest.
+
+        Reads in fixed-size chunks so a multi-million-record fast-forward
+        costs a handful of large sequential reads, not one syscall per
+        record.
+        """
+        stop = self.count if stop is None else min(stop, self.count)
+        if start < 0 or start > self.count:
+            raise IndexError(f"start {start} out of range [0, {self.count}]")
+        if stop <= start:
+            return
+        stream = self._require_stream()
+        stream.seek(HEADER.size + start * RECORD.size)
+        remaining = stop - start
+        per_chunk = 4096
+        size = RECORD.size
+        while remaining:
+            batch = min(per_chunk, remaining)
+            raw = stream.read(batch * size)
+            if len(raw) != batch * size:
+                raise TraceFormatError(
+                    f"truncated at record {stop - remaining}/{self.count}"
+                )
+            for offset in range(0, len(raw), size):
+                yield _decode(raw[offset:offset + size], self.version)
+            remaining -= batch
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self.iter_from(0, self.count)
+
+
+def open_trace(path) -> TraceFile:
+    """Open the trace at ``path`` for streaming / random access."""
+    return TraceFile(path)

@@ -6,9 +6,19 @@ simple and self-describing:
 
 * 16-byte header: magic ``b"ZTRC"``, format version (u32 LE), record count
   (u64 LE).
-* One 20-byte record per instruction: address (u64), packed metadata (u32:
-  length in bits 0..2, branch-kind+1 in bits 3..5, taken in bit 6), target
-  (u64, zero when absent).
+* One 20-byte record per instruction: packed metadata (u32: length in bits
+  0..2, branch-kind+1 in bits 3..5, taken in bit 6, target-valid in bit 7),
+  address (u64), target (u64, zero when absent).
+
+Version history:
+
+* v1 had no target-valid bit; readers reconstructed ``target is None`` from
+  ``taken``/``kind``/``target != 0``, which was lossy for not-taken branches
+  carrying a recorded target (and for a legitimate target of zero).  The
+  reader still accepts v1 streams with the legacy reconstruction.
+* v2 (current) records target presence explicitly in bit 7, making the
+  writer/reader pair a true bijection over every ``BranchKind`` x ``taken``
+  x ``target`` combination.
 
 All integers are little-endian on disk regardless of the simulated machine's
 big-endian bit *numbering* — the numbering convention only affects how index
@@ -24,9 +34,16 @@ from repro.isa.opcodes import BranchKind
 from repro.trace.record import TraceRecord
 
 MAGIC = b"ZTRC"
-VERSION = 1
+VERSION = 2
+#: Versions :mod:`repro.trace.reader` knows how to decode.
+SUPPORTED_VERSIONS = (1, 2)
 HEADER = struct.Struct("<4sIQ")
 RECORD = struct.Struct("<IQQ")
+
+#: Meta bit 6: the branch resolved taken.
+TAKEN_BIT = 1 << 6
+#: Meta bit 7 (v2+): the record carries a target (``target is not None``).
+TARGET_VALID_BIT = 1 << 7
 
 #: Stable integer encoding of branch kinds (0 = not a branch).
 KIND_CODES: dict[BranchKind | None, int] = {
@@ -44,7 +61,9 @@ def pack_record(record: TraceRecord) -> bytes:
     """Serialize one record to its 20-byte wire form."""
     meta = (record.length & 0x7) | (KIND_CODES[record.kind] << 3)
     if record.taken:
-        meta |= 1 << 6
+        meta |= TAKEN_BIT
+    if record.target is not None:
+        meta |= TARGET_VALID_BIT
     target = record.target if record.target is not None else 0
     return RECORD.pack(meta, record.address, target)
 

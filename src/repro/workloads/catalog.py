@@ -21,7 +21,7 @@ import os
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from repro.trace.reader import load_trace
+from repro.trace.reader import TraceFormatError, load_trace, open_trace
 from repro.trace.record import TraceRecord
 from repro.trace.stats import TraceStats, collect_stats
 from repro.trace.writer import save_trace
@@ -108,21 +108,61 @@ class WorkloadSpec:
             scale = default_scale()
         cache_file = _cache_path(self, scale)
         if cache_file is not None and cache_file.exists():
-            return load_trace(cache_file)
+            try:
+                return load_trace(cache_file)
+            except TraceFormatError:
+                # Stale or corrupt cache (e.g. written by an older format
+                # version no longer decodable) — fall through and regenerate.
+                pass
         records = self.generate(scale)
         if cache_file is not None:
-            cache_file.parent.mkdir(parents=True, exist_ok=True)
-            # Write-then-rename: a concurrent reader must never observe a
-            # half-written trace (the format's record count is patched into
-            # the header after the body).
-            scratch = cache_file.with_suffix(f".tmp{os.getpid()}")
-            save_trace(scratch, records)
-            os.replace(scratch, cache_file)
+            _write_cache(cache_file, records)
         return records
+
+    def trace_path(self, scale: float | None = None) -> Path:
+        """Path to an on-disk copy of the trace, for streaming access.
+
+        Ensures the cached file exists and is decodable (regenerating it
+        if needed) and returns its path, so callers can
+        :func:`repro.trace.reader.open_trace` it instead of materializing
+        the record list.  With the trace cache disabled (``REPRO_TRACE_CACHE``
+        set to ``off``/``none``/empty) there is no stable location to
+        stream from, so this raises ``RuntimeError``; callers fall back to
+        in-memory records.
+        """
+        if scale is None:
+            scale = default_scale()
+        cache_file = _cache_path(self, scale)
+        if cache_file is None:
+            raise RuntimeError(
+                "trace cache disabled; no on-disk trace to stream from"
+            )
+        if cache_file.exists():
+            try:
+                # Cheap validation: open_trace checks header + exact size.
+                open_trace(cache_file).close()
+                return cache_file
+            except TraceFormatError:
+                pass
+        _write_cache(cache_file, self.generate(scale))
+        return cache_file
 
     def stats(self, scale: float | None = None) -> TraceStats:
         """Trace statistics (the measured Table 4 row)."""
         return collect_stats(self.trace(scale))
+
+
+def _write_cache(cache_file: Path, records: list[TraceRecord]) -> None:
+    """Atomically publish ``records`` to ``cache_file``.
+
+    Write-then-rename: a concurrent reader must never observe a
+    half-written trace (the format's record count is patched into the
+    header after the body).
+    """
+    cache_file.parent.mkdir(parents=True, exist_ok=True)
+    scratch = cache_file.with_suffix(f".tmp{os.getpid()}")
+    save_trace(scratch, records)
+    os.replace(scratch, cache_file)
 
 
 def scaled_functions(functions: int, scale: float) -> int:

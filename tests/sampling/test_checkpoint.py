@@ -1,0 +1,63 @@
+"""Checkpoint serialization: round trips, byte stability, tolerant loads."""
+
+from repro.core.config import ZEC12_CONFIG_2
+from repro.engine.simulator import Simulator
+from repro.sampling import CheckpointStore, load_state, save_state
+from repro.workloads.catalog import workload_by_name
+
+
+def _warmed_state():
+    trace = workload_by_name("Informix").trace(scale=0.05)
+    sim = Simulator(config=ZEC12_CONFIG_2)
+    sim.warm_run(iter(trace))
+    return sim.state_dict()
+
+
+def test_save_load_round_trip(tmp_path):
+    state = _warmed_state()
+    path = tmp_path / "state.json.gz"
+    save_state(path, state)
+    assert load_state(path) == state
+
+
+def test_saves_are_byte_stable(tmp_path):
+    state = _warmed_state()
+    save_state(tmp_path / "a.gz", state)
+    save_state(tmp_path / "b.gz", state)
+    assert (tmp_path / "a.gz").read_bytes() == (tmp_path / "b.gz").read_bytes()
+
+
+def test_store_keys_on_full_provenance(tmp_path):
+    store = CheckpointStore(tmp_path)
+    identities = [
+        ("model-a", "trace-a", ("stratified", 1), 0),
+        ("model-b", "trace-a", ("stratified", 1), 0),
+        ("model-a", "trace-b", ("stratified", 1), 0),
+        ("model-a", "trace-a", ("stratified", 2), 0),
+        ("model-a", "trace-a", ("stratified", 1), 1),
+    ]
+    paths = {store.path_for(*identity) for identity in identities}
+    assert len(paths) == len(identities)
+
+
+def test_store_load_is_tolerant(tmp_path):
+    store = CheckpointStore(tmp_path)
+    identity = ("model", "trace", ("plan",), 0)
+    # Absent -> None, not an error.
+    assert store.load(*identity) is None
+    # Corrupt bytes on disk -> None (recompute), never a crash.
+    store.path_for(*identity).parent.mkdir(parents=True, exist_ok=True)
+    store.path_for(*identity).write_bytes(b"not gzip at all")
+    assert store.load(*identity) is None
+
+
+def test_store_save_load_entries_clear(tmp_path):
+    store = CheckpointStore(tmp_path)
+    state = {"version": 1, "payload": [1, 2, 3]}
+    store.save("m", "t", ("p",), 0, state)
+    store.save("m", "t", ("p",), 1, state)
+    assert store.has("m", "t", ("p",), 0)
+    assert store.load("m", "t", ("p",), 1) == state
+    assert len(store.entries()) == 2
+    assert store.clear() == 2
+    assert store.entries() == []

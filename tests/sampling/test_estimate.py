@@ -1,0 +1,73 @@
+"""Estimators, confidence intervals, and the refusing error report."""
+
+import math
+
+import pytest
+
+from repro.core.config import ZEC12_CONFIG_2
+from repro.engine.simulator import simulate
+from repro.sampling import (
+    ConfidenceBoundExceeded,
+    SamplingPlan,
+    check_bounds,
+    confidence_interval,
+    error_report,
+    ratio_estimate,
+    run_sampled,
+)
+from repro.workloads.catalog import workload_by_name
+
+
+def test_confidence_interval_known_values():
+    mean, half = confidence_interval([1.0, 2.0, 3.0, 4.0], z=2.0)
+    assert mean == pytest.approx(2.5)
+    # s^2 = 5/3, half-width = 2 * sqrt(5/3 / 4).
+    assert half == pytest.approx(2.0 * math.sqrt(5.0 / 12.0))
+
+
+def test_confidence_interval_degenerate_inputs():
+    assert confidence_interval([]) == (0.0, math.inf)
+    mean, half = confidence_interval([7.0])
+    assert mean == 7.0 and half == math.inf
+
+
+def test_ratio_estimate_weights_by_denominator():
+    # Unequal intervals: the ratio-of-sums is not the mean of ratios.
+    assert ratio_estimate([10, 1], [10, 10]) == pytest.approx(0.55)
+    assert ratio_estimate([], []) == 0.0
+
+
+@pytest.fixture(scope="module")
+def tpf_sampled():
+    trace = workload_by_name("TPF").trace(scale=0.1)
+    plan = SamplingPlan(interval=400, period=8000, warmup=400, seed=3)
+    return trace, run_sampled(trace, config=ZEC12_CONFIG_2, plan=plan)
+
+
+def test_error_report_refuses_default_bound(tpf_sampled):
+    # At this tiny scale the CI is far wider than 2%: the report must
+    # refuse rather than print a precise-looking number.
+    _, sampled = tpf_sampled
+    assert check_bounds(sampled)  # non-empty problem list
+    with pytest.raises(ConfidenceBoundExceeded, match="refusing to report"):
+        error_report(sampled)
+
+
+def test_error_report_renders_with_loose_bound(tpf_sampled):
+    trace, sampled = tpf_sampled
+    full = simulate(trace, config=ZEC12_CONFIG_2)
+    text = error_report(sampled, full=full, max_ci=1.0)
+    assert "cpi" in text and "bad_outcome_fraction" in text
+    assert "error" in text  # sampled-vs-full deltas present
+    assert f"{len(sampled.measurements)}" in text
+
+
+def test_metric_estimates_use_the_right_ci_measure(tpf_sampled):
+    _, sampled = tpf_sampled
+    by_name = {m.name: m for m in sampled.metric_estimates()}
+    cpi = by_name["cpi"]
+    bad = by_name["bad_outcome_fraction"]
+    # CPI is bound-checked relative to the estimate ...
+    assert cpi.ci_measure == pytest.approx(cpi.ci_halfwidth / cpi.value)
+    # ... the fraction absolutely.
+    assert bad.ci_measure == pytest.approx(bad.ci_halfwidth)

@@ -1,0 +1,78 @@
+"""Sampling-plan geometry: interval placement, validation, cache keys."""
+
+import pytest
+
+from repro.sampling import Interval, SamplingPlan
+
+
+def test_systematic_interval_placement():
+    plan = SamplingPlan(mode="systematic", interval=100, period=1000, warmup=50)
+    intervals = plan.intervals(3000)
+    assert intervals == [
+        Interval(index=0, warm_start=0, start=50, stop=150),
+        Interval(index=1, warm_start=1000, start=1050, stop=1150),
+        Interval(index=2, warm_start=2000, start=2050, stop=2150),
+    ]
+
+
+def test_short_tail_period_is_skipped():
+    plan = SamplingPlan(mode="systematic", interval=100, period=1000, warmup=50)
+    # The 2nd period has only 120 records: too short for warmup + interval.
+    intervals = plan.intervals(1120)
+    assert len(intervals) == 1
+    # But a tail that exactly fits the warmup + interval footprint is kept.
+    assert len(plan.intervals(2150)) == 3
+
+
+def test_stratified_offsets_are_deterministic_and_in_range():
+    plan = SamplingPlan(mode="stratified", interval=100, period=1000,
+                        warmup=50, seed=7)
+    first = plan.intervals(10_000)
+    again = plan.intervals(10_000)
+    assert first == again
+    for index, interval in enumerate(first):
+        period_start = index * 1000
+        assert period_start <= interval.warm_start
+        assert interval.stop <= period_start + 1000
+        assert interval.start - interval.warm_start == 50
+        assert interval.stop - interval.start == 100
+
+
+def test_stratified_seed_changes_offsets():
+    a = SamplingPlan(mode="stratified", interval=100, period=1000, seed=1,
+                     warmup=0)
+    b = SamplingPlan(mode="stratified", interval=100, period=1000, seed=2,
+                     warmup=0)
+    assert a.intervals(50_000) != b.intervals(50_000)
+
+
+def test_validation_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        SamplingPlan(mode="adaptive")
+    with pytest.raises(ValueError):
+        SamplingPlan(interval=0)
+    with pytest.raises(ValueError):
+        SamplingPlan(warmup=-1)
+    with pytest.raises(ValueError):
+        SamplingPlan(interval=600, warmup=500, period=1000)
+
+
+def test_cache_key_covers_every_knob():
+    base = SamplingPlan()
+    changed = [
+        SamplingPlan(mode="systematic"),
+        SamplingPlan(interval=base.interval + 1),
+        SamplingPlan(period=base.period + 1),
+        SamplingPlan(warmup=base.warmup + 1),
+        SamplingPlan(seed=base.seed + 1),
+    ]
+    keys = {plan.cache_key() for plan in changed}
+    assert base.cache_key() not in keys
+    assert len(keys) == len(changed)
+
+
+def test_detailed_fraction_and_describe():
+    plan = SamplingPlan(interval=1000, period=20_000, warmup=1000)
+    assert plan.detailed_fraction == pytest.approx(0.1)
+    assert "stratified" in plan.describe()
+    assert "20000" in plan.describe() or "20,000" in plan.describe()

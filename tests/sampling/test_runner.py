@@ -1,0 +1,185 @@
+"""Interval runner: determinism, checkpoint resume, and the error pin."""
+
+import pytest
+
+from repro.audit import Auditor
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2, ZEC12_CONFIG_3
+from repro.core.events import OutcomeKind
+from repro.engine.simulator import Simulator, simulate
+from repro.sampling import (
+    CheckpointStore,
+    SamplingPlan,
+    load_state,
+    run_sampled,
+    save_state,
+)
+from repro.workloads.catalog import workload_by_name
+
+SMALL_PLAN = SamplingPlan(interval=400, period=8000, warmup=400)
+
+
+def _payload(sampled):
+    """Measurement payloads without the ``from_checkpoint`` provenance flag."""
+    return [(m.index, m.start, m.stop, m.delta) for m in sampled.measurements]
+
+
+def _bad_fraction(counters) -> float:
+    bad = sum(count for kind, count in counters.outcomes.items() if kind.is_bad)
+    return bad / counters.branches
+
+
+def test_sampled_run_shape_and_extrapolation():
+    trace = workload_by_name("TPF").trace(scale=0.1)
+    sampled = run_sampled(trace, config=ZEC12_CONFIG_2, plan=SMALL_PLAN)
+    assert len(sampled.measurements) == len(SMALL_PLAN.intervals(len(trace)))
+    # Instruction count extrapolates exactly (one record per instruction).
+    assert sampled.result.counters.instructions == len(trace)
+    # Every measured interval contributed the planned record count.
+    for measurement in sampled.measurements:
+        assert measurement.instructions == SMALL_PLAN.interval
+        assert measurement.cycles > 0
+    assert sampled.detailed_records == sum(
+        m.stop - m.start + SMALL_PLAN.warmup for m in sampled.measurements
+    )
+    # Outcome classification survives scaling: fractions sum to ~1.
+    fractions = sampled.result.counters.outcome_fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_trace_shorter_than_one_interval_is_rejected():
+    trace = workload_by_name("TPF").trace(scale=0.1)[:500]
+    with pytest.raises(ValueError, match="shorter than one"):
+        run_sampled(trace, config=ZEC12_CONFIG_2, plan=SMALL_PLAN)
+
+
+@pytest.mark.parametrize("config", [ZEC12_CONFIG_1, ZEC12_CONFIG_2,
+                                    ZEC12_CONFIG_3],
+                         ids=lambda c: c.name)
+@pytest.mark.parametrize("workload", ["TPF", "Informix"])
+def test_checkpointed_rerun_is_deterministic(tmp_path, config, workload):
+    """Cold (saving) and warm (loading) sampled runs agree exactly."""
+    trace = workload_by_name(workload).trace(scale=0.1)
+    store = CheckpointStore(tmp_path)
+    kwargs = dict(config=config, plan=SMALL_PLAN, checkpoint_store=store,
+                  trace_key=f"{workload}-test")
+    cold = run_sampled(trace, **kwargs)
+    assert cold.checkpoints_saved == len(cold.measurements)
+    assert cold.checkpoints_loaded == 0
+    warm = run_sampled(trace, **kwargs)
+    assert warm.checkpoints_loaded == len(warm.measurements)
+    assert warm.checkpoints_saved == 0
+    assert _payload(warm) == _payload(cold)
+    assert warm.result.counters.state_dict() == cold.result.counters.state_dict()
+    assert warm.cpi == cold.cpi
+    assert warm.bad_outcome_fraction == cold.bad_outcome_fraction
+
+
+def test_checkpointed_rerun_is_deterministic_under_audit(tmp_path):
+    trace = workload_by_name("TPF").trace(scale=0.1)
+    store = CheckpointStore(tmp_path)
+    kwargs = dict(config=ZEC12_CONFIG_2, plan=SMALL_PLAN,
+                  checkpoint_store=store, trace_key="tpf-audited")
+    cold = run_sampled(trace, audit=Auditor(), **kwargs)
+    warm = run_sampled(trace, audit=Auditor(), **kwargs)
+    assert warm.checkpoints_loaded == len(warm.measurements)
+    assert _payload(warm) == _payload(cold)
+
+
+def test_save_load_resume_matches_uninterrupted_run(tmp_path):
+    """Snapshot mid-run, restore from disk, resume: counters exactly match."""
+    trace = workload_by_name("TPF").trace(scale=0.05)
+    split = len(trace) // 2
+
+    uninterrupted = Simulator(config=ZEC12_CONFIG_2, audit=Auditor())
+    reference = uninterrupted.run(trace)
+
+    first = Simulator(config=ZEC12_CONFIG_2, audit=Auditor())
+    for record in trace[:split]:
+        first.step(record)
+    path = tmp_path / "mid.json.gz"
+    save_state(path, first.state_dict())
+
+    resumed = Simulator(config=ZEC12_CONFIG_2, audit=Auditor())
+    resumed.load_state_dict(load_state(path))
+    for record in trace[split:]:
+        resumed.step(record)
+    result = resumed.finish()
+
+    assert result.counters.state_dict() == reference.counters.state_dict()
+    assert result.cpi == reference.cpi
+
+
+def test_stale_checkpoint_is_recomputed(tmp_path):
+    """A checkpoint from a different schema degrades to recompute."""
+    trace = workload_by_name("TPF").trace(scale=0.1)
+    store = CheckpointStore(tmp_path)
+    kwargs = dict(config=ZEC12_CONFIG_2, plan=SMALL_PLAN,
+                  checkpoint_store=store, trace_key="tpf-stale")
+    cold = run_sampled(trace, **kwargs)
+    # Corrupt every stored state's version marker.
+    sim = Simulator(config=ZEC12_CONFIG_2)
+    model = sim.model_fingerprint()
+    for interval in SMALL_PLAN.intervals(len(trace)):
+        identity = (model, "tpf-stale", SMALL_PLAN.cache_key(), interval.index)
+        state = store.load(*identity)
+        state["version"] = 99_999
+        save_state(store.path_for(*identity), state)
+    redone = run_sampled(trace, **kwargs)
+    assert redone.checkpoints_loaded == 0
+    assert redone.checkpoints_saved == len(redone.measurements)
+    assert redone.measurements == cold.measurements
+
+
+def test_sampled_matches_full_within_two_percent():
+    """The accuracy pin: |ΔCPI| ≤ 2% and |Δbad-fraction| ≤ 2% absolute.
+
+    A smaller-scale version of the bench_sampling.py demonstration, on the
+    TPF trace at scale 0.35 with a fixed plan — fully deterministic, so the
+    asserted errors cannot drift without a code change.
+    """
+    trace = workload_by_name("TPF").trace(scale=0.35)
+    plan = SamplingPlan(mode="stratified", interval=500, period=8000,
+                        warmup=500, seed=12345)
+    full = simulate(trace, config=ZEC12_CONFIG_2)
+    sampled = run_sampled(trace, config=ZEC12_CONFIG_2, plan=plan)
+
+    cpi_error = abs(sampled.cpi - full.cpi) / full.cpi
+    bad_error = abs(sampled.bad_outcome_fraction - full.bad_outcome_fraction)
+    assert cpi_error <= 0.02
+    assert bad_error <= 0.02
+    # The sampled run only simulated a small detailed fraction.
+    assert sampled.detailed_records / len(trace) <= 0.15
+
+
+def test_interval_telemetry_events():
+    from repro.telemetry import Telemetry, Tracer
+
+    trace = workload_by_name("TPF").trace(scale=0.1)
+    telemetry = Telemetry(tracer=Tracer())
+    sampled = run_sampled(trace, config=ZEC12_CONFIG_2, plan=SMALL_PLAN,
+                          telemetry=telemetry)
+    events = [e for e in telemetry.tracer.events if e["kind"] == "interval"]
+    phases = {event["phase"] for event in events}
+    assert phases == {"warming", "warmup", "measure", "end"}
+    # One warmup/measure/end triple per interval.
+    for phase in ("warmup", "measure", "end"):
+        count = sum(1 for event in events if event["phase"] == phase)
+        assert count == len(sampled.measurements)
+
+
+def test_trace_file_window_iteration(tmp_path):
+    """run_sampled over an on-disk TraceFile equals the in-memory run."""
+    from repro.trace.reader import open_trace
+    from repro.trace.writer import write_trace
+
+    spec = workload_by_name("TPF")
+    records = spec.trace(scale=0.1)
+    path = tmp_path / "tpf.trace"
+    with open(path, "wb") as stream:
+        write_trace(stream, records)
+    with open_trace(path) as trace_file:
+        streamed = run_sampled(trace_file, config=ZEC12_CONFIG_2,
+                               plan=SMALL_PLAN)
+    in_memory = run_sampled(records, config=ZEC12_CONFIG_2, plan=SMALL_PLAN)
+    assert streamed.measurements == in_memory.measurements
+    assert streamed.cpi == in_memory.cpi

@@ -7,9 +7,9 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.isa.opcodes import BranchKind
-from repro.trace.reader import TraceFormatError, iter_trace, load_trace
+from repro.trace.reader import TraceFormatError, iter_trace, load_trace, open_trace
 from repro.trace.record import TraceRecord
-from repro.trace.writer import save_trace, write_trace
+from repro.trace.writer import HEADER, MAGIC, RECORD, save_trace, write_trace
 
 
 def roundtrip(records):
@@ -24,11 +24,23 @@ kinds = st.sampled_from([None] + list(BranchKind))
 
 @st.composite
 def trace_records(draw):
+    """Any valid record: every BranchKind x taken x target combination.
+
+    Not-taken branches may carry a recorded target (including target 0) —
+    the v2 format's explicit target-valid bit must round-trip those too.
+    """
     kind = draw(kinds)
     taken = draw(st.booleans()) if kind is not None else False
     if kind is not None and kind.always_taken:
         taken = True
-    target = draw(st.integers(min_value=1, max_value=2**48)) if taken else None
+    if taken:
+        target = draw(st.integers(min_value=1, max_value=2**48))
+    elif kind is not None:
+        target = draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=2**48))
+        )
+    else:
+        target = None
     return TraceRecord(
         address=draw(st.integers(min_value=0, max_value=2**48)),
         length=draw(st.sampled_from([2, 4, 6])),
@@ -55,6 +67,42 @@ class TestRoundTrip:
 
     @given(st.lists(trace_records(), max_size=200))
     def test_arbitrary_traces_roundtrip(self, records):
+        assert roundtrip(records) == records
+
+    def test_not_taken_branch_keeps_target(self):
+        # The v1 format dropped targets of not-taken branches (and invented
+        # them when the raw field happened to be nonzero); v2's explicit
+        # target-valid bit makes these exact.
+        records = [
+            TraceRecord(address=0x100, length=4, kind=BranchKind.COND,
+                        taken=False, target=0x2000),
+            TraceRecord(address=0x104, length=4, kind=BranchKind.COND,
+                        taken=False, target=None),
+            TraceRecord(address=0x108, length=4, kind=BranchKind.COND,
+                        taken=False, target=0),
+        ]
+        assert roundtrip(records) == records
+
+    def test_every_kind_taken_target_combination(self):
+        records = []
+        address = 0x1000
+        for kind in [None] + list(BranchKind):
+            takens = [False] if kind is None else (
+                [True] if kind.always_taken else [False, True]
+            )
+            for taken in takens:
+                if taken:
+                    target_choices = [0x2000]
+                elif kind is not None:
+                    target_choices = [None, 0, 0x2000]
+                else:
+                    target_choices = [None]
+                for target in target_choices:
+                    record = TraceRecord(address=address, length=4, kind=kind,
+                                         taken=taken, target=target)
+                    record.validate()
+                    records.append(record)
+                    address += 4
         assert roundtrip(records) == records
 
     def test_file_roundtrip(self, tmp_path):
@@ -87,10 +135,99 @@ class TestFormatErrors:
             list(iter_trace(io.BytesIO(data)))
 
     def test_wrong_version(self):
-        import struct
-
-        from repro.trace.writer import HEADER, MAGIC
-
         stream = io.BytesIO(HEADER.pack(MAGIC, 99, 0))
         with pytest.raises(TraceFormatError, match="version"):
             list(iter_trace(stream))
+
+    def test_trailing_bytes_rejected(self):
+        stream = io.BytesIO()
+        write_trace(stream, [TraceRecord(address=0, length=4)] * 3)
+        stream.seek(0, 2)
+        stream.write(b"\x00")
+        stream.seek(0)
+        with pytest.raises(TraceFormatError, match="trailing"):
+            list(iter_trace(stream))
+
+
+class TestVersion1Compatibility:
+    """v1 streams stay readable via the legacy target heuristic."""
+
+    @staticmethod
+    def _v1_stream(rows):
+        # rows: (meta, address, target) triples in v1 packing (no bit 7).
+        body = b"".join(RECORD.pack(*row) for row in rows)
+        return io.BytesIO(HEADER.pack(MAGIC, 1, len(rows)) + body)
+
+    def test_v1_taken_branch(self):
+        # kind COND = code 1 at bits 3..5, taken bit 6.
+        meta = 4 | (1 << 3) | (1 << 6)
+        [record] = list(iter_trace(self._v1_stream([(meta, 0x100, 0x2000)])))
+        assert record == TraceRecord(address=0x100, length=4,
+                                     kind=BranchKind.COND, taken=True,
+                                     target=0x2000)
+
+    def test_v1_not_taken_branch_heuristic(self):
+        # v1's lossy reconstruction: a not-taken branch with a nonzero raw
+        # target field reads back with that target; zero reads back as None.
+        meta = 4 | (1 << 3)
+        records = list(iter_trace(self._v1_stream(
+            [(meta, 0x100, 0x2000), (meta, 0x104, 0)]
+        )))
+        assert records[0].target == 0x2000
+        assert records[1].target is None
+
+
+class TestTraceFile:
+    def make_trace(self, tmp_path, n=100):
+        records = [
+            TraceRecord(address=0x100 + 4 * i, length=4) for i in range(n)
+        ]
+        path = tmp_path / "trace.ztrc"
+        save_trace(path, records)
+        return path, records
+
+    def test_open_trace_metadata(self, tmp_path):
+        path, records = self.make_trace(tmp_path)
+        with open_trace(path) as trace:
+            assert len(trace) == len(records)
+            assert trace.version == 2
+
+    def test_full_iteration_matches_load(self, tmp_path):
+        path, records = self.make_trace(tmp_path)
+        with open_trace(path) as trace:
+            assert list(trace) == records
+
+    def test_iter_from_window(self, tmp_path):
+        path, records = self.make_trace(tmp_path)
+        with open_trace(path) as trace:
+            assert list(trace.iter_from(10, 20)) == records[10:20]
+            assert list(trace.iter_from(95)) == records[95:]
+            assert list(trace.iter_from(40, 40)) == []
+            assert list(trace.iter_from(90, 10_000)) == records[90:]
+
+    def test_iter_from_large_window_chunks(self, tmp_path):
+        path, records = self.make_trace(tmp_path, n=9000)
+        with open_trace(path) as trace:
+            assert list(trace.iter_from(1, 8999)) == records[1:8999]
+
+    def test_random_record_access(self, tmp_path):
+        path, records = self.make_trace(tmp_path)
+        with open_trace(path) as trace:
+            assert trace.record(0) == records[0]
+            assert trace.record(99) == records[99]
+            with pytest.raises(IndexError):
+                trace.record(100)
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        path, _ = self.make_trace(tmp_path)
+        with open(path, "ab") as stream:
+            stream.write(b"\x00")
+        with pytest.raises(TraceFormatError, match="size"):
+            open_trace(path)
+
+    def test_closed_file_rejects_access(self, tmp_path):
+        path, _ = self.make_trace(tmp_path)
+        trace = open_trace(path)
+        trace.close()
+        with pytest.raises(ValueError, match="closed"):
+            list(trace.iter_from(0, 1))
