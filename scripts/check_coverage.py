@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Enforce the ratcheted branch-coverage floor.
+
+CI runs the fast test tier under ``pytest --cov=repro --cov-branch
+--cov-report=json:coverage.json`` and then this script, which compares the
+measured total coverage against the committed floor in
+``scripts/coverage_floor.json``.  The floor only moves up: after genuinely
+improving coverage, re-run with ``--update`` to ratchet it (the new floor
+is the measured value minus a small hysteresis margin, so unrelated churn
+does not flake the gate).
+
+The script consumes coverage.py's JSON report rather than importing
+coverage, so it needs nothing beyond the standard library — locally you
+can produce the report with any coverage runner, or simply not run this
+gate (exit code 2 distinguishes "no report" from "below floor").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FLOOR_FILE = Path(__file__).resolve().parent / "coverage_floor.json"
+#: Ratchet hysteresis: --update records measured minus this margin.
+UPDATE_MARGIN = 1.0
+
+
+def read_percent(report_path: Path) -> float:
+    """Total percent covered from a coverage.py JSON report."""
+    report = json.loads(report_path.read_text())
+    return float(report["totals"]["percent_covered"])
+
+
+def read_floor(floor_path: Path = FLOOR_FILE) -> float:
+    return float(json.loads(floor_path.read_text())["minimum_percent"])
+
+
+def write_floor(percent: float, floor_path: Path = FLOOR_FILE) -> None:
+    floor_path.write_text(
+        json.dumps({"minimum_percent": round(percent, 1)}, indent=2) + "\n"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report", default="coverage.json", metavar="PATH",
+        help="coverage.py JSON report (default: coverage.json)",
+    )
+    parser.add_argument(
+        "--floor-file", default=str(FLOOR_FILE), metavar="PATH",
+        help=f"committed floor (default: {FLOOR_FILE})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="ratchet the floor up to the measured coverage "
+             f"(minus a {UPDATE_MARGIN}%% hysteresis margin); never lowers it",
+    )
+    args = parser.parse_args(argv)
+
+    report_path = Path(args.report)
+    floor_path = Path(args.floor_file)
+    if not report_path.exists():
+        print(f"coverage report not found: {report_path} "
+              "(run pytest with --cov-report=json first)", file=sys.stderr)
+        return 2
+    measured = read_percent(report_path)
+    floor = read_floor(floor_path)
+
+    if args.update:
+        candidate = measured - UPDATE_MARGIN
+        if candidate > floor:
+            write_floor(candidate, floor_path)
+            print(f"coverage floor ratcheted: {floor:.1f}% -> "
+                  f"{candidate:.1f}% (measured {measured:.2f}%)")
+        else:
+            print(f"coverage floor unchanged at {floor:.1f}% "
+                  f"(measured {measured:.2f}%)")
+        return 0
+
+    if measured < floor:
+        print(f"coverage {measured:.2f}% is below the committed floor "
+              f"{floor:.1f}% ({floor_path})", file=sys.stderr)
+        return 1
+    print(f"coverage {measured:.2f}% >= floor {floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

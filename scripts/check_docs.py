@@ -46,6 +46,14 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Observability",
         "## Auditing & invariants",
         "## Sampling & checkpoints",
+        "## Verification",
+    ),
+    "docs/TESTING.md": (
+        "## Test taxonomy",
+        "## Tiers and markers",
+        "## Regenerating golden baselines",
+        "## Reading a divergence report",
+        "## Coverage ratchet",
     ),
     "docs/EXPERIMENTS.md": (
         "## Tracing, timelines, and profiles",

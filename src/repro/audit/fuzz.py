@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.audit.auditor import Auditor, AuditViolation
 from repro.core.config import (
@@ -153,20 +154,29 @@ def shrink(
     trace: list[TraceRecord],
     config: PredictorConfig,
     timing: TimingParams = DEFAULT_TIMING,
+    fails: Callable[[list[TraceRecord]], bool] | None = None,
 ) -> list[TraceRecord]:
     """ddmin-style minimization: greedily delete chunks while still failing.
 
     Deleting any slice of records yields another valid trace (splice
     points become context switches), so plain chunked delta debugging
     applies.  Complexity is O(n log n) audited re-runs on short traces.
+
+    ``fails`` overrides the failure predicate (default: an audited run of
+    the candidate under ``config``/``timing`` raises a violation).  The
+    differential oracle reuses the same minimizer with "the oracle still
+    diverges" as the predicate (:mod:`repro.oracle.differential`).
     """
+    if fails is None:
+        def fails(candidate: list[TraceRecord]) -> bool:
+            return run_case(candidate, config, timing) is not None
     current = list(trace)
     chunk = max(1, len(current) // 2)
     while chunk >= 1:
         index = 0
         while index < len(current):
             candidate = current[:index] + current[index + chunk:]
-            if candidate and run_case(candidate, config, timing) is not None:
+            if candidate and fails(candidate):
                 current = candidate
             else:
                 index += chunk

@@ -86,6 +86,15 @@ class BranchTargetBuffer:
         ways = self._rows[(entry.address >> 5) % self.rows]
         return bool(ways) and ways[0] is entry
 
+    def row_ways(self, address: int) -> list[BTBEntry]:
+        """Entries of the row indexed by ``address``, MRU-first.
+
+        A read-only copy of the way list in replacement order — the
+        differential oracle diffs this against its reference model to
+        localize LRU/victim divergences to a single row.
+        """
+        return list(self._rows[(address >> 5) % self.rows])
+
     # -- write paths ------------------------------------------------------
 
     def install(self, entry: BTBEntry, *, make_mru: bool = True) -> BTBEntry | None:

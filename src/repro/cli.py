@@ -20,6 +20,11 @@ Commands:
   the ASCII occupancy/rate timeline (optionally writing the CSV).
 * ``profile`` — run one workload with the per-branch profiler and print
   the top-K worst-offenders report.
+* ``verify`` — the conformance gate (:mod:`repro.oracle`): mutation drill
+  (prove the oracle catches a seeded LRU bug), lockstep differential runs
+  against the reference model on real workload traces, and the golden
+  per-workload baseline under ``tests/golden/``; ``--update-golden``
+  regenerates the baseline after an intended behavior change.
 
 Everything the CLI does is also available as a library API; the CLI is a
 thin argparse layer over :mod:`repro.experiments` and
@@ -295,6 +300,69 @@ def _cmd_report(args) -> int:
     return run_all_main(argv)
 
 
+def _cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.oracle import mutation_drill, run_campaign
+    from repro.oracle.golden import (
+        build_baseline,
+        compare_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    golden_path = Path(args.golden)
+    if args.update_golden:
+        baseline = build_baseline(scale=args.golden_scale, jobs=args.jobs)
+        write_baseline(golden_path, baseline)
+        print(f"wrote golden baseline: {len(baseline['workloads'])} "
+              f"workloads at scale {baseline['scale']} -> {golden_path}")
+        return 0
+
+    failed = False
+    if not args.skip_mutation_drill:
+        drill = mutation_drill()
+        if drill is None:
+            print("mutation drill: FAILED — the seeded LRU mutation went "
+                  "undetected; the oracle is not checking what it claims",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print("mutation drill: caught the seeded LRU mutation")
+            for line in drill.report().splitlines():
+                print(f"  {line}")
+
+    if not args.skip_differential:
+        for result in run_campaign(scale=args.scale, jobs=args.jobs):
+            print(f"differential: {result.report()}")
+            if result.diverged:
+                failed = True
+
+    if not args.skip_golden:
+        baseline = load_baseline(golden_path)
+        workloads = (
+            tuple(workload_by_name(name).name for name in args.workloads)
+            if args.workloads else None
+        )
+        problems = compare_baseline(baseline, jobs=args.jobs,
+                                    workloads=workloads)
+        if problems:
+            for problem in problems:
+                print(f"golden: {problem}", file=sys.stderr)
+            failed = True
+        else:
+            checked = (len(baseline["workloads"])
+                       if workloads is None else len(workloads))
+            print(f"golden baseline: {checked} workload(s) within tolerance "
+                  f"(scale {baseline['scale']}, {golden_path})")
+
+    if failed:
+        print("verify: FAILED", file=sys.stderr)
+        return 1
+    print("verify: all gates passed")
+    return 0
+
+
 def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
     """Plan-geometry flags shared by ``simulate --sampled``/``checkpoint``.
 
@@ -486,6 +554,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_audit_argument(profile)
 
+    verify = sub.add_parser(
+        "verify", help="conformance gate: mutation drill, differential "
+                       "oracle, golden baseline"
+    )
+    verify.add_argument(
+        "--scale", type=float, default=0.01,
+        help="workload scale for the differential campaign (default: 0.01)",
+    )
+    verify.add_argument(
+        "--golden", metavar="PATH", default="tests/golden/workloads.json",
+        help="golden baseline file (default: tests/golden/workloads.json)",
+    )
+    verify.add_argument(
+        "--update-golden", action="store_true",
+        help="re-measure every workload and rewrite the golden baseline "
+             "instead of checking against it",
+    )
+    verify.add_argument(
+        "--golden-scale", type=float, default=0.02,
+        help="scale recorded into a regenerated baseline (default: 0.02)",
+    )
+    verify.add_argument(
+        "--workloads", nargs="+", metavar="NAME", default=None,
+        help="restrict the golden gate to these workloads "
+             "(substring match; default: all recorded)",
+    )
+    verify.add_argument(
+        "--skip-differential", action="store_true",
+        help="skip the lockstep differential campaign",
+    )
+    verify.add_argument(
+        "--skip-golden", action="store_true",
+        help="skip the golden-baseline gate",
+    )
+    verify.add_argument(
+        "--skip-mutation-drill", action="store_true",
+        help="skip the seeded-mutation self-check of the oracle",
+    )
+    _add_jobs_argument(verify)
+
     return parser
 
 
@@ -501,6 +609,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "timeline": _cmd_timeline,
         "profile": _cmd_profile,
+        "verify": _cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -127,16 +127,18 @@ class FirstLevelPredictor:
                     used_ctb = True
         return Resolution(taken=taken, target=target, used_pht=used_pht, used_ctb=used_ctb)
 
-    def use_prediction(self, hit: RowHit) -> None:
+    def use_prediction(self, hit: RowHit) -> BTBEntry | None:
         """Apply the move protocol after a structure makes a prediction.
 
         A BTB1 prediction refreshes MRU.  A BTBP prediction promotes the
         entry into the BTB1; the displaced BTB1 victim goes to the BTBP and
-        (per the exclusivity mode) to the BTB2.
+        (per the exclusivity mode) to the BTB2.  Returns the BTB1 victim
+        (``None`` when no entry was displaced) so replacement decisions are
+        observable.
         """
         if hit.level is PredictionLevel.BTB1:
             self.btb1.touch(hit.entry)
-            return
+            return None
         assert self.btbp is not None
         self.btbp.remove(hit.entry.address)
         self.btbp_promotions += 1
@@ -144,6 +146,7 @@ class FirstLevelPredictor:
         if victim is not None:
             self.btbp.write(victim, WriteSource.BTB1_VICTIM)
             self._writeback_victim(victim)
+        return victim
 
     def _writeback_victim(self, victim: BTBEntry) -> None:
         if self.btb2 is None:

@@ -91,6 +91,9 @@ class LookaheadSearch:
         self.audit = None
         #: Optional :class:`repro.telemetry.Telemetry`; ``None`` = no tracing.
         self.telemetry = None
+        #: Optional lockstep observer (:mod:`repro.oracle.differential`);
+        #: ``None`` = no observation.
+        self.probe = None
 
     # -- control ------------------------------------------------------------
 
@@ -108,6 +111,8 @@ class LookaheadSearch:
         self._last_not_taken_row = None
         if self.audit is not None:
             self.audit.on_search_restart(self, address, cycle)
+        if self.probe is not None:
+            self.probe.on_search_restart(address, cycle)
 
     # -- checkpointing -------------------------------------------------------
 
@@ -265,6 +270,11 @@ class LookaheadSearch:
         self.predictions_made += 1
         if self.telemetry is not None:
             self.telemetry.on_prediction(self.cycle, prediction)
+        if self.probe is not None:
+            # Fired while ``search_address`` is still the probed address and
+            # before the FIT trains, so an observer can replay the row probe
+            # and the prediction's side effects from identical pre-state.
+            self.probe.on_predict(self.search_address, prediction)
         self.cycle += cost
         if resolution.taken and resolution.target is not None:
             self._last_taken_address = hit.entry.address

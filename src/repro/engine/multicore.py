@@ -69,6 +69,26 @@ class MulticoreResult:
         return self.total_instructions / self.total_cycles
 
 
+def core_slices(
+    records: list[TraceRecord], cores: int
+) -> list[list[TraceRecord]]:
+    """Phase-slice a trace into one contiguous section per core.
+
+    Every core gets ``len(records) // cores`` records except the last,
+    which absorbs the remainder — so the slices partition the trace.
+    """
+    if cores < 1:
+        raise ValueError("cores must be at least 1")
+    slice_length = len(records) // cores
+    return [
+        records[
+            core * slice_length:
+            (core + 1) * slice_length if core < cores - 1 else len(records)
+        ]
+        for core in range(cores)
+    ]
+
+
 def run_multicore(
     records: list[TraceRecord],
     config: PredictorConfig,
@@ -81,16 +101,11 @@ def run_multicore(
     on hardware where cores serve different requests), its own private
     branch prediction hierarchy and L1I, and shared-memory-degraded timing.
     """
-    if cores < 1:
-        raise ValueError("cores must be at least 1")
     timing = hardware_timing(timing, cores)
-    slice_length = len(records) // cores
     results = []
-    for core in range(cores):
-        start = core * slice_length
-        end = start + slice_length if core < cores - 1 else len(records)
+    for core_records in core_slices(records, cores):
         simulator = Simulator(config=config, timing=timing)
-        results.append(simulator.run(records[start:end]))
+        results.append(simulator.run(core_records))
     return MulticoreResult(cores=cores, per_core=results)
 
 

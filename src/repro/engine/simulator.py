@@ -136,6 +136,9 @@ class Simulator:
         self.telemetry = telemetry
         if telemetry is not None:
             telemetry.attach(self)
+        #: Optional lockstep observer (:mod:`repro.oracle.differential`);
+        #: ``None`` keeps the branch-resolution paths hook-free.
+        self.probe = None
 
     # -- callbacks -----------------------------------------------------------
 
@@ -542,17 +545,16 @@ class Simulator:
         """A prediction was available in time: apply it and resolve."""
         if self.audit is not None:
             self.audit.on_prediction_used(self.hierarchy, prediction)
-        self.hierarchy.use_prediction(
+        victim = self.hierarchy.use_prediction(
             RowHit(prediction.entry, prediction.level, prediction.from_mru)
         )
         correct_direction = prediction.taken == record.taken
         correct_target = (not record.taken) or prediction.target == record.target
         if correct_direction and correct_target:
-            self.counters.record_outcome(OutcomeKind.GOOD_DYNAMIC)
+            kind = OutcomeKind.GOOD_DYNAMIC
+            self.counters.record_outcome(kind)
             if self.telemetry is not None:
-                self.telemetry.on_outcome(
-                    self._cycle, record, OutcomeKind.GOOD_DYNAMIC, 0.0
-                )
+                self.telemetry.on_outcome(self._cycle, record, kind, 0.0)
             if record.taken and record.target is not None:
                 self._prefetch_target(record.target, prediction.ready_cycle)
         else:
@@ -574,6 +576,8 @@ class Simulator:
             self._restart_search(record.next_address)
         self.hierarchy.train(prediction.entry, record)
         self.hierarchy.record_resolved_branch(record)
+        if self.probe is not None:
+            self.probe.on_dynamic_resolve(record, prediction, kind, victim)
 
     def _surprise_branch(
         self, record: TraceRecord, late_prediction: Prediction | None
@@ -597,6 +601,11 @@ class Simulator:
                 self.telemetry.on_outcome(
                     self._cycle, record, OutcomeKind.GOOD_SURPRISE, 0.0
                 )
+            if self.probe is not None:
+                self.probe.on_surprise(
+                    record, guess_taken, late_prediction is not None,
+                    OutcomeKind.GOOD_SURPRISE,
+                )
             if late_prediction is not None and late_prediction.taken:
                 # The late prediction steered the searcher to a taken target
                 # the pipeline never followed: resync it sequentially (no
@@ -604,11 +613,19 @@ class Simulator:
                 self.search.restart(record.next_sequential, math.ceil(self._cycle))
             self._train_resident(record)
             self.hierarchy.record_resolved_branch(record)
+            if self.probe is not None:
+                self.probe.on_surprise_commit(record)
             return
 
         kind = self._classify_surprise(seen_before, resident_level,
                                        late_prediction)
         self.counters.record_outcome(kind)
+        if self.probe is not None:
+            # Before run_ahead: the free-running window can complete BTB2
+            # transfers, and the observer must classify from pre-run state.
+            self.probe.on_surprise(
+                record, guess_taken, late_prediction is not None, kind
+            )
         if self.telemetry is not None:
             self.telemetry.on_surprise(
                 self._cycle, record.address, kind.value, guess_taken
@@ -639,6 +656,8 @@ class Simulator:
             self.hierarchy.surprise_install(record)
         self._train_resident(record)
         self.hierarchy.record_resolved_branch(record)
+        if self.probe is not None:
+            self.probe.on_surprise_commit(record)
         self._restart_search(record.next_address)
 
     def _classify_surprise(

@@ -1,0 +1,41 @@
+"""Independent verification of the production engine (the oracle layer).
+
+Three cooperating pieces:
+
+* :mod:`repro.oracle.reference` — :class:`ReferencePredictor`, a
+  deliberately slow, obviously-correct reimplementation of the
+  BTB1/BTBP/PHT/CTB/FIT content semantics and the bulk-preload transfer
+  rules, sharing only :mod:`repro.core.config` (plus the passive trace
+  vocabulary) with the production engine;
+* :mod:`repro.oracle.differential` — :class:`DifferentialRunner`, stepping
+  the real :class:`~repro.engine.simulator.Simulator` and the reference
+  model in lockstep over any trace and reporting the first divergence
+  (cycle, branch address, structure), with ddmin trace shrinking reused
+  from :mod:`repro.audit.fuzz`;
+* :mod:`repro.oracle.golden` / :mod:`repro.oracle.metamorphic` — the
+  pinned per-workload metric baselines under ``tests/golden/`` and the
+  model-invariance transforms (address relabeling, region permutation),
+  both enforced by ``repro verify``.
+"""
+
+from repro.oracle.differential import (
+    DifferentialResult,
+    DifferentialRunner,
+    Divergence,
+    DivergenceError,
+    mutation_drill,
+    run_campaign,
+    shrink_divergence,
+)
+from repro.oracle.reference import ReferencePredictor
+
+__all__ = [
+    "DifferentialResult",
+    "DifferentialRunner",
+    "Divergence",
+    "DivergenceError",
+    "ReferencePredictor",
+    "mutation_drill",
+    "run_campaign",
+    "shrink_divergence",
+]

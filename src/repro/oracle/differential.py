@@ -1,0 +1,544 @@
+"""Lockstep differential testing of the production engine.
+
+The production :class:`~repro.engine.simulator.Simulator` exposes optional
+``probe`` observers on its three semantic actors (the simulator itself, the
+lookahead searcher, the transfer engine).  :class:`DifferentialRunner`
+attaches one probe to all three, replays every semantic event — row probe
+and prediction, move protocol, surprise guess and install, training,
+bulk-transfer row delivery — against an independent
+:class:`~repro.oracle.reference.ReferencePredictor`, and raises on the
+*first* output or state divergence, reporting the cycle, branch address and
+the structure that disagreed.
+
+The comparison layers, cheapest first:
+
+* **per-event outputs** — predicted direction/target/level/MRU, replacement
+  victims, surprise guesses, outcome taxonomy, delivered transfer rows;
+* **per-branch row state** — the resolved branch's BTB1/BTBP row contents
+  in exact replacement order, so LRU bugs surface on the branch that
+  exposes them;
+* **periodic + final full state** — a dict-walk diff of the complete
+  production snapshot (every table, every counter) against the reference
+  model's production-schema snapshot.
+
+A diverging trace is minimized with the ddmin shrinker shared with the
+property-fuzz harness (:func:`repro.audit.fuzz.shrink`), using "a fresh
+differential run still diverges" as the failure predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.fuzz import FUZZ_CONFIGS, build_trace, shrink
+from repro.core.config import PredictorConfig, TABLE3_CONFIGS
+from repro.core.events import OutcomeKind, Prediction
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.engine.simulator import Simulator
+from repro.oracle.reference import (
+    GOOD_DYNAMIC,
+    GOOD_SURPRISE,
+    MISPREDICT_NOT_TAKEN_TAKEN,
+    MISPREDICT_TAKEN_NOT_TAKEN,
+    MISPREDICT_WRONG_TARGET,
+    ReferencePredictor,
+    RefEntry,
+    RefResolution,
+)
+from repro.trace.record import TraceRecord
+
+#: Branches between full-state snapshot comparisons.  Row-level compares
+#: run on every branch; the full dict walk is O(occupancy) and amortized.
+DEFAULT_COMPARE_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First disagreement between the engine and the reference model."""
+
+    #: The structure (or comparison layer) that disagreed, e.g. ``"BTB1
+    #: row"``, ``"surprise BHT"``, ``"hierarchy.fit.table"``.
+    structure: str
+    #: Human-readable engine-vs-reference detail.
+    detail: str
+    #: Index of the trace record being resolved when the divergence fired.
+    record_index: int
+    #: Branch address involved (``None`` for end-of-run state diffs).
+    branch_address: int | None
+    #: Production search-pipeline cycle at the divergence.
+    cycle: int
+
+    def report(self) -> str:
+        address = (
+            f"0x{self.branch_address:x}"
+            if self.branch_address is not None else "<end of run>"
+        )
+        return (
+            f"divergence at record {self.record_index}, branch {address}, "
+            f"cycle {self.cycle}: structure '{self.structure}'\n"
+            f"  {self.detail}"
+        )
+
+
+class DivergenceError(Exception):
+    """Raised by the probe at the first engine/reference disagreement."""
+
+    def __init__(self, divergence: Divergence) -> None:
+        super().__init__(divergence.report())
+        self.divergence = divergence
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one differential run."""
+
+    config_name: str
+    records: int
+    branches: int
+    diverged: bool
+    divergence: Divergence | None = None
+    #: Comparison volume, for "the oracle actually checked things" asserts.
+    events_compared: int = 0
+    full_compares: int = 0
+
+    def report(self) -> str:
+        if not self.diverged:
+            return (
+                f"no divergence: {self.records} records, {self.branches} "
+                f"branches, {self.events_compared} events compared, "
+                f"{self.full_compares} full-state compares "
+                f"[{self.config_name}]"
+            )
+        assert self.divergence is not None
+        return self.divergence.report()
+
+
+def _diff_state(production, reference, path: str = "") -> tuple[str, str] | None:
+    """First differing path between two snapshot trees, or ``None``.
+
+    Returns ``(path, detail)`` — the path doubles as the divergence's
+    structure name (e.g. ``hierarchy.btb1.rows``).
+    """
+    if isinstance(production, dict) and isinstance(reference, dict):
+        for key in sorted(set(production) | set(reference), key=str):
+            here = f"{path}.{key}" if path else str(key)
+            if key not in production:
+                return here, f"only the reference has {here}"
+            if key not in reference:
+                return here, f"only the engine has {here}"
+            found = _diff_state(production[key], reference[key], here)
+            if found is not None:
+                return found
+        return None
+    if isinstance(production, (list, tuple)) and isinstance(
+        reference, (list, tuple)
+    ):
+        if len(production) != len(reference):
+            return path, (
+                f"length {len(production)} (engine) != "
+                f"{len(reference)} (reference)"
+            )
+        for position, (left, right) in enumerate(zip(production, reference)):
+            found = _diff_state(left, right, f"{path}[{position}]")
+            if found is not None:
+                return found
+        return None
+    if production != reference:
+        return path, f"engine {production!r} != reference {reference!r}"
+    return None
+
+
+class _Probe:
+    """The observer attached to the simulator, searcher and transfer engine.
+
+    Replays each semantic event on the reference model and compares; all
+    hooks raise :class:`DivergenceError` on the first disagreement.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        oracle: ReferencePredictor,
+        compare_interval: int,
+    ) -> None:
+        self.simulator = simulator
+        self.oracle = oracle
+        self.compare_interval = compare_interval
+        self.record_index = 0
+        self.events_compared = 0
+        self.full_compares = 0
+        #: Prediction in flight between ``on_predict`` and its resolution.
+        self._pending: tuple[RefEntry, RefResolution] | None = None
+        self._surprise_outcome: str | None = None
+
+    # -- comparison plumbing ------------------------------------------------
+
+    def _fail(self, structure: str, detail: str,
+              branch_address: int | None) -> None:
+        raise DivergenceError(
+            Divergence(
+                structure=structure,
+                detail=detail,
+                record_index=self.record_index,
+                branch_address=branch_address,
+                cycle=self.simulator.search.cycle,
+            )
+        )
+
+    def _check(self, structure: str, engine, reference,
+               branch_address: int | None) -> None:
+        self.events_compared += 1
+        if engine != reference:
+            self._fail(
+                structure,
+                f"engine {engine!r} != reference {reference!r}",
+                branch_address,
+            )
+
+    def _production_state(self) -> dict:
+        simulator = self.simulator
+        return {
+            "hierarchy": simulator.hierarchy.state_dict(),
+            "btb2": (
+                simulator.btb2.state_dict()
+                if simulator.btb2 is not None else None
+            ),
+        }
+
+    def compare_full_state(self, branch_address: int | None = None) -> None:
+        """Dict-walk diff of complete production vs reference snapshots."""
+        self.full_compares += 1
+        found = _diff_state(self._production_state(), self.oracle.state_dict())
+        if found is not None:
+            structure, detail = found
+            self._fail(structure, detail, branch_address)
+
+    def compare_final_counters(self) -> None:
+        """End-of-run totals: branch counts and the outcome taxonomy."""
+        counters = self.simulator.counters
+        self._check("branch count", counters.branches,
+                    self.oracle.branches, None)
+        self._check("taken branch count", counters.taken_branches,
+                    self.oracle.taken_branches, None)
+        for kind, count in counters.outcomes.items():
+            self._check(
+                f"outcome total '{kind.value}'",
+                count, self.oracle.outcomes.get(kind.value, 0), None,
+            )
+
+    def _after_branch(self, record: TraceRecord) -> None:
+        """Row-level state compare after every resolved branch."""
+        simulator = self.simulator
+        engine_row = [
+            entry.state_dict()
+            for entry in simulator.hierarchy.btb1.row_ways(record.address)
+        ]
+        reference_row = [
+            entry.state_dict()
+            for entry in self.oracle.btb1.mru_first(record.address)
+        ]
+        self._check("BTB1 row", engine_row, reference_row, record.address)
+        if simulator.hierarchy.btbp is not None:
+            engine_row = [
+                entry.state_dict()
+                for entry in simulator.hierarchy.btbp.row_ways(record.address)
+            ]
+            reference_row = [
+                entry.state_dict()
+                for entry in self.oracle.btbp.mru_first(record.address)
+            ]
+            self._check("BTBP row", engine_row, reference_row, record.address)
+        if (
+            self.compare_interval
+            and self.oracle.branches % self.compare_interval == 0
+        ):
+            self.compare_full_state(record.address)
+
+    # -- search-side hooks ----------------------------------------------------
+
+    def on_search_restart(self, address: int, cycle: int) -> None:
+        self.oracle.on_search_restart()
+
+    def on_predict(self, search_address: int, prediction: Prediction) -> None:
+        oracle = self.oracle
+        hits = oracle.hits_in_row(search_address)
+        if not hits:
+            self._fail(
+                "BTB1/BTBP row search",
+                f"engine predicted branch 0x{prediction.branch_address:x} "
+                f"from row 0x{search_address:x}; reference row is empty",
+                prediction.branch_address,
+            )
+        entry, level, from_mru = hits[0]
+        self._check("BTB1/BTBP row search", prediction.branch_address,
+                    entry.address, prediction.branch_address)
+        self._check("prediction level", prediction.level.name, level,
+                    prediction.branch_address)
+        self._check(f"{level} MRU state", prediction.from_mru, from_mru,
+                    prediction.branch_address)
+        resolution = oracle.resolve(entry)
+        self._check("predicted direction", prediction.taken,
+                    resolution.taken, prediction.branch_address)
+        self._check("predicted target", prediction.target,
+                    resolution.target, prediction.branch_address)
+        self._check("PHT consultation", prediction.used_pht,
+                    resolution.used_pht, prediction.branch_address)
+        self._check("CTB consultation", prediction.used_ctb,
+                    resolution.used_ctb, prediction.branch_address)
+        oracle.apply_prediction(entry, resolution)
+        self._pending = (entry, resolution)
+
+    # -- resolution hooks ------------------------------------------------------
+
+    def on_dynamic_resolve(
+        self,
+        record: TraceRecord,
+        prediction: Prediction,
+        kind: OutcomeKind,
+        victim,
+    ) -> None:
+        if self._pending is None:
+            self._fail(
+                "probe protocol",
+                "engine resolved a dynamic prediction the reference never "
+                "saw predicted",
+                record.address,
+            )
+        entry, resolution = self._pending
+        self._pending = None
+        self._check("resolved branch address", record.address, entry.address,
+                    record.address)
+        oracle = self.oracle
+        reference_victim = oracle.use_prediction(entry, prediction.level.name)
+        self._check(
+            "BTB1 victim",
+            victim.address if victim is not None else None,
+            (reference_victim.address
+             if reference_victim is not None else None),
+            record.address,
+        )
+        if resolution.taken == record.taken and (
+            not record.taken or resolution.target == record.target
+        ):
+            reference_kind = GOOD_DYNAMIC
+        elif resolution.taken and record.taken:
+            reference_kind = MISPREDICT_WRONG_TARGET
+        elif resolution.taken:
+            reference_kind = MISPREDICT_TAKEN_NOT_TAKEN
+        else:
+            reference_kind = MISPREDICT_NOT_TAKEN_TAKEN
+        self._check("outcome taxonomy", kind.value, reference_kind,
+                    record.address)
+        oracle.train(entry, record)
+        oracle.record_resolved(record)
+        oracle.count_branch(record, reference_kind)
+        self._after_branch(record)
+
+    def on_surprise(
+        self,
+        record: TraceRecord,
+        guess_taken: bool,
+        late_predicted: bool,
+        kind: OutcomeKind,
+    ) -> None:
+        oracle = self.oracle
+        if self._pending is not None:
+            # A prediction arrived too late to be used; its search-side
+            # side effects already happened in both models.
+            entry, _ = self._pending
+            self._pending = None
+            self._check("late prediction address", record.address,
+                        entry.address, record.address)
+            if not late_predicted:
+                self._fail(
+                    "probe protocol",
+                    "engine saw no late prediction; the reference predicted "
+                    f"0x{entry.address:x}",
+                    record.address,
+                )
+        elif late_predicted:
+            self._fail(
+                "probe protocol",
+                "engine used a late prediction the reference never made",
+                record.address,
+            )
+        resident = oracle.probe_level(record.address)
+        seen_before = record.address in oracle.seen
+        reference_guess = oracle.guess_surprise(record)
+        self._check("surprise BHT", guess_taken, reference_guess,
+                    record.address)
+        if reference_guess or record.taken:
+            reference_kind = oracle.classify_surprise(
+                seen_before, resident, late_predicted
+            )
+        else:
+            reference_kind = GOOD_SURPRISE
+        self._check("outcome taxonomy", kind.value, reference_kind,
+                    record.address)
+        self._surprise_outcome = reference_kind
+
+    def on_surprise_commit(self, record: TraceRecord) -> None:
+        oracle = self.oracle
+        outcome = self._surprise_outcome
+        self._surprise_outcome = None
+        if outcome is None:
+            self._fail(
+                "probe protocol",
+                "surprise commit without a preceding surprise event",
+                record.address,
+            )
+        if record.taken and record.target is not None:
+            oracle.surprise_install(record)
+        oracle.train_resident(record)
+        oracle.record_resolved(record)
+        oracle.count_branch(record, outcome)
+        self._after_branch(record)
+
+    # -- preload hooks ---------------------------------------------------------
+
+    def on_row_delivered(
+        self, row_address: int, delivered_addresses: list[int]
+    ) -> None:
+        reference_addresses = self.oracle.deliver_row(row_address)
+        self._check(
+            "BTB2 transfer row", delivered_addresses, reference_addresses,
+            row_address,
+        )
+
+
+class DifferentialRunner:
+    """Run the production simulator and the reference model in lockstep."""
+
+    def __init__(
+        self,
+        config: PredictorConfig,
+        timing: TimingParams = DEFAULT_TIMING,
+        compare_interval: int = DEFAULT_COMPARE_INTERVAL,
+    ) -> None:
+        self.config = config
+        self.timing = timing
+        self.compare_interval = compare_interval
+
+    def run(self, records: list[TraceRecord]) -> DifferentialResult:
+        """Differentially simulate ``records``; stop at first divergence."""
+        simulator = Simulator(config=self.config, timing=self.timing)
+        oracle = ReferencePredictor(self.config)
+        probe = _Probe(simulator, oracle, self.compare_interval)
+        simulator.probe = probe
+        simulator.search.probe = probe
+        if simulator.preload is not None:
+            simulator.preload.transfer.probe = probe
+        divergence: Divergence | None = None
+        try:
+            for index, record in enumerate(records):
+                probe.record_index = index
+                simulator.step(record)
+            probe.record_index = len(records)
+            simulator.finish()
+            probe.compare_full_state()
+            probe.compare_final_counters()
+        except DivergenceError as error:
+            divergence = error.divergence
+        return DifferentialResult(
+            config_name=self.config.name,
+            records=len(records),
+            branches=oracle.branches,
+            diverged=divergence is not None,
+            divergence=divergence,
+            events_compared=probe.events_compared,
+            full_compares=probe.full_compares,
+        )
+
+
+def shrink_divergence(
+    trace: list[TraceRecord],
+    config: PredictorConfig,
+    timing: TimingParams = DEFAULT_TIMING,
+) -> list[TraceRecord]:
+    """ddmin-minimize a diverging trace (shared shrinker, oracle predicate)."""
+
+    def still_diverges(candidate: list[TraceRecord]) -> bool:
+        return DifferentialRunner(config, timing).run(candidate).diverged
+
+    return shrink(trace, config, timing, fails=still_diverges)
+
+
+#: Default differential campaign: one workload per Table 3 configuration,
+#: spanning BTB2-less, full-hierarchy, and big-BTB1 geometries.
+DEFAULT_CAMPAIGN_PAIRS: tuple[tuple[str, str], ...] = (
+    ("TPF airline reservations", TABLE3_CONFIGS[0].name),
+    ("Z/OS DayTrader DBServ", TABLE3_CONFIGS[1].name),
+    ("zLinux Informix", TABLE3_CONFIGS[2].name),
+)
+
+
+@dataclass(frozen=True)
+class CampaignCase:
+    """One (workload, config) differential run specification."""
+
+    workload: str
+    config_name: str
+    scale: float
+    compare_interval: int = DEFAULT_COMPARE_INTERVAL
+
+
+def differential_case(case: CampaignCase) -> DifferentialResult:
+    """Run one campaign case (module-level, so it is pool-picklable)."""
+    from repro.workloads.catalog import workload_by_name
+
+    configs = {config.name: config for config in TABLE3_CONFIGS}
+    config = configs[case.config_name]
+    spec = workload_by_name(case.workload)
+    trace = spec.trace(case.scale)
+    return DifferentialRunner(
+        config, compare_interval=case.compare_interval
+    ).run(trace)
+
+
+def run_campaign(
+    pairs: tuple[tuple[str, str], ...] = DEFAULT_CAMPAIGN_PAIRS,
+    scale: float = 0.01,
+    jobs: int | None = None,
+    compare_interval: int = DEFAULT_COMPARE_INTERVAL,
+) -> list[DifferentialResult]:
+    """Differentially verify real workload traces across configurations."""
+    from repro.experiments.pool import parallel_map
+
+    cases = [
+        CampaignCase(
+            workload=workload, config_name=config_name, scale=scale,
+            compare_interval=compare_interval,
+        )
+        for workload, config_name in pairs
+    ]
+    return parallel_map(differential_case, cases, jobs=jobs)
+
+
+def mutation_drill(
+    cases: int = 8,
+    seed: int = 7,
+    config: PredictorConfig | None = None,
+) -> DifferentialResult | None:
+    """Prove the oracle catches a seeded semantic mutation.
+
+    Temporarily sabotages the production LRU (a used prediction *demotes*
+    its BTB entry instead of refreshing it — a classic inverted-touch bug)
+    and runs small fuzz traces differentially.  Returns the first diverging
+    result, or ``None`` if the sabotage went undetected — the verify gate
+    treats ``None`` as a failure of the oracle itself.
+    """
+    from repro.btb.storage import BranchTargetBuffer
+
+    if config is None:
+        config = FUZZ_CONFIGS["small baseline"]
+    original_touch = BranchTargetBuffer.touch
+    BranchTargetBuffer.touch = BranchTargetBuffer.demote
+    try:
+        for case in range(cases):
+            trace = build_trace((seed << 20) ^ case, length=400)
+            result = DifferentialRunner(config).run(trace)
+            if result.diverged:
+                return result
+    finally:
+        BranchTargetBuffer.touch = original_touch
+    return None

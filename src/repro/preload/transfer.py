@@ -69,6 +69,9 @@ class TransferEngine:
         self.entries_transferred = 0
         #: Optional :class:`repro.telemetry.Telemetry`; ``None`` = no tracing.
         self.telemetry = None
+        #: Optional lockstep observer (:mod:`repro.oracle.differential`);
+        #: ``None`` = no observation.
+        self.probe = None
 
     # -- enqueue -------------------------------------------------------------
 
@@ -158,6 +161,10 @@ class TransferEngine:
             self.btb2.transfer_hits += 1
             self.entries_transferred += 1
             self.install(entry.clone())
+        if self.probe is not None:
+            self.probe.on_row_delivered(
+                row_address, [entry.address for entry in hits]
+            )
         return len(hits)
 
     # -- checkpointing ---------------------------------------------------------

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.isa.opcodes import BranchKind
 from repro.trace.record import TraceRecord
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is optional locally
+    pass
+else:
+    # Pinned example-generation behavior for the property-based tests:
+    # CI runs derandomized (the same examples every run, so a red build
+    # is reproducible from its log alone), while local runs explore new
+    # examples but always print the @reproduce_failure blob on failure.
+    settings.register_profile("ci", derandomize=True, print_blob=True)
+    settings.register_profile("dev", print_blob=True)
+    settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture(autouse=True)

@@ -4,11 +4,13 @@ import pytest
 
 from repro.core.config import PredictorConfig
 from repro.engine.multicore import (
+    core_slices,
     hardware_timing,
     run_multicore,
     system_performance_gain,
 )
 from repro.engine.params import DEFAULT_TIMING
+from repro.engine.simulator import Simulator
 
 from tests.conftest import loop_trace
 
@@ -66,3 +68,58 @@ class TestRunMulticore:
                              cores=1)
         better = run_multicore(trace, small_config(), cores=1)
         assert system_performance_gain(base, better) >= 0.0
+
+
+class TestCoreSlices:
+    @pytest.mark.parametrize("cores", [1, 2, 3, 4, 7])
+    def test_slices_partition_the_trace(self, cores):
+        trace = loop_trace(iterations=23)
+        slices = core_slices(trace, cores)
+        assert len(slices) == cores
+        assert [r for s in slices for r in s] == trace
+        # All but the remainder-absorbing last slice are equal length.
+        lengths = {len(s) for s in slices[:-1]}
+        assert len(lengths) <= 1
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            core_slices(loop_trace(iterations=2), cores=0)
+
+
+class TestMulticoreStateRoundTrip:
+    def test_save_load_resume_matches_uninterrupted_cores(self):
+        """Each core snapshot mid-slice, restored, resumed: exact match."""
+        trace = loop_trace(iterations=120)
+        config = small_config()
+        cores = 3
+        reference = run_multicore(trace, config, cores=cores)
+        timing = hardware_timing(DEFAULT_TIMING, cores)
+
+        for slice_records, expected in zip(
+            core_slices(trace, cores), reference.per_core
+        ):
+            half = len(slice_records) // 2
+            front = Simulator(config=config, timing=timing)
+            for record in slice_records[:half]:
+                front.step(record)
+            state = front.state_dict()
+
+            resumed = Simulator(config=config, timing=timing)
+            resumed.load_state_dict(state)
+            for record in slice_records[half:]:
+                resumed.step(record)
+            result = resumed.finish()
+
+            assert (result.counters.state_dict()
+                    == expected.counters.state_dict())
+
+    def test_state_dict_round_trips_through_json(self):
+        import json
+
+        trace = loop_trace(iterations=60)
+        simulator = Simulator(config=small_config())
+        for record in trace[: len(trace) // 2]:
+            simulator.step(record)
+        state = simulator.state_dict()
+        # The snapshot must be pure data: a JSON round trip preserves it.
+        assert json.loads(json.dumps(state)) == state

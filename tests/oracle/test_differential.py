@@ -1,0 +1,93 @@
+"""The lockstep differential oracle: clean on main, teeth when mutated."""
+
+import pytest
+
+from repro.audit.fuzz import FUZZ_CONFIGS, build_trace
+from repro.btb.storage import BranchTargetBuffer
+from repro.core.config import ZEC12_CONFIG_1, ZEC12_CONFIG_2
+from repro.oracle import (
+    DifferentialRunner,
+    mutation_drill,
+    shrink_divergence,
+)
+
+from tests.conftest import loop_trace
+
+SMALL = FUZZ_CONFIGS["small baseline"]
+
+
+class TestCleanLockstep:
+    def test_loop_trace_full_hierarchy(self):
+        result = DifferentialRunner(ZEC12_CONFIG_2).run(loop_trace(200))
+        assert not result.diverged, result.report()
+        assert result.branches == 200
+        # The oracle must actually be comparing, not vacuously passing.
+        assert result.events_compared > result.branches
+        assert result.full_compares >= 1
+
+    def test_btb2less_config(self):
+        result = DifferentialRunner(ZEC12_CONFIG_1).run(loop_trace(100))
+        assert not result.diverged, result.report()
+
+    @pytest.mark.parametrize("seed", [11, 22, 33])
+    def test_fuzz_traces_on_small_config(self, seed):
+        trace = build_trace(seed, length=500)
+        result = DifferentialRunner(SMALL).run(trace)
+        assert not result.diverged, result.report()
+
+    @pytest.mark.slow
+    @pytest.mark.fuzz
+    @pytest.mark.parametrize("name", sorted(FUZZ_CONFIGS))
+    def test_every_fuzz_config_is_conformant(self, name):
+        for seed in range(4):
+            trace = build_trace(0xD1F ^ seed, length=600)
+            result = DifferentialRunner(FUZZ_CONFIGS[name]).run(trace)
+            assert not result.diverged, result.report()
+
+
+class TestMutationTeeth:
+    def test_drill_catches_inverted_lru_touch(self):
+        result = mutation_drill()
+        assert result is not None, "seeded LRU mutation went undetected"
+        assert result.diverged
+        divergence = result.divergence
+        assert "BTB" in divergence.structure or "row" in divergence.structure
+        assert divergence.record_index < result.records
+        report = divergence.report()
+        assert "divergence at record" in report
+        assert divergence.structure in report
+
+    def test_monkeypatched_demotion_bug_is_caught_and_shrunk(
+        self, monkeypatch
+    ):
+        # An independent sabotage from the drill's: used predictions never
+        # refresh recency at all.
+        monkeypatch.setattr(BranchTargetBuffer, "touch", lambda self, e: None)
+        trace = None
+        for seed in range(16):
+            candidate = build_trace(0xBEEF ^ seed, length=400)
+            if DifferentialRunner(SMALL).run(candidate).diverged:
+                trace = candidate
+                break
+        assert trace is not None, "no trace exposed the disabled LRU touch"
+        shrunk = shrink_divergence(trace, SMALL)
+        assert len(shrunk) < len(trace)
+        assert DifferentialRunner(SMALL).run(shrunk).diverged
+
+    def test_sabotage_does_not_leak(self):
+        # The drill (and any monkeypatching test above) must leave the
+        # production class untouched for the rest of the suite.
+        result = DifferentialRunner(SMALL).run(build_trace(99, length=300))
+        assert not result.diverged, result.report()
+
+
+class TestDivergenceReporting:
+    def test_report_names_structure_cycle_and_address(self):
+        result = mutation_drill(cases=4)
+        assert result is not None and result.divergence is not None
+        divergence = result.divergence
+        assert divergence.cycle >= 0
+        assert divergence.branch_address is not None
+        report = divergence.report()
+        assert f"0x{divergence.branch_address:x}" in report
+        assert f"cycle {divergence.cycle}" in report

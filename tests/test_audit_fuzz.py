@@ -32,6 +32,8 @@ def test_trace_builder_is_deterministic():
     assert build_trace(1234) != build_trace(1235)
 
 
+@pytest.mark.fuzz
+@pytest.mark.slow
 def test_200_seeded_cases_pass_under_full_audit():
     failures = fuzz(cases=FUZZ_CASES, seed=FUZZ_SEED)
     if failures:
@@ -41,6 +43,7 @@ def test_200_seeded_cases_pass_under_full_audit():
         )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(FUZZ_CONFIGS))
 def test_each_config_survives_a_long_trace(name):
     # One longer trace per variant, beyond the campaign's default length.

@@ -1,0 +1,77 @@
+"""The coverage-ratchet gate (`scripts/check_coverage.py`), pinned.
+
+The script itself consumes coverage.py's JSON report, so these tests
+fabricate reports — no coverage tooling required locally.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_coverage  # noqa: E402  (path set up above)
+
+
+def write_report(path: Path, percent: float) -> None:
+    path.write_text(json.dumps({"totals": {"percent_covered": percent}}))
+
+
+def write_floor(path: Path, percent: float) -> None:
+    path.write_text(json.dumps({"minimum_percent": percent}))
+
+
+def run(tmp_path: Path, measured: float, floor: float,
+        extra: list[str] | None = None) -> tuple[int, Path]:
+    report = tmp_path / "coverage.json"
+    floor_file = tmp_path / "floor.json"
+    write_report(report, measured)
+    write_floor(floor_file, floor)
+    code = check_coverage.main(
+        ["--report", str(report), "--floor-file", str(floor_file)]
+        + (extra or [])
+    )
+    return code, floor_file
+
+
+def test_above_floor_passes(tmp_path):
+    assert run(tmp_path, measured=75.0, floor=60.0)[0] == 0
+
+
+def test_below_floor_fails(tmp_path, capsys):
+    code, _ = run(tmp_path, measured=59.9, floor=60.0)
+    assert code == 1
+    assert "below the committed floor" in capsys.readouterr().err
+
+
+def test_missing_report_is_distinct_exit_code(tmp_path):
+    floor_file = tmp_path / "floor.json"
+    write_floor(floor_file, 60.0)
+    code = check_coverage.main(
+        ["--report", str(tmp_path / "nope.json"),
+         "--floor-file", str(floor_file)]
+    )
+    assert code == 2
+
+
+def test_update_ratchets_up_with_margin(tmp_path):
+    code, floor_file = run(tmp_path, measured=80.0, floor=60.0,
+                           extra=["--update"])
+    assert code == 0
+    new_floor = check_coverage.read_floor(floor_file)
+    assert new_floor == 80.0 - check_coverage.UPDATE_MARGIN
+
+
+def test_update_never_lowers_the_floor(tmp_path):
+    code, floor_file = run(tmp_path, measured=55.0, floor=60.0,
+                           extra=["--update"])
+    assert code == 0
+    assert check_coverage.read_floor(floor_file) == 60.0
+
+
+def test_committed_floor_is_valid():
+    floor = check_coverage.read_floor()
+    assert 0.0 < floor <= 100.0

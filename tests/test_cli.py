@@ -127,3 +127,108 @@ class TestTelemetryCommands:
         assert main(["profile", "TPF", "--scale", "0.02", "--top", "5"]) == 0
         out = capsys.readouterr().out
         assert "penalty profile (top 5)" in out
+
+
+class TestRefusalExitCode:
+    def test_sampled_refusal_exits_nonzero(self, capsys):
+        # An impossibly tight CI bound forces ConfidenceBoundExceeded; the
+        # CLI must refuse with exit code 1 and say so on stderr, never
+        # print a number that looks more certain than it is.
+        code = main(["simulate", "TPF", "--scale", "0.02", "--configs", "2",
+                     "--sampled", "--interval", "400", "--period", "8000",
+                     "--warmup", "400", "--max-ci", "1e-12"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "CI measure" in captured.err
+        assert "refusing" in captured.err or "exceeds" in captured.err
+
+    def test_sampled_within_bound_exits_zero(self, capsys):
+        code = main(["simulate", "TPF", "--scale", "0.02", "--configs", "2",
+                     "--sampled", "--interval", "400", "--period", "8000",
+                     "--warmup", "400", "--max-ci", "0.5"])
+        assert code == 0
+        assert "CPI" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.command == "verify"
+        assert args.golden == "tests/golden/workloads.json"
+        assert args.scale == 0.01 and args.golden_scale == 0.02
+        assert not args.update_golden
+
+    def test_mutation_drill_gate_alone(self, capsys):
+        code = main(["verify", "--skip-differential", "--skip-golden"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mutation drill: caught" in out
+        assert "divergence at record" in out
+        assert "verify: all gates passed" in out
+
+    def test_golden_gate_fails_on_drift(self, tmp_path, capsys, monkeypatch):
+        # A baseline whose recorded CPI cannot match forces the gate red.
+        from repro.oracle import golden
+
+        real = golden.load_baseline(golden.GOLDEN_PATH)
+        name = "TPF airline reservations"
+        doctored = json.loads(json.dumps(real))
+        doctored["workloads"][name]["cpi"] *= 2
+        path = tmp_path / "gold.json"
+        golden.write_baseline(path, doctored)
+
+        def fake_measure(scale, config=None, jobs=None, workloads=None):
+            return {name: real["workloads"][name]}
+
+        monkeypatch.setattr(golden, "measure_workloads", fake_measure)
+        code = main(["verify", "--skip-differential", "--skip-mutation-drill",
+                     "--golden", str(path), "--workloads", "TPF"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "golden:" in err and "cpi" in err
+        assert "verify: FAILED" in err
+
+    def test_golden_gate_passes_when_measurement_matches(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.oracle import golden
+
+        real = golden.load_baseline(golden.GOLDEN_PATH)
+        name = "TPF airline reservations"
+
+        def fake_measure(scale, config=None, jobs=None, workloads=None):
+            return {name: real["workloads"][name]}
+
+        monkeypatch.setattr(golden, "measure_workloads", fake_measure)
+        code = main(["verify", "--skip-differential", "--skip-mutation-drill",
+                     "--golden", str(golden.GOLDEN_PATH),
+                     "--workloads", "TPF"])
+        assert code == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_update_golden_writes_selected_file(self, tmp_path, monkeypatch):
+        from repro.oracle import golden
+
+        def fake_build(scale, config=None, jobs=None):
+            return {"schema": golden.GOLDEN_SCHEMA, "config": "x",
+                    "scale": scale, "tolerances": {"relative": 1e-9},
+                    "workloads": {"W": {"cpi": 1.0}}}
+
+        monkeypatch.setattr(golden, "build_baseline", fake_build)
+        path = tmp_path / "gold.json"
+        assert main(["verify", "--update-golden", "--golden", str(path),
+                     "--golden-scale", "0.03"]) == 0
+        assert golden.load_baseline(path)["scale"] == 0.03
+
+
+@pytest.mark.slow
+class TestVerifyEndToEnd:
+    def test_full_verify_passes_on_main(self, capsys):
+        # The real gate, cold caches (the autouse fixture isolates them):
+        # mutation drill, three lockstep workload/config pairs, and the
+        # 13-workload golden baseline.
+        assert main(["verify", "--jobs", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "mutation drill: caught" in out
+        assert out.count("differential: no divergence") == 3
+        assert "golden baseline: 13 workload(s) within tolerance" in out

@@ -1,0 +1,23 @@
+"""The pinned Hypothesis profiles (registered in ``tests/conftest.py``)."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+
+def test_ci_profile_is_derandomized():
+    ci = hypothesis.settings.get_profile("ci")
+    assert ci.derandomize is True
+    assert ci.print_blob is True
+
+
+def test_dev_profile_prints_failure_blobs():
+    dev = hypothesis.settings.get_profile("dev")
+    assert dev.derandomize is False
+    assert dev.print_blob is True
+
+
+def test_a_registered_profile_is_active():
+    # conftest loads "ci" under CI, "dev" otherwise; either way the active
+    # settings must print reproduction blobs.
+    assert hypothesis.settings.default.print_blob is True
