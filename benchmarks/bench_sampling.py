@@ -19,10 +19,9 @@ demonstrated, and the 5× figure depends on the warming/detailed
 throughput ratio integrated over the real trace length.
 """
 
-import json
 import time
-from pathlib import Path
 
+from common import write_bench
 from repro.core.config import ZEC12_CONFIG_2
 from repro.engine.simulator import simulate
 from repro.sampling import SamplingPlan, error_report, run_sampled
@@ -32,7 +31,6 @@ BENCH_WORKLOAD = "TPF"
 BENCH_SCALE = 1.0
 BENCH_PLAN = SamplingPlan(mode="stratified", interval=500, period=20_000,
                           warmup=500, seed=777)
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sampling.json"
 
 
 def test_sampled_speedup_and_error(benchmark):
@@ -74,12 +72,12 @@ def test_sampled_speedup_and_error(benchmark):
             for est in sampled.metric_estimates()
         },
     }
-    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    output = write_bench("sampling", record, "benchmarks/bench_sampling.py")
 
     print()
     print(error_report(sampled, full=full, max_ci=1.0))
     print(f"\nfull: {full_seconds:.1f} s   sampled: {sampled_seconds:.1f} s"
-          f"   speedup: {speedup:.1f}x   -> {OUTPUT.name}")
+          f"   speedup: {speedup:.1f}x   -> {output.name}")
 
     assert speedup >= 5.0, f"sampled speedup {speedup:.2f}x < 5x"
     assert cpi_error <= 0.02, f"|dCPI| {cpi_error:.2%} > 2%"

@@ -1,0 +1,58 @@
+"""Shared benchmark infrastructure: the single ``BENCH_*.json`` writer.
+
+Every bench that records numbers into the repository root must go through
+:func:`write_bench`, which stamps a common provenance envelope (schema
+version, bench name, git revision, generator path) around the payload.
+The envelope is what makes the scattered ``BENCH_*.json`` files mutually
+comparable: a reader can always tell which revision produced a number and
+whether the layout is the one it understands.  The schema is documented
+in docs/PERFORMANCE.md ("Reading the BENCH files").
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+#: Version of the common BENCH envelope.  Bump when envelope keys change
+#: meaning; payload keys are owned by the individual benches.
+BENCH_SCHEMA = 1
+
+#: Repository root — BENCH files live here, next to README.md.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_revision() -> str | None:
+    """The repository HEAD revision, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def write_bench(name: str, payload: dict, generator: str) -> Path:
+    """Write ``BENCH_<name>.json`` with the common provenance envelope.
+
+    ``payload`` carries the bench-specific measurements; ``generator`` is
+    the repo-relative path of the producing bench (e.g.
+    ``benchmarks/bench_sampling.py``).  Envelope keys win on collision so
+    a payload cannot accidentally mis-stamp its own provenance.  Returns
+    the path written.
+    """
+    record = dict(payload)
+    record.update(
+        bench_schema=BENCH_SCHEMA,
+        bench=name,
+        git_rev=git_revision(),
+        generated_by=generator,
+    )
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

@@ -17,7 +17,13 @@ host this cuts regeneration wall time by roughly the core count.
 """
 
 import os
+import sys
+from pathlib import Path
 
 DEFAULT_BENCH_SCALE = "0.35"
 
 os.environ.setdefault("REPRO_SCALE", DEFAULT_BENCH_SCALE)
+
+# Make the shared BENCH writer importable as ``from common import
+# write_bench`` regardless of pytest's rootdir/importmode.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation checker: intra-repo links and architecture coverage.
+"""Documentation checker: links, coverage, headings, docstrings.
 
-Two checks, both wired into the test suite (``tests/test_docs.py``) and
+Four checks, all wired into the test suite (``tests/test_docs.py``) and
 runnable standalone::
 
     python scripts/check_docs.py [repo_root]
@@ -18,12 +18,17 @@ runnable standalone::
    (e.g. the observability and tracing how-tos that ARCHITECTURE.md and
    the CLI docs cross-reference) must keep existing under their
    registered titles.
+4. **Docstring coverage** — the packages registered in
+   ``DOCSTRING_PACKAGES`` must carry docstrings on every module and
+   every public class, function, and method, so the prose layer of the
+   hot-path code (``repro.engine``, ``repro.btb``) cannot regress.
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
@@ -46,7 +51,16 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Observability",
         "## Auditing & invariants",
         "## Sampling & checkpoints",
+        "## Batched engine core",
         "## Verification",
+    ),
+    "docs/PERFORMANCE.md": (
+        "## Engine modes",
+        "## The batched core: layout and prescan",
+        "## The fast/slow path contract",
+        "## Benchmark methodology",
+        "## Measured throughput",
+        "## Reading the BENCH files",
     ),
     "docs/TESTING.md": (
         "## Test taxonomy",
@@ -149,11 +163,69 @@ def check_required_headings(root: Path) -> list[str]:
     return problems
 
 
+#: Packages (relative to ``src/repro``) whose public surface must be
+#: fully docstringed.  The engine and BTB hierarchy are the hot-path
+#: code documented by docs/PERFORMANCE.md; their prose must not rot.
+DOCSTRING_PACKAGES: tuple[str, ...] = ("engine", "btb")
+
+
+def _public_defs(body: list[ast.stmt], *, in_class: bool):
+    """Public ``def``/``class`` nodes in ``body`` needing docstrings."""
+    for node in body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if in_class and any(
+            isinstance(deco, ast.Name) and deco.id == "overload"
+            for deco in getattr(node, "decorator_list", [])
+        ):
+            continue
+        yield node
+
+
+def check_docstring_coverage(root: Path) -> list[str]:
+    """Public names without docstrings in the registered packages.
+
+    Walks every module of each package in :data:`DOCSTRING_PACKAGES` and
+    reports a problem string per missing docstring: the module itself,
+    each public class and function, and each public method (dunders and
+    ``_private`` names are exempt, as are ``@overload`` stubs).
+    """
+    problems = []
+    for package in DOCSTRING_PACKAGES:
+        base = root / "src" / "repro" / package
+        if not base.is_dir():
+            problems.append(f"src/repro/{package}: package does not exist")
+            continue
+        for source in sorted(base.rglob("*.py")):
+            rel = source.relative_to(root)
+            tree = ast.parse(source.read_text(), filename=str(rel))
+            if ast.get_docstring(tree) is None:
+                problems.append(f"{rel}: missing module docstring")
+            for node in _public_defs(tree.body, in_class=False):
+                if ast.get_docstring(node) is None:
+                    problems.append(
+                        f"{rel}:{node.lineno}: missing docstring "
+                        f"on '{node.name}'"
+                    )
+                if isinstance(node, ast.ClassDef):
+                    for method in _public_defs(node.body, in_class=True):
+                        if ast.get_docstring(method) is None:
+                            problems.append(
+                                f"{rel}:{method.lineno}: missing docstring "
+                                f"on '{node.name}.{method.name}'"
+                            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
     problems = (check_links(root) + check_architecture_coverage(root)
-                + check_required_headings(root))
+                + check_required_headings(root)
+                + check_docstring_coverage(root))
     for problem in problems:
         print(problem)
     if problems:

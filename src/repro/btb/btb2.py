@@ -103,6 +103,7 @@ class BTB2(BranchTargetBuffer):
         return self.install(entry.clone())
 
     def state_dict(self) -> dict:
+        """Table state plus the BTB2-specific write/hit counters."""
         state = super().state_dict()
         state["transfer_hits"] = self.transfer_hits
         state["victim_writes"] = self.victim_writes
@@ -110,6 +111,7 @@ class BTB2(BranchTargetBuffer):
         return state
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore table state and counters captured by ``state_dict``."""
         super().load_state_dict(state)
         self.transfer_hits = state["transfer_hits"]
         self.victim_writes = state["victim_writes"]

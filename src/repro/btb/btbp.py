@@ -58,6 +58,7 @@ class BTBP(BranchTargetBuffer):
         return self.install(entry)
 
     def state_dict(self) -> dict:
+        """Table state plus the per-source write counters (JSON-safe)."""
         state = super().state_dict()
         state["writes_by_source"] = {
             source.value: count for source, count in self.writes_by_source.items()
@@ -65,6 +66,7 @@ class BTBP(BranchTargetBuffer):
         return state
 
     def load_state_dict(self, state: dict) -> None:
+        """Restore table state and counters captured by ``state_dict``."""
         super().load_state_dict(state)
         self.writes_by_source = {
             WriteSource(name): count

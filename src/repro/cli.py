@@ -45,6 +45,7 @@ from repro.core.config import (
     ZEC12_CONFIG_2,
     ZEC12_CONFIG_3,
 )
+from repro.engine.batched import ENGINE_MODES
 from repro.engine.simulator import Simulator
 from repro.metrics.counters import cpi_improvement
 from repro.metrics.report import format_result
@@ -160,6 +161,7 @@ def _cmd_simulate(args) -> int:
                 trace, config=config, plan=_sampling_plan(args),
                 audit=auditor, telemetry=telemetry,
                 checkpoint_store=store, trace_key=trace_key,
+                engine_mode=args.engine,
             )
             result = sampled.result
             try:
@@ -173,8 +175,8 @@ def _cmd_simulate(args) -> int:
                       f"({args.checkpoint_dir})")
             print()
         else:
-            result = Simulator(config, audit=auditor,
-                               telemetry=telemetry).run(trace)
+            result = Simulator(config, audit=auditor, telemetry=telemetry,
+                               engine_mode=args.engine).run(trace)
         results.append(result)
         print(format_result(result))
         if telemetry is not None:
@@ -344,17 +346,22 @@ def _cmd_verify(args) -> int:
             tuple(workload_by_name(name).name for name in args.workloads)
             if args.workloads else None
         )
-        problems = compare_baseline(baseline, jobs=args.jobs,
-                                    workloads=workloads)
-        if problems:
-            for problem in problems:
-                print(f"golden: {problem}", file=sys.stderr)
-            failed = True
-        else:
-            checked = (len(baseline["workloads"])
-                       if workloads is None else len(workloads))
-            print(f"golden baseline: {checked} workload(s) within tolerance "
-                  f"(scale {baseline['scale']}, {golden_path})")
+        engines = (("object", "batched") if args.engine == "both"
+                   else (args.engine,))
+        for engine in engines:
+            problems = compare_baseline(baseline, jobs=args.jobs,
+                                        workloads=workloads,
+                                        engine_mode=engine)
+            if problems:
+                for problem in problems:
+                    print(f"golden[{engine}]: {problem}", file=sys.stderr)
+                failed = True
+            else:
+                checked = (len(baseline["workloads"])
+                           if workloads is None else len(workloads))
+                print(f"golden baseline[{engine}]: {checked} workload(s) "
+                      f"within tolerance (scale {baseline['scale']}, "
+                      f"{golden_path})")
 
     if failed:
         print("verify: FAILED", file=sys.stderr)
@@ -435,6 +442,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="Table 3 configurations to run (default: 1 2)",
     )
     simulate.add_argument("--scale", type=float, default=0.35)
+    simulate.add_argument(
+        "--engine", choices=ENGINE_MODES, default="auto",
+        help="simulation engine: 'object' is the per-record reference, "
+             "'batched' the chunked fast path (bit-identical), 'auto' "
+             "picks batched unless an observer flag needs per-record hooks "
+             "(default: auto)",
+    )
     _add_audit_argument(simulate)
     simulate.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -579,6 +593,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workloads", nargs="+", metavar="NAME", default=None,
         help="restrict the golden gate to these workloads "
              "(substring match; default: all recorded)",
+    )
+    verify.add_argument(
+        "--engine", choices=("object", "batched", "both"), default="both",
+        help="engine(s) the golden gate re-measures with; 'both' doubles "
+             "as the engine bit-identity check (default: both; the "
+             "differential campaign always uses the object engine — the "
+             "lockstep probe needs per-record hooks)",
     )
     verify.add_argument(
         "--skip-differential", action="store_true",

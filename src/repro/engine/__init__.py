@@ -1,5 +1,12 @@
 """Timing engine: penalty-model core simulator and multi-core proxy."""
 
+from repro.engine.batched import (
+    ENGINE_MODES,
+    BatchedSimulator,
+    resolve_engine_mode,
+    validate_engine_mode,
+    warm_run_batched,
+)
 from repro.engine.multicore import (
     MulticoreResult,
     hardware_timing,
@@ -11,13 +18,18 @@ from repro.engine.simulator import SimulationResult, Simulator, simulate
 
 __all__ = [
     "DEFAULT_TIMING",
+    "ENGINE_MODES",
+    "BatchedSimulator",
     "MulticoreResult",
     "SimulationResult",
     "Simulator",
     "TimingParams",
     "ZEC12_CHIP_CONFIG",
     "hardware_timing",
+    "resolve_engine_mode",
     "run_multicore",
     "simulate",
     "system_performance_gain",
+    "validate_engine_mode",
+    "warm_run_batched",
 ]

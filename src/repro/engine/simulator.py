@@ -38,6 +38,7 @@ from repro.core.config import PredictorConfig, ZEC12_CONFIG_2
 from repro.core.events import MissReport, OutcomeKind, Prediction, PredictionLevel
 from repro.core.hierarchy import FirstLevelPredictor, RowHit
 from repro.core.search import LookaheadSearch
+from repro.engine.batched import resolve_engine_mode, validate_engine_mode
 from repro.engine.params import DEFAULT_TIMING, TimingParams
 from repro.isa.address import block_address, sector_address
 from repro.metrics.counters import SimCounters
@@ -95,9 +96,11 @@ class Simulator:
         timing: TimingParams = DEFAULT_TIMING,
         audit: "Auditor | None" = None,
         telemetry: "Telemetry | None" = None,
+        engine_mode: str = "object",
     ) -> None:
         self.config = config
         self.timing = timing
+        self.engine_mode = validate_engine_mode(engine_mode)
         self.btb2 = (
             BTB2(rows=config.btb2_rows, ways=config.btb2_ways)
             if config.btb2_enabled
@@ -149,8 +152,29 @@ class Simulator:
 
     # -- public API ------------------------------------------------------------
 
+    def resolved_engine_mode(self) -> str:
+        """The concrete engine :meth:`run`/:meth:`warm_run` will use.
+
+        ``auto`` resolves to ``batched`` exactly when no per-record
+        observer (audit, telemetry, differential probe) is attached.
+        """
+        observed = (
+            self.audit is not None
+            or self.telemetry is not None
+            or self.probe is not None
+        )
+        return resolve_engine_mode(self.engine_mode, observed=observed)
+
     def run(self, records: Iterable[TraceRecord]) -> SimulationResult:
-        """Simulate ``records`` and return the collected results."""
+        """Simulate ``records`` and return the collected results.
+
+        Dispatches on :attr:`engine_mode`: the per-record object loop, or
+        the bit-identical batched core of :mod:`repro.engine.batched`.
+        """
+        if self.resolved_engine_mode() == "batched":
+            from repro.engine.batched import BatchedSimulator
+
+            return BatchedSimulator(self).run(records)
         for record in records:
             self.step(record)
         return self.finish()
@@ -289,7 +313,16 @@ class Simulator:
         one frame.  Warming throughput bounds sampled-simulation speedup
         (the detailed fraction is small), so this path is worth the
         duplication.
+
+        Under ``engine_mode in ("batched", "auto")`` the span is consumed
+        by :func:`repro.engine.batched.warm_run_batched`, which skips the
+        (effect-free) quiet records outright — also bit-identical.
         """
+        if self.resolved_engine_mode() == "batched":
+            from repro.engine.batched import warm_run_batched
+
+            warm_run_batched(self, records)
+            return
         hierarchy = self.hierarchy
         btb1 = hierarchy.btb1
         btb1_lookup = btb1.lookup
@@ -772,8 +805,10 @@ def simulate(
     timing: TimingParams = DEFAULT_TIMING,
     audit: "Auditor | None" = None,
     telemetry: "Telemetry | None" = None,
+    engine_mode: str = "object",
 ) -> SimulationResult:
     """Convenience one-call simulation of ``records`` under ``config``."""
     return Simulator(
-        config=config, timing=timing, audit=audit, telemetry=telemetry
+        config=config, timing=timing, audit=audit, telemetry=telemetry,
+        engine_mode=engine_mode,
     ).run(records)

@@ -105,7 +105,8 @@ _KNOWN_FIELDS = frozenset(f.name for f in dataclasses.fields(RunResult))
 
 def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
                     timing: TimingParams, scale: float,
-                    sampling: SamplingPlan | None = None) -> str:
+                    sampling: SamplingPlan | None = None,
+                    engine_mode: str = "object") -> str:
     """Stable cache key of one (workload, config, timing, scale) run.
 
     Any change to the workload's generator parameters, the configuration's
@@ -117,10 +118,18 @@ def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
     never be served from (or to) a full-detail run's cache slot.  Full runs
     keep their historical fingerprints (``sampling=None`` adds nothing to
     the payload).
+
+    ``engine_mode`` is fingerprinted the same way: only a non-default mode
+    extends the payload, so object-engine results keep their historical
+    keys while batched/auto results can never be served from (or poison) an
+    object run's slot — even though the engines are verified bit-identical,
+    the cache must not *assume* it.
     """
     payload = repr((spec, _config_key(config), dataclasses.astuple(timing), scale))
     if sampling is not None:
         payload += repr(("sampled", sampling.cache_key()))
+    if engine_mode != "object":
+        payload += repr(("engine", engine_mode))
     return hashlib.sha256(payload.encode()).hexdigest()[:20]
 
 
@@ -208,6 +217,7 @@ def run_workload(
     audit: bool | None = None,
     sampling: SamplingPlan | None = None,
     checkpoint_dir: str | None = None,
+    engine_mode: str = "object",
 ) -> RunResult:
     """Simulate ``spec`` under ``config``, using the on-disk result cache.
 
@@ -227,12 +237,18 @@ def run_workload(
     distinct fingerprint.  ``checkpoint_dir`` (sampled runs only) names a
     :class:`repro.sampling.CheckpointStore` so warmed interval states are
     created once and reused.
+
+    ``engine_mode`` selects the simulation engine
+    (:data:`repro.engine.batched.ENGINE_MODES`); results are verified
+    bit-identical across engines, but each mode caches under its own
+    fingerprint.
     """
     if scale is None:
         scale = default_scale()
     if audit is None:
         audit = audit_from_env()
-    key = run_fingerprint(spec, config, timing, scale, sampling)
+    key = run_fingerprint(spec, config, timing, scale, sampling,
+                          engine_mode=engine_mode)
     if not audit:
         cached = load_cached_run(key)
         if cached is not None:
@@ -251,6 +267,7 @@ def run_workload(
             trace, config=config, timing=timing, plan=sampling,
             audit=auditor, checkpoint_store=store,
             trace_key=trace_identity(spec, scale),
+            engine_mode=engine_mode,
         )
         result = sampled.result
         sampling_info = {
@@ -264,7 +281,8 @@ def run_workload(
             "checkpoints_saved": sampled.checkpoints_saved,
         }
     else:
-        result = Simulator(config=config, timing=timing, audit=auditor).run(trace)
+        result = Simulator(config=config, timing=timing, audit=auditor,
+                           engine_mode=engine_mode).run(trace)
     elapsed = time.perf_counter() - started
     run = RunResult(
         workload=spec.name,

@@ -72,6 +72,10 @@ class RunSpec:
     #: Checkpoint-store directory for sampled runs (not fingerprinted:
     #: checkpoints change wall time, never results).
     checkpoint_dir: str | None = None
+    #: Simulation engine (:data:`repro.engine.batched.ENGINE_MODES`).
+    #: Part of the fingerprint when non-default, so cached results never
+    #: mix across engines.
+    engine_mode: str = "object"
 
     def resolved_scale(self) -> float:
         """The concrete scale (``None`` defers to ``REPRO_SCALE``/1.0)."""
@@ -85,7 +89,7 @@ class RunSpec:
         """Result-cache fingerprint of this run."""
         return run_fingerprint(
             self.workload, self.config, self.timing, self.resolved_scale(),
-            self.sampling,
+            self.sampling, engine_mode=self.engine_mode,
         )
 
 
@@ -180,7 +184,7 @@ session_log = ExecutionLog()
 
 def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig, TimingParams,
                                float, bool, SamplingPlan | None,
-                               str | None]) -> RunResult:
+                               str | None, str]) -> RunResult:
     """Pool worker body: one cached simulation run.
 
     Must stay a module-level function so it pickles under every
@@ -188,9 +192,10 @@ def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig, TimingParams,
     first (audited runs excepted), so a run another worker already
     published is not repeated.
     """
-    spec, config, timing, scale, audit, sampling, checkpoint_dir = item
+    spec, config, timing, scale, audit, sampling, checkpoint_dir, engine = item
     return run_workload(spec, config, timing, scale, audit=audit,
-                        sampling=sampling, checkpoint_dir=checkpoint_dir)
+                        sampling=sampling, checkpoint_dir=checkpoint_dir,
+                        engine_mode=engine)
 
 
 def run_many(
@@ -233,7 +238,8 @@ def run_many(
 
     items = [
         (spec.workload, spec.config, spec.timing, spec.resolved_scale(),
-         spec.resolved_audit(), spec.sampling, spec.checkpoint_dir)
+         spec.resolved_audit(), spec.sampling, spec.checkpoint_dir,
+         spec.engine_mode)
         for _, spec in misses
     ]
     if len(items) <= 1 or jobs == 1:

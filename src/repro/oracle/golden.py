@@ -59,12 +59,19 @@ def measure_workloads(
     config: PredictorConfig = ZEC12_CONFIG_2,
     jobs: int | None = None,
     workloads: tuple[str, ...] | None = None,
+    engine_mode: str = "object",
 ) -> dict[str, dict]:
-    """Measure every catalog workload (cached, parallel); name -> metrics."""
+    """Measure every catalog workload (cached, parallel); name -> metrics.
+
+    ``engine_mode`` selects the simulation engine; the golden gate run
+    under ``batched`` doubles as the engine-equivalence check, since the
+    baseline file is recorded by the object engine.
+    """
     from repro.experiments.pool import RunSpec, run_many
 
     specs = [
-        RunSpec(workload=spec, config=config, scale=scale)
+        RunSpec(workload=spec, config=config, scale=scale,
+                engine_mode=engine_mode)
         for spec in TABLE4_WORKLOADS
         if workloads is None or spec.name in workloads
     ]
@@ -142,12 +149,15 @@ def compare_baseline(
     jobs: int | None = None,
     workloads: tuple[str, ...] | None = None,
     config: PredictorConfig = ZEC12_CONFIG_2,
+    engine_mode: str = "object",
 ) -> list[str]:
     """Re-measure and diff against ``baseline``; return all problems.
 
     Re-measurement happens at the baseline's own recorded scale, so the
     file is self-describing.  ``workloads`` restricts the check (smoke
     runs); a full gate checks every workload recorded in the file.
+    ``engine_mode="batched"`` re-measures with the batched engine, making
+    the gate a bit-identity check of the engines against each other.
     """
     relative = float(baseline.get("tolerances", {}).get("relative", 0.0))
     golden_workloads = baseline.get("workloads", {})
@@ -160,7 +170,7 @@ def compare_baseline(
         return ["no workloads selected from the golden baseline"]
     measured = measure_workloads(
         scale=float(baseline["scale"]), config=config, jobs=jobs,
-        workloads=tuple(selected),
+        workloads=tuple(selected), engine_mode=engine_mode,
     )
     problems = []
     for name in sorted(selected):

@@ -198,6 +198,7 @@ def run_sampled(
     telemetry: "Telemetry | None" = None,
     checkpoint_store: CheckpointStore | None = None,
     trace_key: str | None = None,
+    engine_mode: str = "object",
 ) -> SampledResult:
     """Simulate ``trace`` under ``plan`` and extrapolate whole-trace metrics.
 
@@ -208,6 +209,10 @@ def run_sampled(
     saved on first computation and loaded — skipping the functional
     fast-forward — on reruns.  Records after the last measured interval are
     never touched: they cannot affect any measurement.
+
+    ``engine_mode`` selects the engine for the functional fast-forward
+    (``warm_run``); measured intervals always step per record, so the
+    estimates are bit-identical across modes.
     """
     if plan is None:
         plan = SamplingPlan()
@@ -220,7 +225,7 @@ def run_sampled(
             f"run it in full instead"
         )
     sim = Simulator(config=config, timing=timing, audit=audit,
-                    telemetry=telemetry)
+                    telemetry=telemetry, engine_mode=engine_mode)
     model = sim.model_fingerprint()
     plan_key = plan.cache_key()
     use_store = checkpoint_store is not None and trace_key is not None

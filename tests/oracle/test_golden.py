@@ -38,7 +38,8 @@ def measured(monkeypatch):
     """Patch re-measurement to return a controllable dict."""
     store = {}
 
-    def fake_measure(scale, config=None, jobs=None, workloads=None):
+    def fake_measure(scale, config=None, jobs=None, workloads=None,
+                     engine_mode="object"):
         return {
             name: block for name, block in store.items()
             if workloads is None or name in workloads

@@ -177,7 +177,8 @@ class TestVerifyCommand:
         path = tmp_path / "gold.json"
         golden.write_baseline(path, doctored)
 
-        def fake_measure(scale, config=None, jobs=None, workloads=None):
+        def fake_measure(scale, config=None, jobs=None, workloads=None,
+                         engine_mode="object"):
             return {name: real["workloads"][name]}
 
         monkeypatch.setattr(golden, "measure_workloads", fake_measure)
@@ -185,7 +186,7 @@ class TestVerifyCommand:
                      "--golden", str(path), "--workloads", "TPF"])
         assert code == 1
         err = capsys.readouterr().err
-        assert "golden:" in err and "cpi" in err
+        assert "golden[object]:" in err and "cpi" in err
         assert "verify: FAILED" in err
 
     def test_golden_gate_passes_when_measurement_matches(
@@ -196,7 +197,8 @@ class TestVerifyCommand:
         real = golden.load_baseline(golden.GOLDEN_PATH)
         name = "TPF airline reservations"
 
-        def fake_measure(scale, config=None, jobs=None, workloads=None):
+        def fake_measure(scale, config=None, jobs=None, workloads=None,
+                         engine_mode="object"):
             return {name: real["workloads"][name]}
 
         monkeypatch.setattr(golden, "measure_workloads", fake_measure)
@@ -231,4 +233,9 @@ class TestVerifyEndToEnd:
         out = capsys.readouterr().out
         assert "mutation drill: caught" in out
         assert out.count("differential: no divergence") == 3
-        assert "golden baseline: 13 workload(s) within tolerance" in out
+        # The golden gate re-measures with both engines by default, making
+        # it a bit-identity check of batched against object.
+        assert ("golden baseline[object]: 13 workload(s) within tolerance"
+                in out)
+        assert ("golden baseline[batched]: 13 workload(s) within tolerance"
+                in out)

@@ -1,8 +1,9 @@
 """Documentation integrity, wired into the fast suite.
 
 Runs the checks of ``scripts/check_docs.py`` against the repository:
-every intra-repo markdown link resolves, and every ``src/repro`` package
-is mentioned in ``docs/ARCHITECTURE.md``.
+every intra-repo markdown link resolves, every ``src/repro`` package is
+mentioned in ``docs/ARCHITECTURE.md``, registered headings exist, and
+the hot-path packages keep full public docstring coverage.
 """
 
 from __future__ import annotations
@@ -42,6 +43,47 @@ def test_required_headings_cover_observability_docs():
             in check_docs.REQUIRED_HEADINGS["docs/ARCHITECTURE.md"])
     assert ("## Tracing, timelines, and profiles"
             in check_docs.REQUIRED_HEADINGS["docs/EXPERIMENTS.md"])
+
+
+def test_performance_doc_is_registered():
+    # docs/PERFORMANCE.md is load-bearing: the README, ARCHITECTURE.md,
+    # and the bench modules all point readers at its sections.
+    headings = check_docs.REQUIRED_HEADINGS["docs/PERFORMANCE.md"]
+    assert "## The fast/slow path contract" in headings
+    assert "## Reading the BENCH files" in headings
+    assert ("## Batched engine core"
+            in check_docs.REQUIRED_HEADINGS["docs/ARCHITECTURE.md"])
+
+
+def test_docstring_coverage_clean():
+    assert check_docs.check_docstring_coverage(REPO_ROOT) == []
+
+
+def test_docstring_coverage_floor_packages():
+    # The engine and BTB packages are the documented hot path; the
+    # coverage floor must keep including them.
+    assert "engine" in check_docs.DOCSTRING_PACKAGES
+    assert "btb" in check_docs.DOCSTRING_PACKAGES
+
+
+def test_docstring_coverage_reports_missing(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "engine"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text('"""pkg."""\n')
+    (pkg / "bare.py").write_text(
+        "def visible():\n    pass\n\n"
+        "class Thing:\n"
+        '    """doc."""\n'
+        "    def method(self):\n        pass\n"
+        "    def _private(self):\n        pass\n"
+    )
+    problems = check_docs.check_docstring_coverage(tmp_path)
+    assert any("bare.py: missing module docstring" in p for p in problems)
+    assert any("missing docstring on 'visible'" in p for p in problems)
+    assert any("missing docstring on 'Thing.method'" in p for p in problems)
+    assert not any("_private" in p for p in problems)
+    assert any("src/repro/btb: package does not exist" in p
+               for p in problems)
 
 
 def test_required_headings_reports_missing(tmp_path):
