@@ -52,6 +52,7 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Auditing & invariants",
         "## Sampling & checkpoints",
         "## Batched engine core",
+        "## Checkpoint-parallel simulation",
         "## Verification",
     ),
     "docs/PERFORMANCE.md": (
@@ -60,6 +61,7 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## The fast/slow path contract",
         "## Benchmark methodology",
         "## Measured throughput",
+        "## Interval scaling: the checkpoint-parallel fan-out",
         "## Reading the BENCH files",
     ),
     "docs/TESTING.md": (
@@ -73,6 +75,7 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Tracing, timelines, and profiles",
         "## Auditing and fuzzing: `--audit` / `REPRO_AUDIT`",
         "## Sampled runs and checkpoints: `--sampled` / `repro checkpoint`",
+        "## Checkpoint-parallel runs: `--parallel-intervals` / `--backend`",
     ),
 }
 

@@ -7,7 +7,9 @@ Commands:
   ``--profile`` attach the telemetry subsystem and export its artifacts;
   ``--sampled`` switches to interval sampling (``--interval``/``--period``/
   ``--warmup``/``--sampling-mode``, checkpoint reuse via
-  ``--checkpoint-dir``).
+  ``--checkpoint-dir``); ``--parallel-intervals K`` cuts the trace into K
+  checkpoint-parallel slices fanned out over ``--backend`` (bit-identical
+  to serial in exact mode, CI-bounded when combined with ``--sampled``).
 * ``checkpoint`` — create, list or clear the warmed-state checkpoints a
   sampled run reuses.
 * ``workloads`` — list the Table 4 workload catalog (paper counters).
@@ -22,9 +24,11 @@ Commands:
   the top-K worst-offenders report.
 * ``verify`` — the conformance gate (:mod:`repro.oracle`): mutation drill
   (prove the oracle catches a seeded LRU bug), lockstep differential runs
-  against the reference model on real workload traces, and the golden
-  per-workload baseline under ``tests/golden/``; ``--update-golden``
-  regenerates the baseline after an intended behavior change.
+  against the reference model on real workload traces, the golden
+  per-workload baseline under ``tests/golden/``, and the
+  checkpoint-parallel gate (every workload serial vs parallel, demanding
+  bit-identity); ``--update-golden`` regenerates the baseline after an
+  intended behavior change.
 
 Everything the CLI does is also available as a library API; the CLI is a
 thin argparse layer over :mod:`repro.experiments` and
@@ -155,7 +159,34 @@ def _cmd_simulate(args) -> int:
         config = CONFIGS[key]
         auditor = Auditor() if args.audit else None
         telemetry = _build_telemetry(args)
-        if args.sampled:
+        if args.parallel_intervals is not None:
+            if args.audit:
+                print("--audit cannot combine with --parallel-intervals: "
+                      "per-record audit hooks do not cross worker process "
+                      "boundaries", file=sys.stderr)
+                return 2
+            from repro.sampling import ParallelPlan, TraceSource, run_parallel
+
+            store, trace_key = _checkpoint_context(args, spec)
+            stitched = run_parallel(
+                TraceSource.for_workload(spec, args.scale),
+                config=config,
+                plan=ParallelPlan(intervals=args.parallel_intervals),
+                sampling=_sampling_plan(args) if args.sampled else None,
+                checkpoint_store=store, trace_key=trace_key,
+                engine_mode=args.engine, backend=args.backend,
+                telemetry=telemetry,
+            )
+            result = stitched.result
+            print(stitched.describe())
+            if stitched.sampled is not None:
+                try:
+                    print(error_report(stitched.sampled, max_ci=args.max_ci))
+                except ConfidenceBoundExceeded as refusal:
+                    print(refusal, file=sys.stderr)
+                    return 1
+            print()
+        elif args.sampled:
             store, trace_key = _checkpoint_context(args, spec)
             sampled = run_sampled(
                 trace, config=config, plan=_sampling_plan(args),
@@ -228,11 +259,19 @@ def _cmd_profile(args) -> int:
 def _cmd_checkpoint(args) -> int:
     store = CheckpointStore(args.dir)
     if args.action == "list":
-        entries = store.entries()
-        total = sum(path.stat().st_size for path in entries)
-        for path in entries:
-            print(f"{path.stat().st_size:12,d}  {path.name}")
-        print(f"{len(entries)} checkpoint(s), {total:,} bytes in {args.dir}")
+        # A concurrent clear/writer can unlink an entry between the listing
+        # and the stat; treat a vanished file as absent, not a crash.
+        listed = 0
+        total = 0
+        for path in store.entries():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            listed += 1
+            total += size
+            print(f"{size:12,d}  {path.name}")
+        print(f"{listed} checkpoint(s), {total:,} bytes in {args.dir}")
         return 0
     if args.action == "clear":
         removed = store.clear()
@@ -309,6 +348,7 @@ def _cmd_verify(args) -> int:
     from repro.oracle.golden import (
         build_baseline,
         compare_baseline,
+        compare_parallel,
         load_baseline,
         write_baseline,
     )
@@ -340,12 +380,12 @@ def _cmd_verify(args) -> int:
             if result.diverged:
                 failed = True
 
+    workloads = (
+        tuple(workload_by_name(name).name for name in args.workloads)
+        if args.workloads else None
+    )
     if not args.skip_golden:
         baseline = load_baseline(golden_path)
-        workloads = (
-            tuple(workload_by_name(name).name for name in args.workloads)
-            if args.workloads else None
-        )
         engines = (("object", "batched") if args.engine == "both"
                    else (args.engine,))
         for engine in engines:
@@ -362,6 +402,20 @@ def _cmd_verify(args) -> int:
                 print(f"golden baseline[{engine}]: {checked} workload(s) "
                       f"within tolerance (scale {baseline['scale']}, "
                       f"{golden_path})")
+
+    if not args.skip_parallel:
+        problems = compare_parallel(jobs=args.jobs, workloads=workloads,
+                                    intervals=args.parallel_intervals,
+                                    backend=args.backend)
+        if problems:
+            for problem in problems:
+                print(f"parallel: {problem}", file=sys.stderr)
+            failed = True
+        else:
+            checked = len(workloads) if workloads else len(TABLE4_WORKLOADS)
+            print(f"parallel gate: {checked} workload(s) bit-identical "
+                  f"serial vs {args.parallel_intervals} checkpoint-parallel "
+                  f"slices")
 
     if failed:
         print("verify: FAILED", file=sys.stderr)
@@ -488,6 +542,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint store for sampled runs: warmed interval states are "
              "saved on first run and reused afterwards",
     )
+    simulate.add_argument(
+        "--parallel-intervals", type=int, default=None, metavar="K",
+        help="checkpoint-parallel simulation: cut the trace into K slices "
+             "resumed from exact boundary checkpoints and fanned out over "
+             "--backend (bit-identical to serial; with --sampled, runs the "
+             "sampling plan's intervals in K chunks instead)",
+    )
+    simulate.add_argument(
+        "--backend", choices=("serial", "process"), default=None,
+        help="execution backend for the parallel fan-out "
+             "(default: $REPRO_BACKEND or process)",
+    )
 
     checkpoint = sub.add_parser(
         "checkpoint", help="manage warmed-state checkpoints for sampled runs"
@@ -612,6 +678,20 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--skip-mutation-drill", action="store_true",
         help="skip the seeded-mutation self-check of the oracle",
+    )
+    verify.add_argument(
+        "--skip-parallel", action="store_true",
+        help="skip the serial-vs-checkpoint-parallel bit-identity gate",
+    )
+    verify.add_argument(
+        "--parallel-intervals", type=int, default=4, metavar="K",
+        help="slice count the parallel gate cuts each trace into "
+             "(default: 4)",
+    )
+    verify.add_argument(
+        "--backend", choices=("serial", "process"), default=None,
+        help="execution backend for the parallel gate's fan-out "
+             "(default: $REPRO_BACKEND or process)",
     )
     _add_jobs_argument(verify)
 

@@ -7,6 +7,14 @@ the concurrency-safe on-disk result cache of
 processes via :mod:`repro.experiments.pool` (``--jobs`` / ``REPRO_JOBS``).
 """
 
+from repro.experiments.backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    default_backend_name,
+    resolve_backend,
+)
 from repro.experiments.common import (
     RunResult,
     geometric_mean,
@@ -36,8 +44,10 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BAR_SEGMENTS",
     "BTB2_SIZES",
+    "Backend",
     "ExecutionLog",
     "Figure2Row",
     "Figure3Row",
@@ -46,10 +56,14 @@ __all__ = [
     "Figure6Point",
     "Figure7Point",
     "MISS_LIMITS",
+    "ProcessBackend",
     "RunResult",
     "RunSpec",
+    "SerialBackend",
     "TRACKER_COUNTS",
+    "default_backend_name",
     "effective_jobs",
+    "resolve_backend",
     "geometric_mean",
     "mean",
     "parallel_map",

@@ -1,0 +1,119 @@
+"""Pluggable execution backends for batch dispatch.
+
+One small seam — :class:`Backend` — behind which every fan-out in the repo
+dispatches: the run-matrix pool (:mod:`repro.experiments.pool`) and the
+checkpoint-parallel interval fan-out (:mod:`repro.sampling.parallel`).  Two
+backends exist today:
+
+* ``serial`` — in-process, deterministic ordering, zero setup cost.  The
+  right choice for tiny batches, debugging, and environments without
+  ``multiprocessing`` (or already inside a pool worker).
+* ``process`` — a ``multiprocessing`` pool (fork context where available).
+  The default for real batches.
+
+The registry keys are stable strings so a backend choice can travel
+through :class:`~repro.experiments.pool.RunSpec` fields, CLI flags
+(``--backend``), the ``REPRO_BACKEND`` environment variable, and result
+cache fingerprints.  A future multi-host backend slots in by registering
+a new name here; nothing else in the dispatch path changes.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+both ``experiments`` and ``sampling`` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable supplying the default backend name.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+class Backend:
+    """One way to execute a batch of independent picklable tasks.
+
+    Implementations provide :meth:`map`: an order-preserving map of a
+    module-level callable over a list of picklable items with at most
+    ``jobs`` tasks in flight.  Results must come back in input order so
+    callers can zip them against their request lists.
+    """
+
+    #: Stable registry name (also the CLI/env spelling).
+    name: str = "?"
+
+    def map(self, function: Callable[[T], R], items: Sequence[T],
+            jobs: int = 1) -> list[R]:
+        """Execute ``function`` over ``items``; results in input order."""
+        raise NotImplementedError
+
+
+class SerialBackend(Backend):
+    """In-process, one item at a time.  ``jobs`` is accepted and ignored."""
+
+    name = "serial"
+
+    def map(self, function: Callable[[T], R], items: Sequence[T],
+            jobs: int = 1) -> list[R]:
+        """Apply ``function`` to each item in order, in this process."""
+        return [function(item) for item in items]
+
+
+class ProcessBackend(Backend):
+    """A ``multiprocessing`` pool (fork context where the platform has it).
+
+    Degrades to serial execution when only one task (or one worker) is
+    requested, and when already running inside a daemonized pool worker —
+    daemonic processes cannot spawn children, and a nested fan-out gains
+    nothing over running its slices inline.
+    """
+
+    name = "process"
+
+    def map(self, function: Callable[[T], R], items: Sequence[T],
+            jobs: int = 1) -> list[R]:
+        """Map over a process pool, preserving order; serial when trivial."""
+        items = list(items)
+        jobs = min(max(1, jobs), len(items)) if items else 1
+        if jobs == 1 or len(items) <= 1 \
+                or multiprocessing.current_process().daemon:
+            return [function(item) for item in items]
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with context.Pool(processes=jobs) as pool:
+            return pool.map(function, items)
+
+
+#: Registry of available backends, by stable name.
+BACKENDS: dict[str, Backend] = {
+    backend.name: backend for backend in (SerialBackend(), ProcessBackend())
+}
+
+
+def default_backend_name() -> str:
+    """The backend used when none is requested (env override or process)."""
+    name = os.environ.get(BACKEND_ENV, "").strip()
+    return name if name else ProcessBackend.name
+
+
+def resolve_backend(backend: "str | Backend | None" = None) -> Backend:
+    """Resolve a backend argument to a concrete :class:`Backend`.
+
+    Precedence: an explicit :class:`Backend` instance, then a registry
+    name, then ``$REPRO_BACKEND``, then ``process``.  Unknown names raise
+    ``ValueError`` listing the registry.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    name = backend if backend else default_backend_name()
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None

@@ -37,7 +37,15 @@ from repro.core.config import PredictorConfig
 from repro.core.events import OutcomeKind
 from repro.engine.params import DEFAULT_TIMING, TimingParams
 from repro.engine.simulator import Simulator
-from repro.sampling import CheckpointStore, SamplingPlan, run_sampled
+from repro.experiments.backends import resolve_backend
+from repro.sampling import (
+    CheckpointStore,
+    ParallelPlan,
+    SamplingPlan,
+    TraceSource,
+    run_parallel,
+    run_sampled,
+)
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec, default_scale
 
 #: Environment variable overriding the result-cache directory
@@ -67,6 +75,12 @@ class RunResult:
     #: Part of equality: a sampled estimate is a different scientific
     #: object from a full measurement and must never compare equal to one.
     sampling: dict | None = None
+    #: Checkpoint-parallel execution provenance (mode, slice count,
+    #: backend, checkpoint traffic); ``None`` for serial runs.  Excluded
+    #: from equality on purpose: an exact-mode parallel run is
+    #: bit-identical to its serial twin, and the ``repro verify`` parallel
+    #: gate asserts exactly that via ``==``.
+    parallel: dict | None = field(default=None, compare=False)
     #: Wall-clock seconds the producing simulation took (0 when unknown).
     wall_seconds: float = field(default=0.0, compare=False)
     #: Name of the process that simulated this run (e.g. ``MainProcess`` or
@@ -106,7 +120,9 @@ _KNOWN_FIELDS = frozenset(f.name for f in dataclasses.fields(RunResult))
 def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
                     timing: TimingParams, scale: float,
                     sampling: SamplingPlan | None = None,
-                    engine_mode: str = "object") -> str:
+                    engine_mode: str = "object",
+                    parallel: ParallelPlan | None = None,
+                    backend: str | None = None) -> str:
     """Stable cache key of one (workload, config, timing, scale) run.
 
     Any change to the workload's generator parameters, the configuration's
@@ -124,12 +140,23 @@ def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
     keys while batched/auto results can never be served from (or poison) an
     object run's slot — even though the engines are verified bit-identical,
     the cache must not *assume* it.
+
+    ``parallel`` follows the same append-only rule: a checkpoint-parallel
+    run keys on its plan (K) *and* the resolved backend name, so a serial
+    run's cache slot is never served for a parallel spec and vice versa —
+    exact-mode parity between the two slots is something ``repro verify``
+    proves, not something the cache presumes.  ``backend`` extends the
+    payload only alongside ``parallel``: for serial runs it is pure
+    execution plumbing with no bearing on the result.
     """
     payload = repr((spec, _config_key(config), dataclasses.astuple(timing), scale))
     if sampling is not None:
         payload += repr(("sampled", sampling.cache_key()))
     if engine_mode != "object":
         payload += repr(("engine", engine_mode))
+    if parallel is not None:
+        payload += repr(("parallel", parallel.cache_key(),
+                         resolve_backend(backend).name))
     return hashlib.sha256(payload.encode()).hexdigest()[:20]
 
 
@@ -218,6 +245,8 @@ def run_workload(
     sampling: SamplingPlan | None = None,
     checkpoint_dir: str | None = None,
     engine_mode: str = "object",
+    parallel: ParallelPlan | None = None,
+    backend: str | None = None,
 ) -> RunResult:
     """Simulate ``spec`` under ``config``, using the on-disk result cache.
 
@@ -242,25 +271,76 @@ def run_workload(
     (:data:`repro.engine.batched.ENGINE_MODES`); results are verified
     bit-identical across engines, but each mode caches under its own
     fingerprint.
+
+    ``parallel`` switches execution to checkpoint-parallel interval
+    simulation (:func:`repro.sampling.run_parallel`): the trace is cut
+    into K slices fanned out over ``backend``, and the stitched result
+    caches under its own fingerprint.  Combined with ``sampling`` the
+    slices run the sampling plan's intervals (CI-bounded estimates);
+    alone, the run is exact — bit-identical to the serial path.
+    Parallel runs cannot be audited: per-record audit hooks do not cross
+    worker process boundaries, and silently skipping them would defeat
+    the point of ``audit``.
     """
     if scale is None:
         scale = default_scale()
     if audit is None:
         audit = audit_from_env()
+    if parallel is not None and audit:
+        raise ValueError(
+            "audited runs cannot be checkpoint-parallel: audit hooks are "
+            "per-record and do not cross worker process boundaries; drop "
+            "--parallel-intervals or the audit flag"
+        )
     key = run_fingerprint(spec, config, timing, scale, sampling,
-                          engine_mode=engine_mode)
+                          engine_mode=engine_mode, parallel=parallel,
+                          backend=backend)
     if not audit:
         cached = load_cached_run(key)
         if cached is not None:
             return cached
 
-    trace = spec.trace(scale)
-    if not trace:
-        raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
     started = time.perf_counter()
     auditor = Auditor() if audit else None
     sampling_info: dict | None = None
-    if sampling is not None:
+    parallel_info: dict | None = None
+    if parallel is not None:
+        store = (CheckpointStore(checkpoint_dir)
+                 if checkpoint_dir is not None else None)
+        stitched = run_parallel(
+            TraceSource.for_workload(spec, scale),
+            config=config, timing=timing, plan=parallel, sampling=sampling,
+            checkpoint_store=store, trace_key=trace_identity(spec, scale),
+            engine_mode=engine_mode, backend=backend,
+        )
+        result = stitched.result
+        parallel_info = {
+            "mode": stitched.mode,
+            "plan_key": list(stitched.plan.cache_key()),
+            "backend": stitched.backend,
+            "slices": len(stitched.outcomes),
+            "exact": stitched.exact,
+            "warm_fallbacks": stitched.warm_fallbacks,
+            "produced_records": stitched.produced_records,
+            "checkpoints_loaded": stitched.checkpoints_loaded,
+            "checkpoints_saved": stitched.checkpoints_saved,
+        }
+        if stitched.sampled is not None:
+            sampled = stitched.sampled
+            sampling_info = {
+                "plan": sampled.plan.describe(),
+                "plan_key": list(sampled.plan.cache_key()),
+                "intervals": len(sampled.measurements),
+                "detailed_records": sampled.detailed_records,
+                "cpi_ci": sampled.cpi_ci,
+                "bad_outcome_ci": sampled.bad_outcome_ci,
+                "checkpoints_loaded": sampled.checkpoints_loaded,
+                "checkpoints_saved": sampled.checkpoints_saved,
+            }
+    elif sampling is not None:
+        trace = spec.trace(scale)
+        if not trace:
+            raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
         store = (CheckpointStore(checkpoint_dir)
                  if checkpoint_dir is not None else None)
         sampled = run_sampled(
@@ -281,6 +361,9 @@ def run_workload(
             "checkpoints_saved": sampled.checkpoints_saved,
         }
     else:
+        trace = spec.trace(scale)
+        if not trace:
+            raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
         result = Simulator(config=config, timing=timing, audit=auditor,
                            engine_mode=engine_mode).run(trace)
     elapsed = time.perf_counter() - started
@@ -296,6 +379,7 @@ def run_workload(
         },
         preload_stats=dict(result.preload_stats),
         sampling=sampling_info,
+        parallel=parallel_info,
         wall_seconds=elapsed,
         worker=multiprocessing.current_process().name,
     )

@@ -6,15 +6,21 @@ of :mod:`repro.experiments.common` is safe under concurrent writers
 (atomic temp-file-then-rename publication, one file per fingerprint,
 tolerant reads).  This module exploits that:
 
-* :class:`RunSpec` names one run by its four inputs;
+* :class:`RunSpec` names one run by its full cache-key inputs;
 * :func:`run_many` takes a batch of specs, deduplicates them by cache
   fingerprint, serves what it can from the cache, and simulates only the
-  misses — serially, or fanned out over a ``multiprocessing`` pool;
+  misses — dispatched through a pluggable execution
+  :class:`~repro.experiments.backends.Backend` (``serial``, ``process``);
 * :func:`parallel_map` is the generic sibling for non-``RunResult`` work
   (e.g. trace statistics for Table 4);
 * a session :class:`ExecutionLog` records per-run wall time, throughput
   and worker attribution so ``run_all`` can summarize how the batch
   actually executed.
+
+Specs carrying a checkpoint-parallel plan (``RunSpec.parallel``) are
+executed in the orchestrating process, not shipped to a pool worker: such
+a run performs its *own* fan-out (:func:`repro.sampling.run_parallel`),
+and a daemonized pool worker cannot spawn the children it needs.
 
 Worker count resolution (everywhere a ``jobs`` argument appears):
 an explicit positive integer wins; ``None`` defers to the ``REPRO_JOBS``
@@ -28,7 +34,6 @@ corrupt the cache or return different scientific payloads.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
@@ -37,13 +42,14 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from repro.audit import audit_from_env
 from repro.core.config import PredictorConfig
 from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.backends import Backend, resolve_backend
 from repro.experiments.common import (
     RunResult,
     load_cached_run,
     run_fingerprint,
     run_workload,
 )
-from repro.sampling import SamplingPlan
+from repro.sampling import ParallelPlan, SamplingPlan
 from repro.workloads.catalog import WorkloadSpec, default_scale
 
 #: Environment variable supplying the default worker count for batch runs.
@@ -76,6 +82,15 @@ class RunSpec:
     #: Part of the fingerprint when non-default, so cached results never
     #: mix across engines.
     engine_mode: str = "object"
+    #: Checkpoint-parallel plan; ``None`` runs serially.  Part of the
+    #: fingerprint (with the resolved backend name): a parallel run's
+    #: cache slot is distinct from its serial twin's, even though exact
+    #: mode is verified bit-identical.
+    parallel: ParallelPlan | None = None
+    #: Execution backend name for the parallel fan-out (``None`` defers to
+    #: ``REPRO_BACKEND``/``process``).  Fingerprinted only alongside
+    #: ``parallel``.
+    backend: str | None = None
 
     def resolved_scale(self) -> float:
         """The concrete scale (``None`` defers to ``REPRO_SCALE``/1.0)."""
@@ -90,6 +105,7 @@ class RunSpec:
         return run_fingerprint(
             self.workload, self.config, self.timing, self.resolved_scale(),
             self.sampling, engine_mode=self.engine_mode,
+            parallel=self.parallel, backend=self.backend,
         )
 
 
@@ -184,7 +200,8 @@ session_log = ExecutionLog()
 
 def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig, TimingParams,
                                float, bool, SamplingPlan | None,
-                               str | None, str]) -> RunResult:
+                               str | None, str, ParallelPlan | None,
+                               str | None]) -> RunResult:
     """Pool worker body: one cached simulation run.
 
     Must stay a module-level function so it pickles under every
@@ -192,29 +209,42 @@ def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig, TimingParams,
     first (audited runs excepted), so a run another worker already
     published is not repeated.
     """
-    spec, config, timing, scale, audit, sampling, checkpoint_dir, engine = item
+    (spec, config, timing, scale, audit, sampling, checkpoint_dir, engine,
+     parallel, backend) = item
     return run_workload(spec, config, timing, scale, audit=audit,
                         sampling=sampling, checkpoint_dir=checkpoint_dir,
-                        engine_mode=engine)
+                        engine_mode=engine, parallel=parallel,
+                        backend=backend)
+
+
+def _spec_item(spec: RunSpec) -> tuple:
+    """The picklable ``_simulate_spec`` argument for one spec."""
+    return (spec.workload, spec.config, spec.timing, spec.resolved_scale(),
+            spec.resolved_audit(), spec.sampling, spec.checkpoint_dir,
+            spec.engine_mode, spec.parallel, spec.backend)
 
 
 def run_many(
     specs: Iterable[RunSpec],
     jobs: int | None = None,
     log: ExecutionLog | None = None,
+    backend: "str | Backend | None" = None,
 ) -> list[RunResult]:
     """Execute a batch of runs, deduplicated and cache-first.
 
     Returns one :class:`RunResult` per input spec, in input order
     (duplicate specs share the single result object).  Cache hits are
-    served without simulation; misses are simulated serially when the
-    resolved worker count is 1 (or only one miss exists), otherwise fanned
-    out over a process pool.  Every batch is folded into ``log``
-    (default: the module :data:`session_log`).
+    served without simulation; misses dispatch through ``backend``
+    (default: ``$REPRO_BACKEND``/``process``) with at most ``jobs`` in
+    flight — except specs carrying a :class:`ParallelPlan`, which run in
+    this process because their own interval fan-out needs to spawn
+    workers, and a daemonized pool child cannot.  Every batch is folded
+    into ``log`` (default: the module :data:`session_log`).
     """
     ordered = list(specs)
     jobs = effective_jobs(jobs)
     log = session_log if log is None else log
+    chosen = resolve_backend(backend)
     started = time.perf_counter()
 
     # Deduplicate by fingerprint, preserving first-seen order.
@@ -236,17 +266,19 @@ def run_many(
     hits = len(results)
     bypassed = sum(1 for spec in unique.values() if spec.resolved_audit())
 
-    items = [
-        (spec.workload, spec.config, spec.timing, spec.resolved_scale(),
-         spec.resolved_audit(), spec.sampling, spec.checkpoint_dir,
-         spec.engine_mode)
-        for _, spec in misses
-    ]
+    pooled = [(key, spec) for key, spec in misses if spec.parallel is None]
+    local = [(key, spec) for key, spec in misses if spec.parallel is not None]
+
+    items = [_spec_item(spec) for _, spec in pooled]
     if len(items) <= 1 or jobs == 1:
         simulated = [_simulate_spec(item) for item in items]
     else:
-        simulated = _dispatch(items, min(jobs, len(items)))
-    for (key, _), run in zip(misses, simulated):
+        simulated = chosen.map(_simulate_spec, items, min(jobs, len(items)))
+    for (key, _), run in zip(pooled, simulated):
+        results[key] = run
+    for key, spec in local:
+        run = _simulate_spec(_spec_item(spec))
+        simulated.append(run)
         results[key] = run
 
     log.record_batch(simulated, hits, time.perf_counter() - started, jobs,
@@ -254,36 +286,21 @@ def run_many(
     return [results[key] for key in keys]
 
 
-def _dispatch(items: list[tuple], jobs: int) -> list[RunResult]:
-    """Map the miss list over a process pool, preserving order.
-
-    Uses the fork context where the platform offers it (cheap, inherits
-    warmed trace caches in memory-mapped form); falls back to the platform
-    default elsewhere.  ``maxtasksperchild`` is left unbounded: workers are
-    pure functions of their arguments and benefit from staying warm.
-    """
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with context.Pool(processes=jobs) as pool:
-        return pool.map(_simulate_spec, items)
-
-
 def parallel_map(
     function: Callable[[T], R],
     items: Sequence[T],
     jobs: int | None = None,
+    backend: "str | Backend | None" = None,
 ) -> list[R]:
-    """Order-preserving map over a process pool (serial when jobs == 1).
+    """Order-preserving map through an execution backend.
 
     ``function`` must be a picklable module-level callable and ``items``
     picklable values.  Used for embarrassingly parallel non-simulation
-    work, e.g. per-workload trace statistics in Table 4.
+    work, e.g. per-workload trace statistics in Table 4.  ``backend``
+    resolves like everywhere else (``$REPRO_BACKEND``/``process``); the
+    process backend degrades to in-process execution when ``jobs`` is 1
+    or a single item is passed.
     """
     items = list(items)
     jobs = min(effective_jobs(jobs), max(1, len(items)))
-    if jobs == 1 or len(items) <= 1:
-        return [function(item) for item in items]
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with context.Pool(processes=jobs) as pool:
-        return pool.map(function, items)
+    return resolve_backend(backend).map(function, items, jobs)

@@ -181,3 +181,66 @@ def compare_baseline(
             _compare_block(name, measured[name], selected[name], relative)
         )
     return problems
+
+
+def compare_parallel(
+    scale: float = GOLDEN_SCALE,
+    config: PredictorConfig = ZEC12_CONFIG_2,
+    jobs: int | None = None,
+    workloads: tuple[str, ...] | None = None,
+    intervals: int = 4,
+    backend: str | None = None,
+) -> list[str]:
+    """Prove exact-mode checkpoint-parallel runs equal their serial twins.
+
+    Runs every selected catalog workload twice — serially and cut into
+    ``intervals`` checkpoint-parallel slices over ``backend`` — and
+    demands the :class:`RunResult` pairs compare **equal**: same counters,
+    same CPI, same outcome fractions, bit for bit.  Exact-mode parallelism
+    is a pure execution-strategy change; any drift here is a stitching or
+    checkpoint-lineage bug, so there is no tolerance to configure.
+
+    Returns a list of problems (empty = every workload is bit-identical).
+    The two run families live in distinct result-cache slots, so a cached
+    serial result can never satisfy (or poison) the parallel side of the
+    comparison.
+    """
+    from repro.experiments.pool import RunSpec, run_many
+    from repro.sampling import ParallelPlan
+
+    selected = [
+        spec for spec in TABLE4_WORKLOADS
+        if workloads is None or spec.name in workloads
+    ]
+    if not selected:
+        return ["no workloads selected for the parallel gate"]
+    plan = ParallelPlan(intervals=intervals)
+    serial_specs = [
+        RunSpec(workload=spec, config=config, scale=scale, audit=False)
+        for spec in selected
+    ]
+    parallel_specs = [
+        RunSpec(workload=spec, config=config, scale=scale, audit=False,
+                parallel=plan, backend=backend)
+        for spec in selected
+    ]
+    runs = run_many(serial_specs + parallel_specs, jobs=jobs)
+    problems = []
+    for spec, serial, parallel in zip(
+        selected, runs[:len(selected)], runs[len(selected):]
+    ):
+        info = parallel.parallel or {}
+        if not info.get("exact", False):
+            problems.append(
+                f"{spec.name}: parallel run degraded to functional warming "
+                f"({info.get('warm_fallbacks', '?')} fallback slice(s)) — "
+                f"not exact, cannot gate on bit-identity"
+            )
+        if serial != parallel:
+            problems.append(
+                f"{spec.name}: parallel({intervals}) result differs from "
+                f"serial (cpi {parallel.cpi!r} vs {serial.cpi!r}, "
+                f"instructions {parallel.instructions} vs "
+                f"{serial.instructions})"
+            )
+    return problems

@@ -17,7 +17,18 @@ import gzip
 import hashlib
 import json
 import os
+import zlib
 from pathlib import Path
+
+#: Everything a torn, truncated, or concurrently rewritten checkpoint file
+#: can raise on read: filesystem errors, non-JSON / non-gzip content
+#: (``ValueError`` covers ``json.JSONDecodeError`` and gzip's bad-magic
+#: check), a gzip stream cut mid-member (``EOFError``), and a corrupted
+#: deflate payload (``zlib.error``).  The last two escaped the original
+#: tolerant-read net: a crash mid-write outside the atomic-rename protocol
+#: (or a copied-in partial file) produced a checkpoint that *raised*
+#: instead of degrading to a recompute.
+_UNREADABLE = (OSError, ValueError, EOFError, zlib.error)
 
 
 def save_state(path, state: dict) -> None:
@@ -35,16 +46,34 @@ def save_state(path, state: dict) -> None:
 
 
 def load_state(path) -> dict:
-    """Read a checkpoint written by :func:`save_state`."""
+    """Read a checkpoint written by :func:`save_state`.
+
+    Raises ``ValueError`` when the payload decodes but is not a JSON
+    object — a state dict is always an object, anything else is garbage
+    that happens to gunzip.
+    """
     with gzip.open(path, "rb") as stream:
-        return json.loads(stream.read().decode())
+        state = json.loads(stream.read().decode())
+    if not isinstance(state, dict):
+        raise ValueError(f"checkpoint {path} holds {type(state).__name__}, "
+                         f"not a state dict")
+    return state
 
 
 class CheckpointStore:
-    """A directory of provenance-keyed simulator checkpoints."""
+    """A directory of provenance-keyed simulator checkpoints.
+
+    Safe under concurrent writers and readers, like the result cache:
+    writes are atomic, reads are tolerant (corrupt or vanished files are
+    skipped and reported via :attr:`skipped`, never raised), and
+    :meth:`clear` tolerates losing races to other deleters.
+    """
 
     def __init__(self, directory) -> None:
         self.directory = Path(directory)
+        #: Skip-and-report ledger: (path, reason) for every unreadable
+        #: checkpoint this store instance encountered and degraded around.
+        self.skipped: list[tuple[Path, str]] = []
 
     def path_for(self, model: str, trace_key: str, plan_key: tuple,
                  index: int) -> Path:
@@ -70,7 +99,10 @@ class CheckpointStore:
         path = self.path_for(model, trace_key, plan_key, index)
         try:
             return load_state(path)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return None  # plain miss, not worth a skip report
+        except _UNREADABLE as problem:
+            self.skipped.append((path, f"{type(problem).__name__}: {problem}"))
             return None
 
     def save(self, model: str, trace_key: str, plan_key: tuple,
@@ -81,15 +113,27 @@ class CheckpointStore:
         return path
 
     def entries(self) -> list[Path]:
-        """Every checkpoint file in the store, sorted by name."""
-        if not self.directory.is_dir():
+        """Every checkpoint file in the store, sorted by name.
+
+        Tolerates the directory vanishing mid-scan (a concurrent
+        ``clear``/``rmtree``): a listing race degrades to the empty list.
+        """
+        try:
+            return sorted(self.directory.glob("ckpt-*.json.gz"))
+        except OSError:
             return []
-        return sorted(self.directory.glob("ckpt-*.json.gz"))
 
     def clear(self) -> int:
-        """Delete every checkpoint in the store; returns the count removed."""
+        """Delete every checkpoint in the store; returns the count removed.
+
+        Counts only files this call actually removed: losing an unlink
+        race to a concurrent deleter is not an error and not a removal.
+        """
         removed = 0
         for path in self.entries():
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue  # another process beat us to it
             removed += 1
         return removed

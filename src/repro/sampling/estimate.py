@@ -40,22 +40,40 @@ def confidence_interval(samples: Sequence[float],
 
     One sample (or none) carries no spread information: the half-width is
     ``inf`` so downstream bounds checks refuse rather than pretend.
+    Non-finite samples (a degenerate interval's ``nan``/``inf`` ratio)
+    would silently poison the variance into ``nan`` — which compares
+    *false* against any bound and used to slip through as a spuriously
+    tight interval; they are excluded from the mean and force an ``inf``
+    half-width instead.
     """
-    n = len(samples)
+    finite = [value for value in samples if math.isfinite(value)]
+    n = len(finite)
     if n == 0:
         return (0.0, math.inf)
-    mean = sum(samples) / n
-    if n < 2:
+    mean = sum(finite) / n
+    if n < 2 or len(finite) != len(samples):
         return (mean, math.inf)
-    variance = sum((value - mean) ** 2 for value in samples) / (n - 1)
+    variance = sum((value - mean) ** 2 for value in finite) / (n - 1)
     return (mean, z * math.sqrt(variance / n))
 
 
 def ratio_estimate(numerators: Sequence[float],
                    denominators: Sequence[float]) -> float:
-    """Ratio-of-sums point estimate (Σnum / Σden)."""
+    """Ratio-of-sums point estimate (Σnum / Σden).
+
+    A zero denominator total is degenerate, and the two cases differ: no
+    observations at all (both sums zero) estimate 0.0 — nothing happened —
+    but a *nonzero* numerator over a zero denominator (cycles measured,
+    no instructions retired) has no defensible point estimate.  Returning
+    0.0 there, as this function once did, printed a five-digits-precise
+    lie; it now returns ``nan``, which every downstream bound check
+    refuses (:meth:`MetricEstimate.within` treats non-finite as out of
+    bounds).
+    """
     total = sum(denominators)
-    return sum(numerators) / total if total else 0.0
+    if total:
+        return sum(numerators) / total
+    return 0.0 if not sum(numerators) else math.nan
 
 
 @dataclass(frozen=True)
@@ -69,17 +87,51 @@ class MetricEstimate:
     #: estimate (CPI-like metrics) or absolute (fraction metrics).
     ci_measure: float
 
+    @property
+    def degenerate(self) -> bool:
+        """True when the estimate itself is unusable (non-finite value).
+
+        A ``nan`` point estimate (zero-denominator ratio) or infinite value
+        is worse than a wide CI: there is nothing to report at all.
+        """
+        return not math.isfinite(self.value)
+
     def within(self, bound: float) -> bool:
-        """True when the CI measure respects ``bound``."""
-        return self.ci_measure <= bound
+        """True when the CI measure respects ``bound``.
+
+        ``nan`` compares false against everything, so an unguarded
+        ``<=`` would *pass* a ``nan`` bound measure through ``not
+        within`` checks written the other way around; both the value and
+        the measure must be finite for the estimate to count as bounded.
+        """
+        return (math.isfinite(self.value) and math.isfinite(self.ci_measure)
+                and self.ci_measure <= bound)
 
 
 def check_bounds(sampled: "SampledResult",
                  max_ci: float = DEFAULT_CI_BOUND) -> list[str]:
-    """Bound violations of ``sampled``'s estimates (empty = all within)."""
+    """Bound violations of ``sampled``'s estimates (empty = all within).
+
+    Degenerate estimates (single measured interval, zero denominator
+    deltas) report an explicit refusal naming the cause, not a number.
+    """
     problems = []
     for metric in sampled.metric_estimates():
-        if not metric.within(max_ci):
+        if metric.within(max_ci):
+            continue
+        if metric.degenerate:
+            problems.append(
+                f"{metric.name}: degenerate estimate ({metric.value!r}) — "
+                f"the measured intervals' denominator deltas sum to zero; "
+                f"no defensible point estimate exists at any bound"
+            )
+        elif not math.isfinite(metric.ci_measure):
+            problems.append(
+                f"{metric.name}: unbounded CI (estimate {metric.value:.4f}) "
+                f"— fewer than two intervals carried this metric; sample "
+                f"more intervals (shorter --period) before trusting it"
+            )
+        else:
             problems.append(
                 f"{metric.name}: CI measure {metric.ci_measure:.4f} exceeds "
                 f"bound {max_ci:.4f} "

@@ -1,0 +1,684 @@
+"""Checkpoint-parallel interval simulation.
+
+Splits one long trace into K independent interval slices and simulates
+them concurrently, stitching per-slice counter deltas back together with
+the same ratio-of-sums estimator the sampled runner uses.  Two modes:
+
+* **exact** (no sampling plan): the trace is cut into K contiguous
+  slices.  A checkpoint-producer pass steps the detailed model once and
+  snapshots :meth:`~repro.engine.simulator.Simulator.state_dict` at each
+  slice boundary; every worker then resumes from the exact state the
+  serial run would have reached there, so each per-slice counter delta is
+  the serial run's delta and the stitched result is **bit-identical** to
+  the serial run (the last slice's cumulative state *is* the serial end
+  state).  The producer pass is the cold-run cost; with a
+  :class:`~repro.sampling.checkpoint.CheckpointStore` attached the
+  boundary states persist, and reruns — different engine, telemetry off,
+  bisection sweeps over anything downstream of the trace — pay only the
+  fan-out, giving near-linear scaling in K.
+* **sampled** (with a :class:`~repro.sampling.plan.SamplingPlan`): the
+  plan's measured intervals are partitioned into K contiguous chunks and
+  each worker functionally warms from the trace start (or its chunk's
+  checkpoint) before running its share of the plan through the same
+  interval core as :func:`~repro.sampling.runner.run_sampled`.  Warming
+  lineage differs from the serial sampled run (a worker's prefix is
+  warmed, never detailed), so the stitched estimate is CI-bounded, not
+  bit-identical — the same contract as sampled-vs-full.
+
+Workers dispatch through the pluggable
+:class:`~repro.experiments.backends.Backend` seam (``serial``,
+``process``), the same abstraction the experiment run-matrix pool uses.
+Checkpoints never cross lineages: exact boundary states, sampled chunk
+states, and the serial sampled runner's per-interval states all live
+under distinct plan keys in the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+from repro.core.config import PredictorConfig, ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.engine.simulator import SimulationResult, Simulator
+from repro.sampling.checkpoint import CheckpointStore
+from repro.sampling.estimate import confidence_interval, ratio_estimate
+from repro.sampling.plan import Interval, SamplingPlan
+from repro.sampling.runner import (
+    IntervalMeasurement,
+    SampledResult,
+    _diff_counters,
+    _execute_intervals,
+    _extrapolate,
+    _TraceCursor,
+)
+from repro.trace.reader import open_trace
+from repro.workloads.catalog import WorkloadSpec, default_scale
+
+
+@dataclass(frozen=True)
+class TraceSource:
+    """A picklable recipe for obtaining one trace in any process.
+
+    Workers cannot receive a live :class:`~repro.trace.reader.TraceFile`
+    (open file handles don't pickle) and should not receive a
+    million-record list (pickling it per task dwarfs the simulation), so
+    the fan-out ships this recipe instead.  Exactly one of the three
+    fields is the primary source; :meth:`open` prefers the streaming path
+    so each worker decodes only its own slice.
+    """
+
+    #: Catalog workload to regenerate/stream from the trace cache.
+    workload: WorkloadSpec | None = None
+    #: Scale for ``workload`` (resolved, never ``None`` when workload set).
+    scale: float | None = None
+    #: On-disk ``.ztrc`` file to stream with :func:`open_trace`.
+    path: str | None = None
+    #: In-memory records (tests and tiny traces only — pickled per task).
+    records: tuple = ()
+
+    @classmethod
+    def for_workload(cls, spec: WorkloadSpec,
+                     scale: float | None = None) -> "TraceSource":
+        """Source for a catalog workload, streaming when the cache allows.
+
+        Ensures the on-disk trace exists up front (one generation, not one
+        per worker); with the trace cache disabled there is no stable path,
+        so workers fall back to regenerating the records in memory.
+        """
+        if scale is None:
+            scale = default_scale()
+        try:
+            path = str(spec.trace_path(scale))
+        except RuntimeError:
+            path = None
+        return cls(workload=spec, scale=scale, path=path)
+
+    @classmethod
+    def for_path(cls, path) -> "TraceSource":
+        """Source streaming an existing trace file."""
+        return cls(path=str(path))
+
+    @classmethod
+    def for_records(cls, records) -> "TraceSource":
+        """In-memory source (serial backend or small traces)."""
+        return cls(records=tuple(records))
+
+    def open(self):
+        """Materialize the trace: a ``TraceFile``, list, or record tuple."""
+        if self.path is not None:
+            try:
+                return open_trace(self.path)
+            except (OSError, ValueError):
+                pass  # cache evicted under us; fall through to regenerate
+        if self.workload is not None:
+            return self.workload.trace(self.scale)
+        return self.records
+
+    def identity(self) -> str:
+        """Stable trace identity for checkpoint provenance keys."""
+        if self.workload is not None:
+            from repro.experiments.common import trace_identity
+
+            return trace_identity(self.workload, self.scale)
+        if self.path is not None:
+            return hashlib.sha256(
+                repr(("path", self.path)).encode()).hexdigest()[:16]
+        return hashlib.sha256(
+            repr(("records", self.records)).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """How many independent interval slices to cut a trace into."""
+
+    #: Worker slices (K).  The trace is cut into K contiguous slices in
+    #: exact mode; a sampling plan's intervals into K chunks in sampled
+    #: mode.  Short traces may yield fewer actual slices.
+    intervals: int = 4
+
+    def __post_init__(self) -> None:
+        if self.intervals < 1:
+            raise ValueError("parallel plan needs at least one interval")
+
+    def cache_key(self) -> tuple:
+        """Stable tuple identifying this plan (result/checkpoint keys)."""
+        return ("parallel", self.intervals)
+
+    def describe(self) -> str:
+        """One-line human description."""
+        return f"checkpoint-parallel: {self.intervals} interval slice(s)"
+
+
+@dataclass(frozen=True)
+class IntervalSlice:
+    """One contiguous worker slice of the trace (exact mode)."""
+
+    index: int
+    #: First record this worker measures.
+    start: int
+    #: One past the last record this worker measures.
+    stop: int
+
+
+def plan_slices(total_records: int, workers: int) -> list[IntervalSlice]:
+    """Cut ``[0, total_records)`` into up to ``workers`` contiguous slices.
+
+    Slices are near-equal (the remainder spreads one record at a time over
+    the leading slices) and never empty; a trace shorter than ``workers``
+    records yields fewer slices.
+    """
+    if total_records <= 0:
+        return []
+    workers = max(1, min(workers, total_records))
+    base, remainder = divmod(total_records, workers)
+    slices = []
+    start = 0
+    for index in range(workers):
+        length = base + (1 if index < remainder else 0)
+        slices.append(IntervalSlice(index=index, start=start,
+                                    stop=start + length))
+        start += length
+    return slices
+
+
+#: Checkpoint plan-key prefixes.  Exact boundary states depend only on
+#: (model, trace, boundary record) — they are the serial detailed state —
+#: so they key by boundary, shareable across K.  Sampled chunk lineages
+#: additionally depend on the sampling plan and the chunking.
+_EXACT_KEY = ("parallel", "exact")
+
+
+def _sampled_key(plan: "ParallelPlan", sampling: SamplingPlan) -> tuple:
+    return ("parallel", "sampled", plan.intervals, sampling.cache_key())
+
+
+@dataclass(frozen=True)
+class _SliceTask:
+    """Everything one fan-out worker needs (module-level picklable)."""
+
+    source: TraceSource
+    config: PredictorConfig
+    timing: TimingParams
+    slice: IntervalSlice
+    mode: str  # "exact" | "sampled"
+    #: The sampling-plan intervals this worker runs (sampled mode only).
+    chunk: tuple = ()
+    sampling: SamplingPlan | None = None
+    parallel_key: tuple = _EXACT_KEY
+    checkpoint_dir: str | None = None
+    trace_key: str | None = None
+    engine_mode: str = "object"
+    #: Exact boundary state passed inline when no store is attached.
+    inline_state: dict | None = None
+    is_last: bool = False
+
+
+@dataclass
+class SliceOutcome:
+    """What one worker slice produced."""
+
+    index: int
+    start: int
+    stop: int
+    #: Whether the worker resumed from a checkpoint (or started at 0);
+    #: False means it fell back to functional warming.
+    from_checkpoint: bool
+    #: Measured counter delta of the slice (exact mode).
+    delta: dict | None = None
+    #: Per-interval measurements (sampled mode).
+    measurements: list[IntervalMeasurement] = field(default_factory=list)
+    #: Full finished result — only the last slice carries one (its end
+    #: state is the whole run's end state).
+    final: SimulationResult | None = None
+    detailed_records: int = 0
+    checkpoints_loaded: int = 0
+    checkpoints_saved: int = 0
+    #: CPU seconds this worker spent (open + warm + simulate), measured
+    #: inside the worker with ``time.process_time`` so concurrent slices
+    #: time-sharing a core do not inflate each other.  With one core per
+    #: slice, the fan-out's wall clock converges to the slowest slice.
+    seconds: float = 0.0
+
+
+def _warm_start_state(sim: Simulator, cursor: _TraceCursor,
+                      task: _SliceTask,
+                      store: CheckpointStore | None) -> bool:
+    """Bring ``sim`` to the slice start; True when the state was exact.
+
+    Tries the inline state, then the store; on a miss (or a corrupt /
+    foreign checkpoint) falls back to functionally warming the whole
+    prefix — CI-grade, not exact, which the caller records.
+    """
+    start = task.slice.start
+    if start == 0:
+        return True  # the serial run also starts cold here
+    state = task.inline_state
+    if state is None and store is not None:
+        state = store.load(sim.model_fingerprint(), task.trace_key,
+                           _EXACT_KEY, start)
+    if state is not None:
+        try:
+            sim.load_state_dict(state)
+            cursor.skip_to(start)
+            return True
+        except ValueError:
+            pass
+    sim.warm_run(cursor.window(0, start))
+    return False
+
+
+def _run_slice(task: _SliceTask) -> SliceOutcome:
+    """Fan-out worker body: simulate one slice from its warmed state.
+
+    Module-level so it pickles under every backend.  Opens its own trace
+    (streaming where possible — a worker decodes only the records it
+    touches), resumes from checkpoint/inline state or functionally warms,
+    then either steps its slice in detail (exact mode) or runs its chunk
+    of the sampling plan through the shared interval core (sampled mode).
+    """
+    started = time.process_time()
+    trace = task.source.open()
+    close = getattr(trace, "close", None)
+    try:
+        sim = Simulator(config=task.config, timing=task.timing,
+                        engine_mode=task.engine_mode)
+        cursor = _TraceCursor(trace)
+        store = (CheckpointStore(task.checkpoint_dir)
+                 if task.checkpoint_dir is not None else None)
+        if task.mode == "sampled":
+            measurements, detailed, loaded, saved = _execute_intervals(
+                sim, cursor, task.chunk,
+                store=store, trace_key=task.trace_key,
+                plan_key=task.parallel_key,
+            )
+            final = sim.finish() if task.is_last else None
+            return SliceOutcome(
+                index=task.slice.index,
+                start=task.slice.start,
+                stop=task.slice.stop,
+                from_checkpoint=(measurements[0].from_checkpoint
+                                 if measurements else True),
+                measurements=measurements,
+                final=final,
+                detailed_records=detailed,
+                checkpoints_loaded=loaded,
+                checkpoints_saved=saved,
+                seconds=time.process_time() - started,
+            )
+        exact = _warm_start_state(sim, cursor, task, store)
+        before = sim.counters.state_dict()
+        cycle_before = sim._cycle
+        stepped = 0
+        for record in cursor.window(task.slice.start, task.slice.stop):
+            sim.step(record)
+            stepped += 1
+        delta = _diff_counters(before, sim.counters.state_dict())
+        delta["cycles"] = sim._cycle - cycle_before
+        final = sim.finish() if task.is_last else None
+        return SliceOutcome(
+            index=task.slice.index,
+            start=task.slice.start,
+            stop=task.slice.stop,
+            from_checkpoint=exact,
+            delta=delta,
+            final=final,
+            detailed_records=stepped,
+            checkpoints_loaded=1 if (exact and task.slice.start > 0) else 0,
+            seconds=time.process_time() - started,
+        )
+    finally:
+        if close is not None:
+            close()
+
+
+@dataclass
+class ParallelResult:
+    """Everything a checkpoint-parallel run produces."""
+
+    config_name: str
+    plan: ParallelPlan
+    mode: str  # "exact" | "sampled"
+    backend: str
+    total_records: int
+    outcomes: list[SliceOutcome]
+    #: Stitched whole-trace result.  Exact mode: the last slice's finished
+    #: result — bit-identical to serial by checkpoint lineage.  Sampled
+    #: mode: the extrapolated counters over the last chunk's structures.
+    result: SimulationResult
+    cpi: float
+    #: 95% CI half-width of the CPI (0.0 in exact mode — it is not an
+    #: estimate).
+    cpi_ci: float
+    bad_outcome_fraction: float
+    bad_outcome_ci: float
+    #: Records the checkpoint producer stepped in detail this run (0 when
+    #: every boundary state came from the store — the warm-rerun case).
+    produced_records: int
+    #: Slices that had to fall back to functional warming (exact mode:
+    #: nonzero means the run degraded to CI-grade, see ``exact``).
+    warm_fallbacks: int
+    checkpoints_loaded: int
+    checkpoints_saved: int
+    #: Sampled-mode estimates in :class:`SampledResult` form (``None`` in
+    #: exact mode), for :func:`~repro.sampling.estimate.error_report`.
+    sampled: SampledResult | None = None
+    #: Wall-clock seconds of the checkpoint-producer pass (0.0 when every
+    #: boundary came from the store, or in sampled mode).
+    produce_seconds: float = 0.0
+
+    @property
+    def exact(self) -> bool:
+        """True when every slice resumed from exact lineage (bit-identical)."""
+        return self.mode == "exact" and self.warm_fallbacks == 0
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Wall-clock lower bound with one core per slice.
+
+        The producer pass is inherently serial; the fan-out completes when
+        its slowest slice does (per-slice CPU seconds, so concurrent
+        slices time-sharing a core do not count each other's runtime).
+        On a host with >= K idle cores the observed wall time converges
+        to this; the benchmark reports serial time over this path as the
+        scaling figure so the measurement is a property of the
+        decomposition, not of the core count of the machine running it.
+        """
+        slowest = max((o.seconds for o in self.outcomes), default=0.0)
+        return self.produce_seconds + slowest
+
+    def describe(self) -> str:
+        """One-line human description of how the run executed."""
+        return (f"{self.plan.describe()} [{self.mode}] over "
+                f"{self.backend} backend — {len(self.outcomes)} slice(s), "
+                f"{self.checkpoints_loaded} checkpoint(s) loaded, "
+                f"{self.checkpoints_saved} saved, "
+                f"{self.warm_fallbacks} warm fallback(s), "
+                f"producer stepped {self.produced_records:,} record(s)")
+
+
+def _produce_checkpoints(
+    trace,
+    slices: list[IntervalSlice],
+    config: PredictorConfig,
+    timing: TimingParams,
+    store: CheckpointStore | None,
+    trace_key: str | None,
+    telemetry: "Telemetry | None",
+) -> tuple[dict[int, dict], int, int]:
+    """Ensure an exact state exists for every interior slice boundary.
+
+    One detailed pass from record 0, snapshotting at each boundary —
+    except that boundaries whose state already sits in ``store`` are
+    *loaded* and skipped over (a seek, not a scan), so a warmed store
+    makes this pass free.  States for a store-less run are returned
+    inline, keyed by boundary record.
+
+    Returns ``(inline_states, produced_records, saved)``.
+    """
+    boundaries = [s.start for s in slices[1:]]
+    if not boundaries:
+        return {}, 0, 0
+    sim = Simulator(config=config, timing=timing)
+    model = sim.model_fingerprint()
+    use_store = store is not None and trace_key is not None
+    cursor = _TraceCursor(trace)
+    inline: dict[int, dict] = {}
+    produced = 0
+    saved = 0
+    for boundary in boundaries:
+        state = None
+        if use_store:
+            state = store.load(model, trace_key, _EXACT_KEY, boundary)
+        if state is not None:
+            try:
+                sim.load_state_dict(state)
+                cursor.skip_to(boundary)
+                continue
+            except ValueError:
+                state = None  # foreign/stale: recompute from position
+        for record in cursor.window(cursor.position, boundary):
+            sim.step(record)
+            produced += 1
+        snapshot = sim.state_dict()
+        if use_store:
+            store.save(model, trace_key, _EXACT_KEY, boundary, snapshot)
+            saved += 1
+        else:
+            inline[boundary] = snapshot
+        if telemetry is not None:
+            telemetry.on_interval(sim._cycle, boundaries.index(boundary),
+                                  boundary, "produce")
+    return inline, produced, saved
+
+
+def _chunk_intervals(intervals: list[Interval],
+                     workers: int) -> list[tuple[Interval, ...]]:
+    """Partition a sampling plan's intervals into contiguous chunks."""
+    workers = max(1, min(workers, len(intervals)))
+    base, remainder = divmod(len(intervals), workers)
+    chunks = []
+    start = 0
+    for index in range(workers):
+        length = base + (1 if index < remainder else 0)
+        chunks.append(tuple(intervals[start:start + length]))
+        start += length
+    return chunks
+
+
+def run_parallel(
+    source: TraceSource,
+    config: PredictorConfig = ZEC12_CONFIG_2,
+    timing: TimingParams = DEFAULT_TIMING,
+    plan: ParallelPlan | None = None,
+    sampling: SamplingPlan | None = None,
+    *,
+    checkpoint_store: CheckpointStore | None = None,
+    trace_key: str | None = None,
+    engine_mode: str = "object",
+    backend: "str | None" = None,
+    jobs: int | None = None,
+    telemetry: "Telemetry | None" = None,
+) -> ParallelResult:
+    """Simulate ``source`` across K parallel interval slices and stitch.
+
+    Exact mode (``sampling is None``): produce/load exact boundary
+    checkpoints, fan the slices out, and return a result bit-identical to
+    the serial run.  Sampled mode: run ``sampling``'s intervals in K
+    chunks and return CI-bounded estimates (also under ``.sampled``).
+
+    ``backend`` names a :mod:`repro.experiments.backends` backend
+    (default: ``$REPRO_BACKEND`` or ``process``); ``jobs`` caps in-flight
+    workers (default: one per slice).  ``checkpoint_store`` plus a stable
+    ``trace_key`` (default: ``source.identity()``) persist boundary/chunk
+    states across runs; without a store, exact mode ships the producer's
+    states to the workers inline.
+
+    ``telemetry`` observes only the orchestrator: ``interval`` events with
+    phases ``produce`` (a boundary state snapshotted) and ``end`` (a slice
+    stitched).  Workers run unobserved — per-record hooks do not cross
+    process boundaries.
+    """
+    # Deferred: repro.experiments.backends is cycle-free, but importing it
+    # at module scope would initialize repro.experiments while
+    # repro.sampling is still mid-import.
+    from repro.experiments.backends import resolve_backend
+
+    if plan is None:
+        plan = ParallelPlan()
+    chosen = resolve_backend(backend)
+    if trace_key is None and checkpoint_store is not None:
+        trace_key = source.identity()
+    trace = source.open()
+    close = getattr(trace, "close", None)
+    try:
+        total = len(trace)
+        if not total:
+            raise ValueError("cannot parallel-simulate an empty trace")
+        mode = "sampled" if sampling is not None else "exact"
+        if mode == "sampled":
+            intervals = sampling.intervals(total)
+            if not intervals:
+                raise ValueError(
+                    f"trace of {total} records is shorter than one "
+                    f"warmup+interval footprint of the sampling plan"
+                )
+            chunks = _chunk_intervals(intervals, plan.intervals)
+            parallel_key = _sampled_key(plan, sampling)
+            tasks = [
+                _SliceTask(
+                    source=source, config=config, timing=timing,
+                    slice=IntervalSlice(index=i, start=chunk[0].warm_start,
+                                        stop=chunk[-1].stop),
+                    mode="sampled", chunk=chunk, sampling=sampling,
+                    parallel_key=parallel_key,
+                    checkpoint_dir=(str(checkpoint_store.directory)
+                                    if checkpoint_store is not None else None),
+                    trace_key=trace_key, engine_mode=engine_mode,
+                    is_last=(i == len(chunks) - 1),
+                )
+                for i, chunk in enumerate(chunks)
+            ]
+            inline_states: dict[int, dict] = {}
+            produced = 0
+            produced_saved = 0
+            produce_seconds = 0.0
+        else:
+            slices = plan_slices(total, plan.intervals)
+            produce_started = time.perf_counter()
+            inline_states, produced, produced_saved = _produce_checkpoints(
+                trace, slices, config, timing, checkpoint_store, trace_key,
+                telemetry,
+            )
+            produce_seconds = time.perf_counter() - produce_started
+            tasks = [
+                _SliceTask(
+                    source=source, config=config, timing=timing,
+                    slice=s, mode="exact",
+                    checkpoint_dir=(str(checkpoint_store.directory)
+                                    if checkpoint_store is not None else None),
+                    trace_key=trace_key, engine_mode=engine_mode,
+                    inline_state=inline_states.get(s.start),
+                    is_last=(s.index == len(slices) - 1),
+                )
+                for s in slices
+            ]
+    finally:
+        if close is not None:
+            close()
+
+    workers = len(tasks) if jobs is None else max(1, jobs)
+    outcomes = chosen.map(_run_slice, tasks, workers)
+    outcomes.sort(key=lambda o: o.index)
+    if telemetry is not None:
+        for outcome in outcomes:
+            telemetry.on_interval(0.0, outcome.index, outcome.stop, "end")
+
+    last = outcomes[-1]
+    warm_fallbacks = sum(1 for o in outcomes if not o.from_checkpoint)
+    loaded = sum(o.checkpoints_loaded for o in outcomes)
+    saved = produced_saved + sum(o.checkpoints_saved for o in outcomes)
+
+    if mode == "sampled":
+        measurements = [m for o in outcomes for m in o.measurements]
+        cpi = ratio_estimate([m.cycles for m in measurements],
+                             [m.instructions for m in measurements])
+        bad_fraction = ratio_estimate(
+            [m.bad_outcomes for m in measurements],
+            [m.branches for m in measurements])
+        _, cpi_ci = confidence_interval(
+            [m.cpi for m in measurements if m.instructions])
+        _, bad_ci = confidence_interval(
+            [m.bad_outcome_fraction for m in measurements if m.branches])
+        counters = _extrapolate(measurements, total, cpi)
+        raw = last.final
+        result = SimulationResult(
+            config_name=raw.config_name,
+            counters=counters,
+            search_stats=raw.search_stats,
+            btbp_stats=raw.btbp_stats,
+            btb2_stats=raw.btb2_stats,
+            preload_stats=raw.preload_stats,
+            icache_stats=raw.icache_stats,
+        )
+        sampled = SampledResult(
+            config_name=raw.config_name,
+            plan=sampling,
+            total_records=total,
+            measurements=measurements,
+            result=result,
+            cpi=cpi,
+            cpi_ci=cpi_ci,
+            bad_outcome_fraction=bad_fraction,
+            bad_outcome_ci=bad_ci,
+            measured_instructions=sum(m.instructions for m in measurements),
+            detailed_records=sum(o.detailed_records for o in outcomes),
+            checkpoints_loaded=loaded,
+            checkpoints_saved=saved,
+        )
+        return ParallelResult(
+            config_name=raw.config_name, plan=plan, mode=mode,
+            backend=chosen.name, total_records=total, outcomes=outcomes,
+            result=result, cpi=cpi, cpi_ci=cpi_ci,
+            bad_outcome_fraction=bad_fraction, bad_outcome_ci=bad_ci,
+            produced_records=produced, warm_fallbacks=warm_fallbacks,
+            checkpoints_loaded=loaded, checkpoints_saved=saved,
+            sampled=sampled,
+        )
+
+    # Exact mode: the last slice's finished result is the serial result
+    # (its loaded state carried the cumulative counters of every earlier
+    # record), so bit-identity needs no float re-assembly.  The per-slice
+    # deltas feed the same ratio-of-sums estimator as sampled mode; with
+    # exact lineage the integer sums telescope to the serial totals, which
+    # tests assert against the final counters.
+    result = last.final
+    return ParallelResult(
+        config_name=result.config_name, plan=plan, mode=mode,
+        backend=chosen.name, total_records=total, outcomes=outcomes,
+        result=result,
+        cpi=result.cpi,
+        cpi_ci=0.0 if warm_fallbacks == 0 else ratio_ci_of(outcomes),
+        bad_outcome_fraction=result.counters.bad_outcome_fraction,
+        bad_outcome_ci=0.0,
+        produced_records=produced, warm_fallbacks=warm_fallbacks,
+        checkpoints_loaded=loaded, checkpoints_saved=saved,
+        produce_seconds=produce_seconds,
+    )
+
+
+def ratio_ci_of(outcomes: list[SliceOutcome]) -> float:
+    """CPI CI half-width over per-slice deltas (degraded exact runs only)."""
+    cpis = []
+    for outcome in outcomes:
+        delta = outcome.delta or {}
+        instructions = delta.get("instructions", 0)
+        if instructions:
+            cpis.append(delta.get("cycles", 0.0) / instructions)
+    _, halfwidth = confidence_interval(cpis)
+    return halfwidth
+
+
+def stitch_deltas(outcomes: list[SliceOutcome]) -> dict:
+    """Sum the per-slice counter deltas into one whole-trace delta.
+
+    With exact lineage the integer fields equal the final counters of the
+    last slice (the sums telescope); float cycles may differ from the
+    final clock by associativity only.  Exposed for tests and the
+    conformance gate.
+    """
+    merged: dict = {}
+    for outcome in outcomes:
+        for key, value in (outcome.delta or {}).items():
+            if isinstance(value, dict):
+                bucket = merged.setdefault(key, {})
+                for name, amount in value.items():
+                    bucket[name] = bucket.get(name, 0) + amount
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged

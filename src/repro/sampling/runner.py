@@ -13,15 +13,17 @@ warmed state reached at each interval's warm-start is serialized once; a
 rerun (same model fingerprint, trace identity and plan) loads the snapshot
 and skips the fast-forward entirely.
 
-The trace argument is anything indexable-by-window: a materialized
-``list[TraceRecord]`` or — the cheap path — a
-:class:`~repro.trace.reader.TraceFile`, whose fixed record size makes each
-interval a seek instead of a scan.
+The trace argument is anything sized: a materialized ``list[TraceRecord]``,
+a :class:`~repro.trace.reader.TraceFile` (the cheap path — fixed record
+size makes a checkpoint fast-forward a seek instead of a scan), or any
+sized iterable.  Consumption is single-pass via :class:`_TraceCursor`:
+one forward sweep over one stream, never a re-read from record 0.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,18 +41,95 @@ from repro.sampling.estimate import (
     confidence_interval,
     ratio_estimate,
 )
-from repro.sampling.plan import SamplingPlan
+from repro.sampling.plan import Interval, SamplingPlan
 from repro.trace.record import TraceRecord
 
 
-def _window(trace, start: int, stop: int) -> Iterator[TraceRecord]:
-    """Records ``[start, stop)`` of ``trace`` (seeks on a TraceFile)."""
-    if stop <= start:
-        return iter(())
-    iter_from = getattr(trace, "iter_from", None)
-    if iter_from is not None:
-        return iter_from(start, stop)
-    return iter(trace[start:stop])
+class _TraceCursor:
+    """One forward pass over a trace, whatever its access pattern.
+
+    Interval consumption used to open a fresh window per interval, which
+    on a streaming reader meant a new iteration per window (and made pure
+    iterables unusable).  The cursor fixes that: it hands out
+    monotonically advancing windows carved from a *single* underlying
+    stream, escalating through three access modes:
+
+    * ``iter_from`` (a :class:`~repro.trace.reader.TraceFile`): one
+      open-ended generator over the backing stream is reused across
+      contiguous windows; a positional jump (checkpoint fast-forward)
+      re-seeks instead of scanning.  ``stream_passes`` counts generator
+      (re)creations — contiguous consumption is exactly one pass.
+    * sliceable sequences (a materialized ``list``): windows are slices;
+      skips are free.
+    * plain sized iterables: one ``iter()`` for the whole run; skips
+      consume-and-discard.  (Previously a ``TypeError``.)
+
+    Rewinding is a bug by construction and raises ``ValueError``.
+    """
+
+    def __init__(self, trace) -> None:
+        self._trace = trace
+        self._iter_from = getattr(trace, "iter_from", None)
+        self._sliceable = (self._iter_from is None
+                           and hasattr(trace, "__getitem__"))
+        self._stream: Iterator[TraceRecord] | None = None
+        self._position = 0
+        #: Fresh stream iterations/seeks performed (regression hook).
+        self.stream_passes = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def skip_to(self, position: int) -> None:
+        """Advance past records ``[position_now, position)`` unread.
+
+        Free on seekable/sliceable traces; consume-and-discard on pure
+        streams.  Going backwards raises — the cursor is single-pass.
+        """
+        if position < self._position:
+            raise ValueError(
+                f"cursor cannot rewind from {self._position} to {position}"
+            )
+        if position == self._position:
+            return
+        if self._iter_from is not None:
+            # Drop the current generator; the next window re-seeks.
+            self._stream = None
+        elif not self._sliceable:
+            stream = self._ensure_stream()
+            for _ in islice(stream, position - self._position):
+                pass
+        self._position = position
+
+    def _ensure_stream(self) -> Iterator[TraceRecord]:
+        if self._stream is None:
+            self._stream = iter(self._trace)
+            self.stream_passes += 1
+        return self._stream
+
+    def window(self, start: int, stop: int) -> Iterator[TraceRecord]:
+        """Yield records ``[start, stop)``; ``start`` >= current position."""
+        if stop <= start:
+            return
+        if start != self._position:
+            self.skip_to(start)
+        if self._iter_from is not None:
+            if self._stream is None:
+                self._stream = self._iter_from(start)
+                self.stream_passes += 1
+            for record in islice(self._stream, stop - start):
+                self._position += 1
+                yield record
+        elif self._sliceable:
+            for record in self._trace[start:stop]:
+                self._position += 1
+                yield record
+        else:
+            stream = self._ensure_stream()
+            for record in islice(stream, stop - start):
+                self._position += 1
+                yield record
 
 
 def _diff_counters(before: dict, after: dict) -> dict:
@@ -188,6 +267,95 @@ def _extrapolate(measurements: Sequence[IntervalMeasurement],
     return counters
 
 
+def _execute_intervals(
+    sim: Simulator,
+    cursor: _TraceCursor,
+    intervals: Sequence[Interval],
+    *,
+    telemetry: "Telemetry | None" = None,
+    store: CheckpointStore | None = None,
+    trace_key: str | None = None,
+    plan_key: tuple | None = None,
+) -> tuple[list[IntervalMeasurement], int, int, int]:
+    """Run a span of measured intervals over one cursor.
+
+    The shared core of :func:`run_sampled` and the sampled-mode workers of
+    :mod:`repro.sampling.parallel`: functionally warm up to each interval's
+    warm-start (or load its checkpoint and seek), run the detailed
+    warmup + measured window, and collect the per-interval counter deltas.
+
+    Returns ``(measurements, detailed_records, checkpoints_loaded,
+    checkpoints_saved)``.  Checkpointing engages only when ``store``,
+    ``trace_key`` and ``plan_key`` are all provided; checkpoints are keyed
+    by interval index under ``plan_key``.
+    """
+    model = sim.model_fingerprint()
+    use_store = (store is not None and trace_key is not None
+                 and plan_key is not None)
+    detailed_records = 0
+    checkpoints_loaded = 0
+    checkpoints_saved = 0
+    measurements: list[IntervalMeasurement] = []
+    for interval in intervals:
+        state = None
+        if use_store:
+            state = store.load(model, trace_key, plan_key, interval.index)
+        from_checkpoint = False
+        if state is not None:
+            try:
+                sim.load_state_dict(state)
+            except ValueError:
+                # Stale schema or foreign fingerprint: recompute.
+                state = None
+        if state is not None:
+            from_checkpoint = True
+            checkpoints_loaded += 1
+            cursor.skip_to(interval.warm_start)
+        else:
+            if telemetry is not None and cursor.position < interval.warm_start:
+                telemetry.on_interval(sim._cycle, interval.index,
+                                      cursor.position, "warming")
+            sim.warm_run(cursor.window(cursor.position, interval.warm_start))
+            if use_store:
+                store.save(model, trace_key, plan_key, interval.index,
+                           sim.state_dict())
+                checkpoints_saved += 1
+        if telemetry is not None:
+            telemetry.on_interval(sim._cycle, interval.index,
+                                  interval.warm_start, "warmup")
+        warmup_len = interval.start - interval.warm_start
+        before: dict | None = None
+        cycle_before = 0.0
+        for offset, record in enumerate(
+            cursor.window(interval.warm_start, interval.stop)
+        ):
+            if offset == 0:
+                sim.begin_interval(record.address)
+            if offset == warmup_len:
+                before = sim.counters.state_dict()
+                cycle_before = sim._cycle
+                if telemetry is not None:
+                    telemetry.on_interval(sim._cycle, interval.index,
+                                          interval.start, "measure")
+            sim.step(record)
+            detailed_records += 1
+        delta = _diff_counters(before, sim.counters.state_dict())
+        delta["cycles"] = sim._cycle - cycle_before
+        measurements.append(
+            IntervalMeasurement(
+                index=interval.index,
+                start=interval.start,
+                stop=interval.stop,
+                from_checkpoint=from_checkpoint,
+                delta=delta,
+            )
+        )
+        if telemetry is not None:
+            telemetry.on_interval(sim._cycle, interval.index, interval.stop,
+                                  "end")
+    return measurements, detailed_records, checkpoints_loaded, checkpoints_saved
+
+
 def run_sampled(
     trace,
     config: PredictorConfig = ZEC12_CONFIG_2,
@@ -226,74 +394,12 @@ def run_sampled(
         )
     sim = Simulator(config=config, timing=timing, audit=audit,
                     telemetry=telemetry, engine_mode=engine_mode)
-    model = sim.model_fingerprint()
-    plan_key = plan.cache_key()
-    use_store = checkpoint_store is not None and trace_key is not None
-    position = 0
-    detailed_records = 0
-    checkpoints_loaded = 0
-    checkpoints_saved = 0
-    measurements: list[IntervalMeasurement] = []
-    for interval in intervals:
-        state = None
-        if use_store:
-            state = checkpoint_store.load(model, trace_key, plan_key,
-                                          interval.index)
-        from_checkpoint = False
-        if state is not None:
-            try:
-                sim.load_state_dict(state)
-            except ValueError:
-                # Stale schema or foreign fingerprint: recompute.
-                state = None
-        if state is not None:
-            from_checkpoint = True
-            checkpoints_loaded += 1
-            position = interval.warm_start
-        else:
-            if telemetry is not None and position < interval.warm_start:
-                telemetry.on_interval(sim._cycle, interval.index, position,
-                                      "warming")
-            sim.warm_run(_window(trace, position, interval.warm_start))
-            position = interval.warm_start
-            if use_store:
-                checkpoint_store.save(model, trace_key, plan_key,
-                                      interval.index, sim.state_dict())
-                checkpoints_saved += 1
-        if telemetry is not None:
-            telemetry.on_interval(sim._cycle, interval.index,
-                                  interval.warm_start, "warmup")
-        warmup_len = interval.start - interval.warm_start
-        before: dict | None = None
-        cycle_before = 0.0
-        for offset, record in enumerate(
-            _window(trace, interval.warm_start, interval.stop)
-        ):
-            if offset == 0:
-                sim.begin_interval(record.address)
-            if offset == warmup_len:
-                before = sim.counters.state_dict()
-                cycle_before = sim._cycle
-                if telemetry is not None:
-                    telemetry.on_interval(sim._cycle, interval.index,
-                                          interval.start, "measure")
-            sim.step(record)
-            detailed_records += 1
-        delta = _diff_counters(before, sim.counters.state_dict())
-        delta["cycles"] = sim._cycle - cycle_before
-        measurements.append(
-            IntervalMeasurement(
-                index=interval.index,
-                start=interval.start,
-                stop=interval.stop,
-                from_checkpoint=from_checkpoint,
-                delta=delta,
-            )
+    measurements, detailed_records, checkpoints_loaded, checkpoints_saved = \
+        _execute_intervals(
+            sim, _TraceCursor(trace), intervals,
+            telemetry=telemetry, store=checkpoint_store,
+            trace_key=trace_key, plan_key=plan.cache_key(),
         )
-        position = interval.stop
-        if telemetry is not None:
-            telemetry.on_interval(sim._cycle, interval.index, interval.stop,
-                                  "end")
     raw = sim.finish()
     cpi = ratio_estimate(
         [m.cycles for m in measurements],

@@ -125,7 +125,12 @@ class Telemetry:
 
     def on_interval(self, cycle: float, index: int, record: int,
                     phase: str) -> None:
-        """Sampled-simulation interval boundary (warming/warmup/measure/end)."""
+        """Sampled-simulation interval boundary.
+
+        ``phase`` is ``warming``/``warmup``/``measure``/``end`` from the
+        sampled runner, plus ``produce`` from the checkpoint-parallel
+        producer pass (one event per boundary state snapshotted).
+        """
         if self.tracer is not None:
             self.tracer.emit(cycle, EventKind.INTERVAL.value,
                              index=index, record=record, phase=phase)

@@ -58,6 +58,59 @@ def test_warm_run_is_resumable_mid_trace():
     assert once.state_dict() == twice.state_dict()
 
 
+def test_warm_resume_from_state_dict_is_engine_agnostic():
+    """Warm-from-checkpoint parity across engines.
+
+    The checkpoint-parallel fan-out snapshots ``state_dict()`` mid-trace
+    and resumes workers that may run either engine.  Both engines warming
+    the remainder from the *same* restored state must land on the same
+    state, and that state must equal never having checkpointed at all.
+    """
+    trace = workload_by_name("Informix").trace(scale=0.05)
+    split = len(trace) // 3
+
+    producer = Simulator(config=ZEC12_CONFIG_2)
+    for record in trace[:split]:
+        producer.step(record)  # detailed stepping, as the producer does
+    snapshot = producer.state_dict()
+
+    resumed_object = Simulator(config=ZEC12_CONFIG_2, engine_mode="object")
+    resumed_object.load_state_dict(snapshot)
+    resumed_object.warm_run(iter(trace[split:]))
+
+    resumed_batched = Simulator(config=ZEC12_CONFIG_2, engine_mode="batched")
+    resumed_batched.load_state_dict(snapshot)
+    resumed_batched.warm_run(iter(trace[split:]))
+
+    assert resumed_object.state_dict() == resumed_batched.state_dict()
+
+
+def test_detailed_resume_from_state_dict_matches_serial_across_engines():
+    """Detailed stepping after a restore is engine-independent too: the
+    parallel workers' measured slices are bit-identical whichever engine
+    constructed the simulator."""
+    trace = workload_by_name("TPF").trace(scale=0.05)
+    split = len(trace) // 2
+
+    serial = Simulator(config=ZEC12_CONFIG_2)
+    reference = serial.run(trace)
+
+    producer = Simulator(config=ZEC12_CONFIG_2)
+    for record in trace[:split]:
+        producer.step(record)
+    snapshot = producer.state_dict()
+
+    for engine_mode in ("object", "batched"):
+        resumed = Simulator(config=ZEC12_CONFIG_2, engine_mode=engine_mode)
+        resumed.load_state_dict(snapshot)
+        for record in trace[split:]:
+            resumed.step(record)
+        result = resumed.finish()
+        assert result.counters.state_dict() == \
+            reference.counters.state_dict(), engine_mode
+        assert result.cpi == reference.cpi
+
+
 @st.composite
 def workloads(draw):
     shape = ProgramShape(

@@ -61,3 +61,80 @@ def test_store_save_load_entries_clear(tmp_path):
     assert len(store.entries()) == 2
     assert store.clear() == 2
     assert store.entries() == []
+
+
+def test_crash_mid_write_checkpoint_is_skipped_and_reported(tmp_path):
+    """A gzip stream cut mid-member must degrade to a recompute.
+
+    Truncation reproduces a crash (or copy) that bypassed the atomic
+    rename: gzip raises ``EOFError``/``zlib.error`` there, which escaped
+    the original ``(OSError, ValueError)`` tolerance net and crashed the
+    loading run instead of recomputing.
+    """
+    store = CheckpointStore(tmp_path)
+    state = _warmed_state()
+    identity = ("m", "t", ("p",), 0)
+    path = store.save(*identity, state)
+    intact = path.read_bytes()
+    assert store.load(*identity) == state
+    # Cut the member mid-stream: valid gzip magic, truncated payload.
+    path.write_bytes(intact[: len(intact) // 2])
+    assert store.load(*identity) is None
+    # Skip-and-report: the degradation is visible, not silent.
+    assert len(store.skipped) == 1
+    skipped_path, reason = store.skipped[0]
+    assert skipped_path == path
+    assert reason  # names the exception
+
+
+def test_truncated_tail_checkpoint_is_skipped(tmp_path):
+    """Losing only the gzip trailer (last few bytes) is also tolerated."""
+    store = CheckpointStore(tmp_path)
+    identity = ("m", "t", ("p",), 1)
+    path = store.save(*identity, _warmed_state())
+    intact = path.read_bytes()
+    path.write_bytes(intact[:-4])  # drop the ISIZE trailer
+    assert store.load(*identity) is None
+    assert store.skipped
+
+
+def test_checkpoint_holding_non_object_json_is_rejected(tmp_path):
+    """Bytes that gunzip and parse but aren't a state dict are garbage."""
+    import gzip
+    import json
+
+    store = CheckpointStore(tmp_path)
+    identity = ("m", "t", ("p",), 2)
+    path = store.path_for(*identity)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(gzip.compress(json.dumps([1, 2, 3]).encode()))
+    assert store.load(*identity) is None
+    assert store.skipped
+
+
+def test_entries_and_clear_tolerate_missing_directory():
+    store = CheckpointStore("/nonexistent/definitely/missing")
+    assert store.entries() == []
+    assert store.clear() == 0
+
+
+def test_clear_tolerates_losing_the_unlink_race(tmp_path, monkeypatch):
+    """A concurrent deleter removing files mid-clear is not an error."""
+    store = CheckpointStore(tmp_path)
+    for index in range(3):
+        store.save("m", "t", ("p",), index, {"version": 1})
+    paths = store.entries()
+    assert len(paths) == 3
+    # Simulate the race: another process already unlinked one entry
+    # between the listing and our unlink.
+    original_entries = CheckpointStore.entries
+
+    def racing_entries(self):
+        listed = original_entries(self)
+        listed[1].unlink()  # the "other process"
+        return listed
+
+    monkeypatch.setattr(CheckpointStore, "entries", racing_entries)
+    assert store.clear() == 2  # counts only what *this* call removed
+    monkeypatch.undo()
+    assert store.entries() == []

@@ -37,6 +37,58 @@ def test_ratio_estimate_weights_by_denominator():
     assert ratio_estimate([], []) == 0.0
 
 
+def test_ratio_estimate_zero_denominator_is_nan_not_zero():
+    """Cycles measured over zero instructions has no defensible estimate.
+
+    The old behavior returned 0.0 — a precise-looking lie that sailed
+    through every bound check.  ``nan`` is refused everywhere downstream.
+    """
+    assert math.isnan(ratio_estimate([10.0], [0.0]))
+    assert math.isnan(ratio_estimate([1.0, 2.0], [0.0, 0.0]))
+    # All-zero observations are a different case: nothing happened, 0.0.
+    assert ratio_estimate([0.0, 0.0], [0.0, 0.0]) == 0.0
+
+
+def test_confidence_interval_excludes_non_finite_samples():
+    """A nan sample used to poison the variance into nan — which compares
+    false against every bound and slipped through as a tight CI."""
+    mean, half = confidence_interval([1.0, math.nan, 3.0])
+    assert mean == pytest.approx(2.0)  # finite samples only
+    assert half == math.inf  # dropped samples force an explicit refusal
+    assert confidence_interval([math.nan, math.inf]) == (0.0, math.inf)
+
+
+def test_degenerate_metric_estimate_is_refused_not_reported():
+    from repro.sampling import MetricEstimate
+
+    degenerate = MetricEstimate(name="cpi", value=math.nan,
+                                ci_halfwidth=0.0, ci_measure=0.0)
+    assert degenerate.degenerate
+    assert not degenerate.within(1.0)  # even an infinite bound refuses nan
+    nan_measure = MetricEstimate(name="cpi", value=1.0,
+                                 ci_halfwidth=math.nan, ci_measure=math.nan)
+    assert not nan_measure.within(math.inf)
+
+
+def test_check_bounds_names_the_degenerate_cause():
+    """The refusal message distinguishes no-estimate from wide-CI."""
+
+    class _Fake:
+        def metric_estimates(self):
+            from repro.sampling import MetricEstimate
+
+            return [
+                MetricEstimate("cpi", math.nan, 0.0, 0.0),
+                MetricEstimate("bad_outcome_fraction", 0.2, math.inf,
+                               math.inf),
+            ]
+
+    problems = check_bounds(_Fake(), max_ci=0.02)
+    assert len(problems) == 2
+    assert "degenerate estimate" in problems[0]
+    assert "unbounded CI" in problems[1]
+
+
 @pytest.fixture(scope="module")
 def tpf_sampled():
     trace = workload_by_name("TPF").trace(scale=0.1)

@@ -183,3 +183,71 @@ def test_trace_file_window_iteration(tmp_path):
     in_memory = run_sampled(records, config=ZEC12_CONFIG_2, plan=SMALL_PLAN)
     assert streamed.measurements == in_memory.measurements
     assert streamed.cpi == in_memory.cpi
+
+
+class _CountingTrace:
+    """A sized pure iterable (no __getitem__, no iter_from) that counts
+    full iteration passes and records yielded."""
+
+    def __init__(self, records):
+        self._records = list(records)
+        self.passes = 0
+        self.yielded = 0
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        self.passes += 1
+        for record in self._records:
+            self.yielded += 1
+            yield record
+
+
+def test_interval_consumption_is_single_pass():
+    """The O(N*K) regression pin: one stream pass, <= N records read.
+
+    The old ``_window`` helper re-iterated a non-seekable trace from
+    record 0 for *every* interval; a plan with K intervals read ~K*N
+    records.  The cursor must consume exactly one pass and never read past
+    the last measured interval.
+    """
+    records = workload_by_name("TPF").trace(scale=0.1)
+    counting = _CountingTrace(records)
+    sampled = run_sampled(counting, config=ZEC12_CONFIG_2, plan=SMALL_PLAN)
+    assert counting.passes == 1
+    assert counting.yielded <= len(records)
+    # Pure-iterable consumption is not just bounded — it is equivalent.
+    reference = run_sampled(records, config=ZEC12_CONFIG_2, plan=SMALL_PLAN)
+    assert _payload(sampled) == _payload(reference)
+
+
+def test_trace_file_windows_reuse_one_stream(tmp_path):
+    """Contiguous windows over a TraceFile share a single iter_from pass."""
+    from repro.sampling.runner import _TraceCursor
+    from repro.trace.reader import open_trace
+    from repro.trace.writer import write_trace
+
+    records = workload_by_name("TPF").trace(scale=0.05)
+    path = tmp_path / "tpf.trace"
+    with open(path, "wb") as stream:
+        write_trace(stream, records)
+    with open_trace(path) as trace_file:
+        cursor = _TraceCursor(trace_file)
+        out = list(cursor.window(0, 100))
+        out += list(cursor.window(100, 250))
+        out += list(cursor.window(250, 400))
+        assert cursor.stream_passes == 1  # contiguous: no re-seek
+        cursor.skip_to(1_000)
+        out += list(cursor.window(1_000, 1_100))
+        assert cursor.stream_passes == 2  # one re-seek for the jump
+    assert out == list(records[:400]) + list(records[1_000:1_100])
+
+
+def test_cursor_refuses_to_rewind():
+    from repro.sampling.runner import _TraceCursor
+
+    cursor = _TraceCursor(list(range(10)))
+    list(cursor.window(0, 5))
+    with pytest.raises(ValueError, match="rewind"):
+        cursor.skip_to(2)

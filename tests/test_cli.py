@@ -129,6 +129,46 @@ class TestTelemetryCommands:
         assert "penalty profile (top 5)" in out
 
 
+class TestParallelSimulate:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "TPF", "--parallel-intervals", "4",
+             "--backend", "serial"]
+        )
+        assert args.parallel_intervals == 4
+        assert args.backend == "serial"
+        # Off by default: serial execution stays the default path.
+        assert build_parser().parse_args(
+            ["simulate", "TPF"]).parallel_intervals is None
+
+    def test_exact_parallel_matches_serial_output(self, capsys):
+        assert main(["simulate", "TPF", "--scale", "0.02", "--configs", "2",
+                     "--parallel-intervals", "3", "--backend", "serial"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["simulate", "TPF", "--scale", "0.02",
+                     "--configs", "2"]) == 0
+        serial_out = capsys.readouterr().out
+        # Exact mode is bit-identical: the CPI line matches the serial run.
+        assert "checkpoint-parallel" in parallel_out
+        serial_cpi = next(line for line in serial_out.splitlines()
+                          if "CPI" in line)
+        assert serial_cpi in parallel_out
+
+    def test_sampled_parallel_reports_ci(self, capsys):
+        assert main(["simulate", "TPF", "--scale", "0.1", "--configs", "2",
+                     "--sampled", "--interval", "400", "--period", "8000",
+                     "--warmup", "400", "--max-ci", "1.0",
+                     "--parallel-intervals", "2", "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint-parallel" in out and "sampled" in out
+
+    def test_audited_parallel_is_refused(self, capsys):
+        code = main(["simulate", "TPF", "--scale", "0.02", "--configs", "2",
+                     "--audit", "--parallel-intervals", "2"])
+        assert code == 2
+        assert "audit" in capsys.readouterr().err
+
+
 class TestRefusalExitCode:
     def test_sampled_refusal_exits_nonzero(self, capsys):
         # An impossibly tight CI bound forces ConfidenceBoundExceeded; the
@@ -159,7 +199,8 @@ class TestVerifyCommand:
         assert not args.update_golden
 
     def test_mutation_drill_gate_alone(self, capsys):
-        code = main(["verify", "--skip-differential", "--skip-golden"])
+        code = main(["verify", "--skip-differential", "--skip-golden",
+                     "--skip-parallel"])
         assert code == 0
         out = capsys.readouterr().out
         assert "mutation drill: caught" in out
@@ -183,6 +224,7 @@ class TestVerifyCommand:
 
         monkeypatch.setattr(golden, "measure_workloads", fake_measure)
         code = main(["verify", "--skip-differential", "--skip-mutation-drill",
+                     "--skip-parallel",
                      "--golden", str(path), "--workloads", "TPF"])
         assert code == 1
         err = capsys.readouterr().err
@@ -203,6 +245,7 @@ class TestVerifyCommand:
 
         monkeypatch.setattr(golden, "measure_workloads", fake_measure)
         code = main(["verify", "--skip-differential", "--skip-mutation-drill",
+                     "--skip-parallel",
                      "--golden", str(golden.GOLDEN_PATH),
                      "--workloads", "TPF"])
         assert code == 0
@@ -239,3 +282,7 @@ class TestVerifyEndToEnd:
                 in out)
         assert ("golden baseline[batched]: 13 workload(s) within tolerance"
                 in out)
+        # The parallel gate demands bit-identity between serial and the
+        # stitched checkpoint-parallel run on every workload.
+        assert ("parallel gate: 13 workload(s) bit-identical serial vs "
+                "4 checkpoint-parallel slices" in out)
