@@ -53,7 +53,15 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Sampling & checkpoints",
         "## Batched engine core",
         "## Checkpoint-parallel simulation",
+        "## Distributed observability",
         "## Verification",
+    ),
+    "docs/OBSERVABILITY.md": (
+        "## The telemetry relay",
+        "## The metrics registry",
+        "## Live monitoring: repro top",
+        "## Perfetto recipe",
+        "## CI gates",
     ),
     "docs/PERFORMANCE.md": (
         "## Engine modes",

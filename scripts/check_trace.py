@@ -7,6 +7,8 @@ produce, for CI smoke steps and by hand::
     PYTHONPATH=src python scripts/check_trace.py events.jsonl
     PYTHONPATH=src python scripts/check_trace.py --chrome trace.json
     PYTHONPATH=src python scripts/check_trace.py ev1.jsonl ev2.jsonl --chrome t.json
+    PYTHONPATH=src python scripts/check_trace.py --merged merged.chrome.json
+    PYTHONPATH=src python scripts/check_trace.py --metrics metrics.json
 
 * **JSONL** files are checked line by line against the event schema
   (``repro.telemetry.events``): required common fields, per-kind payload
@@ -16,6 +18,13 @@ produce, for CI smoke steps and by hand::
   names and timestamps per phase type), with every duration begin ("B")
   matched by an end ("E") on its (pid, tid) stack — Perfetto loads such
   a file without complaint.
+* **Merged** files (the relay aggregator's output) get all the Chrome
+  checks plus the multi-worker contract: relay metadata present, per-lane
+  (pid, tid) timestamps monotone non-decreasing, every shard the manifest
+  expected accounted for (``missing`` empty), and every worker the
+  metadata names owning a pid lane.
+* **Metrics** files must validate as a metrics registry snapshot
+  (``repro.telemetry.metrics.validate_snapshot``).
 
 Exit status 0 when every file is clean; 1 with a per-problem report.
 """
@@ -29,7 +38,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.telemetry.distributed import RELAY_SCHEMA  # noqa: E402
 from repro.telemetry.events import validate_jsonl  # noqa: E402
+from repro.telemetry.metrics import validate_snapshot  # noqa: E402
 
 
 def check_jsonl_file(path: Path) -> list[str]:
@@ -96,6 +107,78 @@ def check_chrome_file(path: Path) -> list[str]:
     return problems
 
 
+def check_merged_file(path: Path) -> list[str]:
+    """Multi-worker contract problems of one aggregated Chrome trace.
+
+    Runs the plain Chrome checks first, then the relay aggregator's
+    promises: the ``metadata`` block is present with the expected relay
+    schema, no manifest-expected shard is missing, per-lane (pid, tid)
+    timestamps are monotone non-decreasing, and every non-empty shard the
+    metadata accounts for actually owns events on its pid lane.
+    """
+    problems = check_chrome_file(path)
+    if problems:  # unparseable / structurally broken: stop here
+        return problems
+    payload = json.loads(path.read_text())
+    meta = payload.get("metadata")
+    if not isinstance(meta, dict):
+        return ["merged trace missing top-level 'metadata' object"]
+
+    if meta.get("relay_schema") != RELAY_SCHEMA:
+        problems.append(
+            f"metadata relay_schema is {meta.get('relay_schema')!r}, "
+            f"expected {RELAY_SCHEMA}")
+    shards = meta.get("shards")
+    if not isinstance(shards, list) or not shards:
+        problems.append("metadata 'shards' is not a non-empty list")
+        shards = []
+    missing = meta.get("missing")
+    if missing:
+        for name in missing:
+            problems.append(f"manifest-expected shard never appeared: {name}")
+    elif missing is None:
+        problems.append("metadata missing the 'missing' shard ledger")
+
+    # Per-lane monotone time: within one (pid, tid) lane, timestamps may
+    # repeat but never go backwards once sorted by the aggregator.
+    last_ts: dict[tuple, float] = {}
+    lane_events: dict = {}
+    for index, event in enumerate(payload["traceEvents"]):
+        pid = event.get("pid")
+        lane_events[pid] = lane_events.get(pid, 0) + 1
+        if event.get("ph") == "M" or "ts" not in event:
+            continue
+        lane = (pid, event.get("tid"))
+        ts = float(event["ts"])
+        if lane in last_ts and ts < last_ts[lane]:
+            problems.append(
+                f"event {index}: lane {lane} time went backwards "
+                f"({last_ts[lane]:g} -> {ts:g})")
+        last_ts[lane] = ts
+
+    for shard in shards:
+        if not isinstance(shard, dict):
+            problems.append(f"metadata shard entry not an object: {shard!r}")
+            continue
+        pid = shard.get("pid")
+        if shard.get("events", 0) > 0 and not lane_events.get(pid):
+            problems.append(
+                f"shard {shard.get('file')} claims {shard.get('events')} "
+                f"event(s) but pid lane {pid} is empty")
+    return problems
+
+
+def check_metrics_file(path: Path) -> list[str]:
+    """Schema problems of one metrics registry snapshot file."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as error:
+        return [f"unreadable: {error}"]
+    except ValueError as error:
+        return [f"not JSON: {error}"]
+    return validate_snapshot(payload)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("jsonl", nargs="*", type=Path,
@@ -103,9 +186,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chrome", action="append", default=[], type=Path,
                         metavar="FILE",
                         help="Chrome trace_event file(s) to validate")
+    parser.add_argument("--merged", action="append", default=[], type=Path,
+                        metavar="FILE",
+                        help="aggregated multi-worker Chrome trace file(s) "
+                             "to validate (relay metadata + lane checks)")
+    parser.add_argument("--metrics", action="append", default=[], type=Path,
+                        metavar="FILE",
+                        help="metrics registry snapshot file(s) to validate")
     args = parser.parse_args(argv)
-    if not args.jsonl and not args.chrome:
-        parser.error("nothing to check: give JSONL files and/or --chrome")
+    if not (args.jsonl or args.chrome or args.merged or args.metrics):
+        parser.error("nothing to check: give JSONL files, --chrome, "
+                     "--merged, and/or --metrics")
 
     failures = 0
     for path in args.jsonl:
@@ -115,6 +206,14 @@ def main(argv: list[str] | None = None) -> int:
     for path in args.chrome:
         problems = check_chrome_file(path)
         _report(path, "chrome", problems)
+        failures += bool(problems)
+    for path in args.merged:
+        problems = check_merged_file(path)
+        _report(path, "merged", problems)
+        failures += bool(problems)
+    for path in args.metrics:
+        problems = check_metrics_file(path)
+        _report(path, "metrics", problems)
         failures += bool(problems)
     return 1 if failures else 0
 

@@ -11,13 +11,19 @@ Commands:
   checkpoint-parallel slices fanned out over ``--backend`` (bit-identical
   to serial in exact mode, CI-bounded when combined with ``--sampled``).
 * ``checkpoint`` — create, list or clear the warmed-state checkpoints a
-  sampled run reuses.
+  sampled run reuses.  For parallel runs, ``--relay-dir`` (implied by the
+  trace flags) relays worker-side telemetry home and the exported trace is
+  the *merged* multi-lane timeline; ``--metrics`` writes the session
+  metrics snapshot (docs/OBSERVABILITY.md).
 * ``workloads`` — list the Table 4 workload catalog (paper counters).
 * ``tables`` — print the paper's structural tables (1, 2, 3, 5).
 * ``figure`` — regenerate one figure (2-7) at a chosen scale, optionally
   fanning its simulation runs over ``--jobs`` worker processes.
 * ``report`` — regenerate the full paper-vs-measured report (the
   ``repro.experiments.run_all`` entry point).
+* ``top`` — live monitor for a running batch session: tails the status
+  board named by ``--status`` (or ``$REPRO_STATUS``) and renders per-spec
+  progress, throughput, ETA and worker utilization in place.
 * ``timeline`` — run one workload with the time-series sampler and print
   the ASCII occupancy/rate timeline (optionally writing the CSV).
 * ``profile`` — run one workload with the per-branch profiler and print
@@ -107,14 +113,18 @@ def _suffixed(path: str, key: str, multi: bool) -> str:
 
 
 def _export_telemetry(args, telemetry: Telemetry, key: str,
-                      multi: bool) -> None:
-    """Write the artifacts the ``simulate`` telemetry flags asked for."""
-    if args.trace:
+                      multi: bool, skip_tracer: bool = False) -> None:
+    """Write the artifacts the ``simulate`` telemetry flags asked for.
+
+    ``skip_tracer`` suppresses the JSONL/Chrome exports when a relay
+    aggregation already wrote the (merged, multi-lane) versions of them.
+    """
+    if args.trace and not skip_tracer:
         count = telemetry.tracer.write_jsonl(
             _suffixed(args.trace, key, multi))
         print(f"wrote {count:,} events to "
               f"{_suffixed(args.trace, key, multi)}")
-    if args.chrome_trace:
+    if args.chrome_trace and not skip_tracer:
         count = telemetry.tracer.write_chrome_trace(
             _suffixed(args.chrome_trace, key, multi))
         print(f"wrote {count:,} trace events to "
@@ -148,6 +158,51 @@ def _checkpoint_context(args, spec):
     return CheckpointStore(args.checkpoint_dir), trace_identity(spec, args.scale)
 
 
+def _relay_for(args, spec, key: str, multi: bool):
+    """The relay a parallel ``simulate`` should stream through, or ``None``.
+
+    An explicit ``--relay-dir`` always builds one; the trace flags imply
+    one (per-record telemetry cannot cross worker process boundaries, so
+    the only way a parallel run can export a trace is shard + aggregate).
+    Each config of a multi-config invocation gets its own subdirectory —
+    the aggregator merges a whole directory.
+    """
+    if not (args.relay_dir or args.trace or args.chrome_trace):
+        return None
+    import tempfile
+
+    from repro.telemetry.distributed import TelemetryRelay
+
+    root = args.relay_dir or tempfile.mkdtemp(prefix="repro-relay-")
+    directory = os.path.join(root, f"cfg{key}") if multi else root
+    return TelemetryRelay(directory, run_id=f"{spec.name}-cfg{key}")
+
+
+def _export_aggregate(args, relay, key: str, multi: bool) -> None:
+    """Merge a parallel run's relay shards and write the asked artifacts."""
+    from repro.telemetry.distributed import aggregate
+    from repro.telemetry.metrics import REGISTRY
+
+    merged = aggregate(relay.directory, relay.run_id)
+    print(merged.describe())
+    for path, reason in merged.skipped:
+        print(f"  skipped {path}: {reason}", file=sys.stderr)
+    if args.trace:
+        target = _suffixed(args.trace, key, multi)
+        count = merged.write_jsonl(target)
+        print(f"wrote {count:,} merged events to {target}")
+    if args.chrome_trace:
+        target = _suffixed(args.chrome_trace, key, multi)
+        count = merged.write_chrome(target)
+        print(f"wrote {count:,} trace events "
+              f"({len(merged.workers)} lanes) to {target}")
+    if args.metrics:
+        merged.registry.merge_snapshot(REGISTRY.snapshot())
+        target = _suffixed(args.metrics, key, multi)
+        merged.registry.write_snapshot(target)
+        print(f"wrote {len(merged.registry.names())} metric(s) to {target}")
+
+
 def _cmd_simulate(args) -> int:
     spec = workload_by_name(args.workload)
     print(f"workload: {spec.name} (scale {args.scale})")
@@ -159,6 +214,7 @@ def _cmd_simulate(args) -> int:
         config = CONFIGS[key]
         auditor = Auditor() if args.audit else None
         telemetry = _build_telemetry(args)
+        relay = None
         if args.parallel_intervals is not None:
             if args.audit:
                 print("--audit cannot combine with --parallel-intervals: "
@@ -167,6 +223,7 @@ def _cmd_simulate(args) -> int:
                 return 2
             from repro.sampling import ParallelPlan, TraceSource, run_parallel
 
+            relay = _relay_for(args, spec, key, multi)
             store, trace_key = _checkpoint_context(args, spec)
             stitched = run_parallel(
                 TraceSource.for_workload(spec, args.scale),
@@ -175,10 +232,12 @@ def _cmd_simulate(args) -> int:
                 sampling=_sampling_plan(args) if args.sampled else None,
                 checkpoint_store=store, trace_key=trace_key,
                 engine_mode=args.engine, backend=args.backend,
-                telemetry=telemetry,
+                telemetry=telemetry, relay=relay,
             )
             result = stitched.result
             print(stitched.describe())
+            if relay is not None:
+                _export_aggregate(args, relay, key, multi)
             if stitched.sampled is not None:
                 try:
                     print(error_report(stitched.sampled, max_ci=args.max_ci))
@@ -211,7 +270,14 @@ def _cmd_simulate(args) -> int:
         results.append(result)
         print(format_result(result))
         if telemetry is not None:
-            _export_telemetry(args, telemetry, key, multi)
+            _export_telemetry(args, telemetry, key, multi,
+                              skip_tracer=relay is not None)
+        if args.metrics and relay is None:
+            from repro.telemetry.metrics import REGISTRY
+
+            target = _suffixed(args.metrics, key, multi)
+            REGISTRY.write_snapshot(target)
+            print(f"wrote {len(REGISTRY.names())} metric(s) to {target}")
         print()
     if len(results) > 1:
         base = results[0]
@@ -338,7 +404,23 @@ def _cmd_report(args) -> int:
             "--output", args.output]
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
+    if args.progress is not None:
+        argv += (["--progress", args.progress] if args.progress
+                 else ["--progress"])
     return run_all_main(argv)
+
+
+def _cmd_top(args) -> int:
+    from repro.telemetry.monitor import STATUS_ENV, top
+
+    path = args.status or os.environ.get(STATUS_ENV, "").strip()
+    if not path:
+        print("no status board: pass --status PATH or set $REPRO_STATUS "
+              "(run_all --progress / repro report --progress write one)",
+              file=sys.stderr)
+        return 2
+    return top(path, interval=args.interval, once=args.once,
+               width=args.width)
 
 
 def _cmd_verify(args) -> int:
@@ -554,6 +636,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the parallel fan-out "
              "(default: $REPRO_BACKEND or process)",
     )
+    simulate.add_argument(
+        "--relay-dir", metavar="DIR", default=None,
+        help="telemetry relay directory for parallel runs: workers stream "
+             "per-slice event shards there and --trace/--chrome-trace "
+             "export the merged multi-lane timeline (implied by those "
+             "flags under --parallel-intervals)",
+    )
+    simulate.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the run's metrics snapshot (merged across workers for "
+             "parallel runs) as JSON to PATH",
+    )
 
     checkpoint = sub.add_parser(
         "checkpoint", help="manage warmed-state checkpoints for sampled runs"
@@ -593,8 +687,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--scale", type=float, default=1.0)
     report.add_argument("--sweep-scale", type=float, default=0.35)
     report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--progress", metavar="STATUS_FILE", nargs="?", const="",
+        default=None,
+        help="heartbeat run progress into a status-board file watchable "
+             "with `repro top` (default file: <output>.status.jsonl)",
+    )
     _add_jobs_argument(report)
     _add_audit_argument(report)
+
+    top = sub.add_parser(
+        "top", help="live monitor of a running batch session's status board"
+    )
+    top.add_argument(
+        "--status", metavar="PATH", default=None,
+        help="status-board file to tail (default: $REPRO_STATUS)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between redraws (default: 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit",
+    )
+    top.add_argument(
+        "--width", type=int, default=100,
+        help="panel width in characters (default: 100)",
+    )
 
     timeline = sub.add_parser(
         "timeline", help="ASCII time-series of one instrumented run"
@@ -708,6 +828,7 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "top": _cmd_top,
         "timeline": _cmd_timeline,
         "profile": _cmd_profile,
         "verify": _cmd_verify,

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
@@ -46,11 +47,20 @@ from repro.sampling import (
     run_parallel,
     run_sampled,
 )
+from repro.telemetry.distributed import TelemetryRelay
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.monitor import StatusBoard
 from repro.workloads.catalog import TABLE4_WORKLOADS, WorkloadSpec, default_scale
 
 #: Environment variable overriding the result-cache directory
 #: (``off``/``none``/empty disables caching entirely).
 RESULTS_CACHE_ENV = "REPRO_RESULTS_CACHE"
+
+#: Per-process relay-session slice counter: each ``run_workload`` call
+#: under an active relay gets its own (worker, slice) shard, and worker
+#: names differ per process, so fork-inherited counter values cannot
+#: collide across processes.
+_RELAY_SLICES = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -236,6 +246,74 @@ def trace_identity(spec: WorkloadSpec, scale: float) -> str:
     return hashlib.sha256(repr((spec, scale)).encode()).hexdigest()[:16]
 
 
+def _sampled_info(sampled) -> dict:
+    """The ``sampling`` provenance block of a sampled run's cache entry."""
+    return {
+        "plan": sampled.plan.describe(),
+        "plan_key": list(sampled.plan.cache_key()),
+        "intervals": len(sampled.measurements),
+        "detailed_records": sampled.detailed_records,
+        "cpi_ci": sampled.cpi_ci,
+        "bad_outcome_ci": sampled.bad_outcome_ci,
+        "checkpoints_loaded": sampled.checkpoints_loaded,
+        "checkpoints_saved": sampled.checkpoints_saved,
+    }
+
+
+def _simulate(spec, config, timing, scale, auditor, sampling,
+              checkpoint_dir, engine_mode, parallel, backend,
+              relay, telemetry, label):
+    """Dispatch one cache-missed run to its execution strategy.
+
+    Returns ``(result, sampling_info, parallel_info)`` — the simulation
+    result plus the provenance blocks the cache entry records.
+    """
+    sampling_info: dict | None = None
+    parallel_info: dict | None = None
+    if parallel is not None:
+        store = (CheckpointStore(checkpoint_dir)
+                 if checkpoint_dir is not None else None)
+        stitched = run_parallel(
+            TraceSource.for_workload(spec, scale),
+            config=config, timing=timing, plan=parallel, sampling=sampling,
+            checkpoint_store=store, trace_key=trace_identity(spec, scale),
+            engine_mode=engine_mode, backend=backend,
+            relay=relay, status_label=label,
+        )
+        result = stitched.result
+        parallel_info = {
+            "mode": stitched.mode,
+            "plan_key": list(stitched.plan.cache_key()),
+            "backend": stitched.backend,
+            "slices": len(stitched.outcomes),
+            "exact": stitched.exact,
+            "warm_fallbacks": stitched.warm_fallbacks,
+            "produced_records": stitched.produced_records,
+            "checkpoints_loaded": stitched.checkpoints_loaded,
+            "checkpoints_saved": stitched.checkpoints_saved,
+        }
+        if stitched.sampled is not None:
+            sampling_info = _sampled_info(stitched.sampled)
+        return result, sampling_info, parallel_info
+    trace = spec.trace(scale)
+    if not trace:
+        raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
+    if sampling is not None:
+        store = (CheckpointStore(checkpoint_dir)
+                 if checkpoint_dir is not None else None)
+        sampled = run_sampled(
+            trace, config=config, timing=timing, plan=sampling,
+            audit=auditor, checkpoint_store=store,
+            trace_key=trace_identity(spec, scale),
+            engine_mode=engine_mode, telemetry=telemetry,
+        )
+        return sampled.result, _sampled_info(sampled), None
+    result = Simulator(config=config, timing=timing, audit=auditor,
+                       engine_mode=engine_mode,
+                       telemetry=telemetry).run(trace)
+    return result, None, None
+
+
 def run_workload(
     spec: WorkloadSpec,
     config: PredictorConfig,
@@ -295,77 +373,48 @@ def run_workload(
     key = run_fingerprint(spec, config, timing, scale, sampling,
                           engine_mode=engine_mode, parallel=parallel,
                           backend=backend)
+    board = StatusBoard.from_env()
+    label = f"{spec.name}/{config.name}"
     if not audit:
         cached = load_cached_run(key)
         if cached is not None:
+            REGISTRY.counter(
+                "repro_runs_total", "workload runs by result", ("result",),
+            ).inc(result="cached")
+            if board is not None:
+                board.beat(label, "cached",
+                           instructions=cached.instructions,
+                           seconds=cached.wall_seconds)
             return cached
+
+    # With a relay active ($REPRO_RELAY), serial and sampled runs stream
+    # their telemetry into a per-(process, run) shard; parallel runs hand
+    # the relay down so each slice gets its own worker shard instead.
+    # Metrics for the run land in the session registry when one is open
+    # (relayed home at close) and in the process-local REGISTRY otherwise
+    # — exactly one of the two, so aggregation never double-counts.
+    relay = TelemetryRelay.from_env()
+    session = None
+    telemetry = None
+    if relay is not None and parallel is None:
+        session = relay.worker_session(
+            multiprocessing.current_process().name, next(_RELAY_SLICES))
+        telemetry = session.telemetry
+    if board is not None:
+        board.beat(label, "measuring")
 
     started = time.perf_counter()
     auditor = Auditor() if audit else None
-    sampling_info: dict | None = None
-    parallel_info: dict | None = None
-    if parallel is not None:
-        store = (CheckpointStore(checkpoint_dir)
-                 if checkpoint_dir is not None else None)
-        stitched = run_parallel(
-            TraceSource.for_workload(spec, scale),
-            config=config, timing=timing, plan=parallel, sampling=sampling,
-            checkpoint_store=store, trace_key=trace_identity(spec, scale),
-            engine_mode=engine_mode, backend=backend,
-        )
-        result = stitched.result
-        parallel_info = {
-            "mode": stitched.mode,
-            "plan_key": list(stitched.plan.cache_key()),
-            "backend": stitched.backend,
-            "slices": len(stitched.outcomes),
-            "exact": stitched.exact,
-            "warm_fallbacks": stitched.warm_fallbacks,
-            "produced_records": stitched.produced_records,
-            "checkpoints_loaded": stitched.checkpoints_loaded,
-            "checkpoints_saved": stitched.checkpoints_saved,
-        }
-        if stitched.sampled is not None:
-            sampled = stitched.sampled
-            sampling_info = {
-                "plan": sampled.plan.describe(),
-                "plan_key": list(sampled.plan.cache_key()),
-                "intervals": len(sampled.measurements),
-                "detailed_records": sampled.detailed_records,
-                "cpi_ci": sampled.cpi_ci,
-                "bad_outcome_ci": sampled.bad_outcome_ci,
-                "checkpoints_loaded": sampled.checkpoints_loaded,
-                "checkpoints_saved": sampled.checkpoints_saved,
-            }
-    elif sampling is not None:
-        trace = spec.trace(scale)
-        if not trace:
-            raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
-        store = (CheckpointStore(checkpoint_dir)
-                 if checkpoint_dir is not None else None)
-        sampled = run_sampled(
-            trace, config=config, timing=timing, plan=sampling,
-            audit=auditor, checkpoint_store=store,
-            trace_key=trace_identity(spec, scale),
-            engine_mode=engine_mode,
-        )
-        result = sampled.result
-        sampling_info = {
-            "plan": sampled.plan.describe(),
-            "plan_key": list(sampled.plan.cache_key()),
-            "intervals": len(sampled.measurements),
-            "detailed_records": sampled.detailed_records,
-            "cpi_ci": sampled.cpi_ci,
-            "bad_outcome_ci": sampled.bad_outcome_ci,
-            "checkpoints_loaded": sampled.checkpoints_loaded,
-            "checkpoints_saved": sampled.checkpoints_saved,
-        }
-    else:
-        trace = spec.trace(scale)
-        if not trace:
-            raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
-        result = Simulator(config=config, timing=timing, audit=auditor,
-                           engine_mode=engine_mode).run(trace)
+    try:
+        result, sampling_info, parallel_info = _simulate(
+            spec, config, timing, scale, auditor, sampling, checkpoint_dir,
+            engine_mode, parallel, backend, relay, telemetry, label)
+    except BaseException:
+        if session is not None:
+            session.close()
+        if board is not None:
+            board.beat(label, "failed")
+        raise
     elapsed = time.perf_counter() - started
     run = RunResult(
         workload=spec.name,
@@ -383,6 +432,24 @@ def run_workload(
         wall_seconds=elapsed,
         worker=multiprocessing.current_process().name,
     )
+    registry = session.registry if session is not None else REGISTRY
+    registry.counter(
+        "repro_runs_total", "workload runs by result", ("result",),
+    ).inc(result="simulated")
+    registry.counter(
+        "repro_run_instructions_total", "instructions simulated by runs",
+    ).inc(run.instructions)
+    registry.counter(
+        "repro_run_branches_total", "branches simulated by runs",
+    ).inc(run.branches)
+    registry.histogram(
+        "repro_run_seconds", "wall seconds per simulated run",
+    ).observe(elapsed)
+    if session is not None:
+        session.close()
+    if board is not None:
+        board.beat(label, "done", instructions=run.instructions,
+                   seconds=elapsed)
     store_cached_run(key, run)
     return run
 

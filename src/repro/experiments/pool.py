@@ -50,6 +50,8 @@ from repro.experiments.common import (
     run_workload,
 )
 from repro.sampling import ParallelPlan, SamplingPlan
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.monitor import StatusBoard
 from repro.workloads.catalog import WorkloadSpec, default_scale
 
 #: Environment variable supplying the default worker count for batch runs.
@@ -224,6 +226,67 @@ def _spec_item(spec: RunSpec) -> tuple:
             spec.engine_mode, spec.parallel, spec.backend)
 
 
+@dataclass
+class _TimedRun:
+    """One dispatched run plus its queue-wait and execute timings.
+
+    ``queue_seconds`` is measured against the orchestrator's enqueue
+    timestamp with ``time.time()`` on both sides — the only clock that is
+    meaningful across a process boundary (``perf_counter`` epochs are
+    per-process).
+    """
+
+    run: RunResult
+    queue_seconds: float
+    execute_seconds: float
+
+
+def _timed_simulate(item: tuple[float, tuple]) -> _TimedRun:
+    """Pool worker body wrapping :func:`_simulate_spec` with timings."""
+    enqueued, spec_item = item
+    begun = time.time()
+    started = time.perf_counter()
+    run = _simulate_spec(spec_item)
+    return _TimedRun(run, max(0.0, begun - enqueued),
+                     time.perf_counter() - started)
+
+
+def _record_dispatch(backend_name: str, timed: Sequence[_TimedRun],
+                     jobs: int, elapsed: float) -> None:
+    """Fold one batch's dispatch timings into the session registry.
+
+    Feeds the ``run_many`` session summary: queue wait vs execute time per
+    backend, and the busy/capacity second counters utilization is computed
+    from (busy = worker execute seconds, capacity = workers x batch wall).
+    """
+    if not timed:
+        return
+    queue = REGISTRY.histogram(
+        "repro_dispatch_queue_seconds",
+        "seconds a run waited between enqueue and worker pickup",
+        ("backend",),
+    )
+    execute = REGISTRY.histogram(
+        "repro_dispatch_execute_seconds",
+        "seconds a worker spent executing one run",
+        ("backend",),
+    )
+    busy = REGISTRY.counter(
+        "repro_pool_busy_seconds_total",
+        "worker seconds spent executing runs",
+        ("backend",),
+    )
+    for entry in timed:
+        queue.observe(entry.queue_seconds, backend=backend_name)
+        execute.observe(entry.execute_seconds, backend=backend_name)
+        busy.inc(entry.execute_seconds, backend=backend_name)
+    REGISTRY.counter(
+        "repro_pool_capacity_seconds_total",
+        "worker-seconds of pool capacity over batch wall time",
+        ("backend",),
+    ).inc(jobs * elapsed, backend=backend_name)
+
+
 def run_many(
     specs: Iterable[RunSpec],
     jobs: int | None = None,
@@ -255,6 +318,7 @@ def run_many(
 
     # Cache-first: only misses are dispatched.  Audited specs never read
     # the cache (a hit would silently skip every invariant check).
+    board = StatusBoard.from_env()
     results: dict[str, RunResult] = {}
     for key, spec in unique.items():
         if spec.resolved_audit():
@@ -262,27 +326,45 @@ def run_many(
         cached = load_cached_run(key)
         if cached is not None:
             results[key] = cached
+            REGISTRY.counter(
+                "repro_runs_total", "workload runs by result", ("result",),
+            ).inc(result="cached")
+            if board is not None:
+                board.beat(f"{spec.workload.name}/{spec.config.name}",
+                           "cached", instructions=cached.instructions,
+                           seconds=cached.wall_seconds)
     misses = [(key, spec) for key, spec in unique.items() if key not in results]
     hits = len(results)
     bypassed = sum(1 for spec in unique.values() if spec.resolved_audit())
 
     pooled = [(key, spec) for key, spec in misses if spec.parallel is None]
     local = [(key, spec) for key, spec in misses if spec.parallel is not None]
+    if board is not None:
+        for _, spec in misses:
+            board.beat(f"{spec.workload.name}/{spec.config.name}", "queued")
 
-    items = [_spec_item(spec) for _, spec in pooled]
-    if len(items) <= 1 or jobs == 1:
-        simulated = [_simulate_spec(item) for item in items]
+    items = [(time.time(), _spec_item(spec)) for _, spec in pooled]
+    in_process = len(items) <= 1 or jobs == 1
+    if in_process:
+        timed = [_timed_simulate(item) for item in items]
     else:
-        simulated = chosen.map(_simulate_spec, items, min(jobs, len(items)))
-    for (key, _), run in zip(pooled, simulated):
-        results[key] = run
+        timed = chosen.map(_timed_simulate, items, min(jobs, len(items)))
+    for (key, _), entry in zip(pooled, timed):
+        results[key] = entry.run
+    locally = []
     for key, spec in local:
-        run = _simulate_spec(_spec_item(spec))
-        simulated.append(run)
-        results[key] = run
+        entry = _timed_simulate((time.time(), _spec_item(spec)))
+        locally.append(entry)
+        results[key] = entry.run
 
-    log.record_batch(simulated, hits, time.perf_counter() - started, jobs,
-                     bypassed=bypassed)
+    simulated = [entry.run for entry in timed + locally]
+    elapsed = time.perf_counter() - started
+    _record_dispatch("local" if in_process else chosen.name,
+                     timed, jobs, elapsed)
+    # Parallel-plan specs execute in this process (their own fan-out needs
+    # to spawn workers), whatever backend the batch chose.
+    _record_dispatch("local", locally, 1, elapsed)
+    log.record_batch(simulated, hits, elapsed, jobs, bypassed=bypassed)
     return [results[key] for key in keys]
 
 

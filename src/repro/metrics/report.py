@@ -17,6 +17,7 @@ from repro.core.events import OutcomeKind
 if TYPE_CHECKING:  # avoid a metrics <-> engine/experiments import cycle
     from repro.engine.simulator import SimulationResult
     from repro.experiments.pool import ExecutionLog
+    from repro.telemetry.metrics import MetricsRegistry
 
 #: Outcome-name column width: the longest taxonomy value, so adding an
 #: OutcomeKind can never misalign the report.
@@ -70,12 +71,49 @@ def format_throughput(instructions: int, seconds: float) -> str:
     )
 
 
-def render_run_summary(log: "ExecutionLog") -> list[str]:
+def _dispatch_lines(registry: "MetricsRegistry") -> list[str]:
+    """Per-backend dispatch lines from the session metrics registry.
+
+    For every backend that dispatched runs this session: worker
+    utilization (busy seconds over capacity seconds) and mean queue wait
+    vs execute time per run, all sourced from the histograms/counters
+    :func:`repro.experiments.pool.run_many` records.
+    """
+    names = set(registry.names())
+    needed = {"repro_dispatch_queue_seconds", "repro_dispatch_execute_seconds",
+              "repro_pool_busy_seconds_total",
+              "repro_pool_capacity_seconds_total"}
+    if not needed.issubset(names):
+        return []
+    queue = registry.get("repro_dispatch_queue_seconds")
+    execute = registry.get("repro_dispatch_execute_seconds")
+    busy = registry.get("repro_pool_busy_seconds_total")
+    capacity = registry.get("repro_pool_capacity_seconds_total")
+    lines = []
+    for backend in sorted(b for (b,) in execute._series):
+        run_seconds, runs = execute.totals(backend=backend)
+        wait_seconds, waits = queue.totals(backend=backend)
+        cap = capacity.value(backend=backend)
+        use = busy.value(backend=backend) / cap if cap > 0 else 0.0
+        lines.append(
+            f"_  backend {backend}: {int(runs)} dispatched, "
+            f"utilization {100 * min(1.0, use):.0f}%; per run "
+            f"queue wait {wait_seconds / max(1, waits):.3f} s, "
+            f"execute {run_seconds / max(1, runs):.3f} s._"
+        )
+    return lines
+
+
+def render_run_summary(log: "ExecutionLog",
+                       registry: "MetricsRegistry | None" = None) -> list[str]:
     """Run-observability lines for one experiment session.
 
     Every line is a *timing line* (italicized in the markdown report):
     reports regenerated from a warm vs cold cache, or with different
-    worker counts, are expected to differ only here.
+    worker counts, are expected to differ only here.  With a ``registry``
+    (typically :data:`repro.telemetry.metrics.REGISTRY`), per-backend
+    dispatch accounting — worker utilization, queue wait vs execute time —
+    is appended from the pool's recorded histograms.
     """
     if not log.requested:
         return ["_runs: none requested._"]
@@ -99,6 +137,8 @@ def render_run_summary(log: "ExecutionLog") -> list[str]:
         for name in sorted(log.workers):
             runs, seconds = log.workers[name]
             lines.append(f"_  worker {name}: {runs} runs, {seconds:.1f} s._")
+    if registry is not None:
+        lines.extend(_dispatch_lines(registry))
     if log.phase_seconds:
         lines.append("_report phases (host wall time):_")
         for name, seconds in sorted(

@@ -20,6 +20,8 @@ import os
 import zlib
 from pathlib import Path
 
+from repro.telemetry.metrics import REGISTRY
+
 #: Everything a torn, truncated, or concurrently rewritten checkpoint file
 #: can raise on read: filesystem errors, non-JSON / non-gzip content
 #: (``ValueError`` covers ``json.JSONDecodeError`` and gzip's bad-magic
@@ -29,6 +31,22 @@ from pathlib import Path
 #: (or a copied-in partial file) produced a checkpoint that *raised*
 #: instead of degrading to a recompute.
 _UNREADABLE = (OSError, ValueError, EOFError, zlib.error)
+
+
+def _count(result: str) -> None:
+    """Tick the process-local checkpoint-traffic counter.
+
+    Instruments the module-global :data:`~repro.telemetry.metrics.REGISTRY`
+    so orchestrator-side store traffic shows up in metrics snapshots;
+    worker processes fold their own store traffic into per-slice relay
+    snapshots instead (a fork-inherited global registry must never be
+    exported twice).
+    """
+    REGISTRY.counter(
+        "repro_checkpoint_store_total",
+        "checkpoint store operations by result",
+        ("result",),
+    ).inc(result=result)
 
 
 def save_state(path, state: dict) -> None:
@@ -98,18 +116,23 @@ class CheckpointStore:
         """
         path = self.path_for(model, trace_key, plan_key, index)
         try:
-            return load_state(path)
+            state = load_state(path)
         except FileNotFoundError:
+            _count("miss")
             return None  # plain miss, not worth a skip report
         except _UNREADABLE as problem:
             self.skipped.append((path, f"{type(problem).__name__}: {problem}"))
+            _count("skipped")
             return None
+        _count("hit")
+        return state
 
     def save(self, model: str, trace_key: str, plan_key: tuple,
              index: int, state: dict) -> Path:
         """Store ``state`` under this identity; returns the path."""
         path = self.path_for(model, trace_key, plan_key, index)
         save_state(path, state)
+        _count("save")
         return path
 
     def entries(self) -> list[Path]:

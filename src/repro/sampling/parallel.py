@@ -57,8 +57,21 @@ from repro.sampling.runner import (
     _extrapolate,
     _TraceCursor,
 )
+from repro.telemetry.distributed import ORCHESTRATOR, TelemetryRelay
+from repro.telemetry.hub import Telemetry as _Telemetry
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.monitor import StatusBoard
+from repro.telemetry.tracer import Tracer as _Tracer
 from repro.trace.reader import open_trace
 from repro.workloads.catalog import WorkloadSpec, default_scale
+
+#: Records between worker heartbeat lines on the status board (a power of
+#: two so the in-loop check is one mask + test when a board is attached).
+_BEAT_MASK = 8191
+
+#: Count-shaped histogram bounds for per-slice record volumes.
+_RECORD_BUCKETS = (100.0, 1_000.0, 10_000.0, 100_000.0,
+                   1_000_000.0, 10_000_000.0)
 
 
 @dataclass(frozen=True)
@@ -217,6 +230,13 @@ class _SliceTask:
     #: Exact boundary state passed inline when no store is attached.
     inline_state: dict | None = None
     is_last: bool = False
+    #: Telemetry relay directory this worker streams its shard into
+    #: (``None`` = relay off; the zero-cost default).
+    relay_dir: str | None = None
+    #: Relay run id (shard filenames key on it).
+    relay_run: str = "run"
+    #: Human label for status-board heartbeats (defaults to the slice).
+    status_label: str = ""
 
 
 @dataclass
@@ -273,6 +293,55 @@ def _warm_start_state(sim: Simulator, cursor: _TraceCursor,
     return False
 
 
+def _slice_metrics(registry, outcome: SliceOutcome) -> None:
+    """Fold one finished slice into a worker-session metrics registry.
+
+    The counters/histograms here are the relay's mergeable view of
+    :class:`~repro.metrics.counters.SimCounters` and checkpoint traffic:
+    summed across worker shards, ``repro_slice_instructions_total`` and
+    the ``repro_slice_records`` histogram totals telescope to the serial
+    run's whole-trace numbers (exact lineage), which the round-trip tests
+    assert.
+    """
+    if outcome.delta is not None:
+        deltas = [outcome.delta]
+    else:
+        deltas = [m.delta for m in outcome.measurements]
+    instructions = sum(d.get("instructions", 0) for d in deltas)
+    branches = sum(d.get("branches", 0) for d in deltas)
+    registry.counter(
+        "repro_slice_instructions_total",
+        "instructions simulated by this worker's slices",
+    ).inc(instructions)
+    registry.counter(
+        "repro_slice_branches_total",
+        "branches simulated by this worker's slices",
+    ).inc(branches)
+    registry.histogram(
+        "repro_slice_records",
+        "records stepped in detail per slice",
+        buckets=_RECORD_BUCKETS,
+    ).observe(outcome.detailed_records)
+    registry.histogram(
+        "repro_slice_seconds",
+        "CPU seconds per slice",
+    ).observe(outcome.seconds)
+    loads = registry.counter(
+        "repro_checkpoint_loads_total",
+        "checkpoint loads by result",
+        ("result",),
+    )
+    if outcome.checkpoints_loaded:
+        loads.inc(outcome.checkpoints_loaded, result="hit")
+    if not outcome.from_checkpoint:
+        loads.inc(result="miss")
+    if outcome.checkpoints_saved:
+        registry.counter(
+            "repro_checkpoint_saves_total",
+            "checkpoint states saved",
+        ).inc(outcome.checkpoints_saved)
+
+
 def _run_slice(task: _SliceTask) -> SliceOutcome:
     """Fan-out worker body: simulate one slice from its warmed state.
 
@@ -281,7 +350,39 @@ def _run_slice(task: _SliceTask) -> SliceOutcome:
     touches), resumes from checkpoint/inline state or functionally warms,
     then either steps its slice in detail (exact mode) or runs its chunk
     of the sampling plan through the shared interval core (sampled mode).
+
+    With a relay attached (``task.relay_dir``) the worker streams its
+    telemetry into a per-(run, worker, slice) shard and publishes a
+    metrics snapshot at exit; with ``$REPRO_STATUS`` set it heartbeats
+    progress onto the shared status board.  Both default off and cost
+    nothing then — the hot loop sees only ``is None`` tests, and results
+    are byte-identical either way (pinned by the relay parity tests).
     """
+    session = None
+    if task.relay_dir is not None:
+        relay = TelemetryRelay(task.relay_dir, task.relay_run)
+        session = relay.worker_session(f"w{task.slice.index}",
+                                       task.slice.index)
+    telemetry = session.telemetry if session is not None else None
+    board = StatusBoard.from_env()
+    label = task.status_label or f"slice {task.slice.index}"
+    try:
+        outcome = _slice_body(task, telemetry, board, label)
+        if session is not None:
+            _slice_metrics(session.registry, outcome)
+        if board is not None:
+            span = outcome.stop - outcome.start
+            board.beat(label, "done", done=span, total=span,
+                       instructions=outcome.detailed_records,
+                       seconds=outcome.seconds)
+        return outcome
+    finally:
+        if session is not None:
+            session.close()
+
+
+def _slice_body(task: _SliceTask, telemetry, board, label) -> SliceOutcome:
+    """The slice simulation proper (observers threaded, both optional)."""
     started = time.process_time()
     trace = task.source.open()
     close = getattr(trace, "close", None)
@@ -292,8 +393,15 @@ def _run_slice(task: _SliceTask) -> SliceOutcome:
         store = (CheckpointStore(task.checkpoint_dir)
                  if task.checkpoint_dir is not None else None)
         if task.mode == "sampled":
+            if board is not None:
+                board.beat(label, "measuring", done=0,
+                           total=task.slice.stop - task.slice.start)
+            if telemetry is not None:
+                sim.telemetry = telemetry
+                telemetry.attach(sim)
             measurements, detailed, loaded, saved = _execute_intervals(
                 sim, cursor, task.chunk,
+                telemetry=telemetry,
                 store=store, trace_key=task.trace_key,
                 plan_key=task.parallel_key,
             )
@@ -311,15 +419,33 @@ def _run_slice(task: _SliceTask) -> SliceOutcome:
                 checkpoints_saved=saved,
                 seconds=time.process_time() - started,
             )
+        if board is not None and task.slice.start > 0:
+            board.beat(label, "warming", done=0,
+                       total=task.slice.stop - task.slice.start)
         exact = _warm_start_state(sim, cursor, task, store)
+        if telemetry is not None:
+            # Attached after warm start so the shard carries the slice's
+            # own events, not a functionally-warmed prefix's.
+            sim.telemetry = telemetry
+            telemetry.attach(sim)
+            telemetry.on_interval(sim._cycle, task.slice.index,
+                                  task.slice.start, "measure")
+        span = task.slice.stop - task.slice.start
+        if board is not None:
+            board.beat(label, "measuring", done=0, total=span)
         before = sim.counters.state_dict()
         cycle_before = sim._cycle
         stepped = 0
         for record in cursor.window(task.slice.start, task.slice.stop):
             sim.step(record)
             stepped += 1
+            if board is not None and (stepped & _BEAT_MASK) == 0:
+                board.beat(label, "measuring", done=stepped, total=span)
         delta = _diff_counters(before, sim.counters.state_dict())
         delta["cycles"] = sim._cycle - cycle_before
+        if telemetry is not None:
+            telemetry.on_interval(sim._cycle, task.slice.index,
+                                  task.slice.stop, "end")
         final = sim.finish() if task.is_last else None
         return SliceOutcome(
             index=task.slice.index,
@@ -484,6 +610,8 @@ def run_parallel(
     backend: "str | None" = None,
     jobs: int | None = None,
     telemetry: "Telemetry | None" = None,
+    relay: TelemetryRelay | None = None,
+    status_label: str | None = None,
 ) -> ParallelResult:
     """Simulate ``source`` across K parallel interval slices and stitch.
 
@@ -499,10 +627,17 @@ def run_parallel(
     states across runs; without a store, exact mode ships the producer's
     states to the workers inline.
 
-    ``telemetry`` observes only the orchestrator: ``interval`` events with
+    ``telemetry`` observes the orchestrator: ``interval`` events with
     phases ``produce`` (a boundary state snapshotted) and ``end`` (a slice
-    stitched).  Workers run unobserved — per-record hooks do not cross
-    process boundaries.
+    stitched).  Per-record hooks do not cross process boundaries, but a
+    ``relay`` carries worker-side telemetry home: each slice streams its
+    events into a per-worker shard under the relay directory, the
+    orchestrator's own events land in an :data:`ORCHESTRATOR` shard, and a
+    manifest names every expected file so
+    :func:`~repro.telemetry.distributed.aggregate` can merge the fan-out
+    into one Chrome trace with a lane per worker.  With ``$REPRO_STATUS``
+    set, slices additionally heartbeat progress onto the status board
+    (``status_label`` prefixes their entries).
     """
     # Deferred: repro.experiments.backends is cycle-free, but importing it
     # at module scope would initialize repro.experiments while
@@ -512,6 +647,12 @@ def run_parallel(
     if plan is None:
         plan = ParallelPlan()
     chosen = resolve_backend(backend)
+    board = StatusBoard.from_env()
+    label = status_label or "parallel"
+    # With a relay but no caller telemetry, the orchestrator still records
+    # its produce/stitch markers so the merged trace has a pid-0 lane.
+    if relay is not None and telemetry is None:
+        telemetry = _Telemetry(tracer=_Tracer())
     if trace_key is None and checkpoint_store is not None:
         trace_key = source.identity()
     trace = source.open()
@@ -541,6 +682,10 @@ def run_parallel(
                                     if checkpoint_store is not None else None),
                     trace_key=trace_key, engine_mode=engine_mode,
                     is_last=(i == len(chunks) - 1),
+                    relay_dir=(str(relay.directory)
+                               if relay is not None else None),
+                    relay_run=relay.run_id if relay is not None else "run",
+                    status_label=f"{label}/s{i}" if status_label else "",
                 )
                 for i, chunk in enumerate(chunks)
             ]
@@ -550,6 +695,8 @@ def run_parallel(
             produce_seconds = 0.0
         else:
             slices = plan_slices(total, plan.intervals)
+            if board is not None and len(slices) > 1:
+                board.beat(label, "warming", done=0, total=total)
             produce_started = time.perf_counter()
             inline_states, produced, produced_saved = _produce_checkpoints(
                 trace, slices, config, timing, checkpoint_store, trace_key,
@@ -565,6 +712,11 @@ def run_parallel(
                     trace_key=trace_key, engine_mode=engine_mode,
                     inline_state=inline_states.get(s.start),
                     is_last=(s.index == len(slices) - 1),
+                    relay_dir=(str(relay.directory)
+                               if relay is not None else None),
+                    relay_run=relay.run_id if relay is not None else "run",
+                    status_label=(f"{label}/s{s.index}"
+                                  if status_label else ""),
                 )
                 for s in slices
             ]
@@ -575,9 +727,37 @@ def run_parallel(
     workers = len(tasks) if jobs is None else max(1, jobs)
     outcomes = chosen.map(_run_slice, tasks, workers)
     outcomes.sort(key=lambda o: o.index)
+    if board is not None:
+        board.beat(label, "stitching", done=total, total=total)
     if telemetry is not None:
         for outcome in outcomes:
             telemetry.on_interval(0.0, outcome.index, outcome.stop, "end")
+    if relay is not None:
+        shard = relay.shard_path(ORCHESTRATOR, 0)
+        if telemetry is not None and telemetry.tracer is not None:
+            telemetry.tracer.write_jsonl(shard)
+        else:
+            shard.write_text("")
+        expected = [relay.shard_path(f"w{t.slice.index}",
+                                     t.slice.index).name for t in tasks]
+        expected.append(shard.name)
+        relay.write_manifest(expected)
+    REGISTRY.counter(
+        "repro_parallel_runs_total",
+        "checkpoint-parallel runs by mode and backend",
+        ("mode", "backend"),
+    ).inc(mode=mode, backend=chosen.name)
+    if produced:
+        REGISTRY.counter(
+            "repro_parallel_produced_records_total",
+            "records the checkpoint producer stepped in detail",
+        ).inc(produced)
+    slice_seconds = REGISTRY.histogram(
+        "repro_parallel_slice_seconds",
+        "per-slice worker CPU seconds",
+    )
+    for outcome in outcomes:
+        slice_seconds.observe(outcome.seconds)
 
     last = outcomes[-1]
     warm_fallbacks = sum(1 for o in outcomes if not o.from_checkpoint)

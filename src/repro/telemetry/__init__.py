@@ -49,8 +49,30 @@ Usage::
 Host-side wall-time phase timers (:mod:`repro.telemetry.timers`) are the
 fourth, simulation-independent piece: ``run_all`` times each report phase
 and folds the result into the experiment pool's session summary.
+
+Three distributed pieces extend the pillars across process boundaries
+(docs/OBSERVABILITY.md):
+
+* **Relay** (:class:`TelemetryRelay` / :func:`aggregate`,
+  :mod:`repro.telemetry.distributed`) — workers stream their events into
+  per-worker JSONL shards; the orchestrator merges them into one Chrome
+  trace with a pid lane per worker.
+* **Metrics** (:class:`MetricsRegistry` / :data:`REGISTRY`,
+  :mod:`repro.telemetry.metrics`) — typed counters/gauges/histograms,
+  mergeable across workers, exported as Prometheus text or JSON
+  snapshots.
+* **Monitor** (:class:`StatusBoard`, :mod:`repro.telemetry.monitor`) —
+  a shared heartbeat file behind ``repro top`` and ``run_all
+  --progress``.
 """
 
+from repro.telemetry.distributed import (
+    RELAY_ENV,
+    AggregateResult,
+    TelemetryRelay,
+    WorkerSession,
+    aggregate,
+)
 from repro.telemetry.events import (
     EVENT_SCHEMA,
     EventKind,
@@ -59,6 +81,23 @@ from repro.telemetry.events import (
     validate_jsonl,
 )
 from repro.telemetry.hub import Telemetry
+from repro.telemetry.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    validate_snapshot,
+)
+from repro.telemetry.monitor import (
+    STATUS_ENV,
+    BoardState,
+    StatusBoard,
+    read_board,
+    render_status,
+    render_summary,
+)
 from repro.telemetry.profiler import BranchProfile, BranchProfiler
 from repro.telemetry.sampler import COLUMNS, Sampler, render_timeline, sparkline
 from repro.telemetry.timers import PhaseTimers, phase_timer
@@ -67,17 +106,35 @@ from repro.telemetry.tracer import Tracer
 __all__ = [
     "COLUMNS",
     "EVENT_SCHEMA",
+    "REGISTRY",
+    "RELAY_ENV",
+    "STATUS_ENV",
+    "AggregateResult",
+    "BoardState",
     "BranchProfile",
     "BranchProfiler",
+    "Counter",
     "EventKind",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "PhaseTimers",
     "Sampler",
+    "StatusBoard",
     "Telemetry",
+    "TelemetryRelay",
     "Tracer",
+    "WorkerSession",
+    "aggregate",
+    "parse_prometheus",
     "phase_timer",
+    "read_board",
+    "render_status",
+    "render_summary",
     "render_timeline",
     "sparkline",
     "validate_event",
     "validate_events",
     "validate_jsonl",
+    "validate_snapshot",
 ]

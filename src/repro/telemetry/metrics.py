@@ -1,0 +1,535 @@
+"""Typed, mergeable metrics: counters, gauges, fixed-bucket histograms.
+
+The missing half of the telemetry layer: :mod:`repro.telemetry.tracer`
+answers "what happened, and when?", this module answers "how much, how
+often, how long?" — in a form that survives process boundaries.  Every
+metric is mergeable: two workers each hold a private
+:class:`MetricsRegistry`, serialize it as a JSON snapshot
+(:meth:`MetricsRegistry.snapshot`), and the orchestrator folds the shards
+into one registry (:meth:`MetricsRegistry.merge_snapshot`) whose totals
+equal a single-process run's.  Merge semantics per type:
+
+* **counter** — monotone float; merge is addition (associative and
+  commutative, pinned by property tests);
+* **gauge** — last-known value; merge takes the max (the only associative
+  and commutative choice that needs no timestamps);
+* **histogram** — fixed bucket bounds, per-bucket counts plus ``sum`` and
+  ``count``; merge is bucketwise addition and requires identical bounds.
+
+Two export formats:
+
+* **JSON snapshot** (:meth:`MetricsRegistry.snapshot` /
+  :func:`validate_snapshot`) — the relay shard format, versioned with
+  ``metrics_schema``;
+* **Prometheus text exposition** (:meth:`MetricsRegistry.to_prometheus` /
+  :func:`parse_prometheus`) — ``# HELP``/``# TYPE`` comments,
+  ``name{label="value"} value`` samples, histogram ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` series with a ``+Inf`` bucket, scrapeable by any
+  Prometheus-compatible collector (ROADMAP item 5's dashboards).
+
+The module deliberately imports nothing from the rest of ``repro`` so any
+layer (engine counters, checkpoint store, experiment pool) can record into
+the process-wide :data:`REGISTRY` without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Iterable
+
+#: Version of the JSON snapshot layout.  Bump on incompatible changes;
+#: :func:`validate_snapshot` rejects snapshots from other versions.
+METRICS_SCHEMA = 1
+
+#: Default histogram bounds: latency-shaped (seconds), from sub-millisecond
+#: dispatch overheads to multi-minute report phases.  Callers measuring
+#: counts (records, rows) pass their own bounds.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+                   1.0, 5.0, 10.0, 50.0, 100.0, 500.0)
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus-compatible number: integral floats print as integers."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _render_labels(labelnames: tuple[str, ...],
+                   labelvalues: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """The ``{a="x",b="y"}`` suffix of one sample (empty when unlabeled)."""
+    pairs = list(zip(labelnames, labelvalues)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape_label(str(value))}"'
+                    for name, value in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared identity of one named metric family."""
+
+    type: str = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()) -> None:
+        if not _NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        """The series key for one ``**labels`` call, order-normalized."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_Metric):
+    """A monotonically increasing value (events, hits, bytes)."""
+
+    type = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0) to the series selected by ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0 when never incremented)."""
+        return self._series.get(self._key(labels), 0.0)
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (occupancy, utilization, workers)."""
+
+    type = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._series: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the series selected by ``labels`` to ``value``."""
+        self._series[self._key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0 when never set)."""
+        return self._series.get(self._key(labels), 0.0)
+
+
+class Histogram(_Metric):
+    """A fixed-bucket distribution with ``sum`` and ``count``.
+
+    Bucket counts are *non-cumulative* internally (merging is a plain
+    element-wise sum); the Prometheus exporter emits the cumulative
+    ``le``-bucket form the exposition format requires.
+    """
+
+    type = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} needs strictly increasing bounds"
+            )
+        self.buckets = bounds
+        #: series key -> (per-bucket counts [len(bounds)+1], sum, count).
+        self._series: dict[tuple[str, ...], list] = {}
+
+    def _slot(self, key: tuple[str, ...]) -> list:
+        state = self._series.get(key)
+        if state is None:
+            state = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            self._series[key] = state
+        return state
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the series selected by ``labels``."""
+        state = self._slot(self._key(labels))
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        state[0][index] += 1
+        state[1] += float(value)
+        state[2] += 1
+
+    def totals(self, **labels: object) -> tuple[float, int]:
+        """``(sum, count)`` of one series (zeros when never observed)."""
+        state = self._series.get(self._key(labels))
+        if state is None:
+            return 0.0, 0
+        return state[1], state[2]
+
+    def mean(self, **labels: object) -> float:
+        """Mean observation of one series (0 when empty)."""
+        total, count = self.totals(**labels)
+        return total / count if count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create access.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when the
+    name is already registered (checking that type, label names, and
+    histogram bounds agree), so call sites scattered across modules share
+    series without threading objects around.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: tuple[str, ...], **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.type}, not {cls.type}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, not {tuple(labelnames)}"
+                )
+            bounds = kwargs.get("buckets")
+            if bounds is not None and tuple(
+                    float(b) for b in bounds) != existing.buckets:
+                raise ValueError(
+                    f"histogram {name!r} already registered with "
+                    f"different bounds"
+                )
+            return existing
+        metric = cls(name, help, tuple(labelnames), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create a :class:`Histogram` with ``buckets`` bounds."""
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=tuple(buckets))
+
+    def get(self, name: str) -> _Metric | None:
+        """The registered metric named ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every registered metric (start of a fresh session)."""
+        self._metrics.clear()
+
+    # -- JSON snapshot -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as a versioned, JSON-serializable snapshot."""
+        metrics = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            entry: dict = {
+                "name": name,
+                "type": metric.type,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["series"] = [
+                    {"labels": list(key), "counts": list(state[0]),
+                     "sum": state[1], "count": state[2]}
+                    for key, state in sorted(metric._series.items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": list(key), "value": value}
+                    for key, value in sorted(metric._series.items())
+                ]
+            metrics.append(entry)
+        return {"metrics_schema": METRICS_SCHEMA, "metrics": metrics}
+
+    def write_snapshot(self, path) -> None:
+        """Write :meth:`snapshot` as JSON to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.snapshot(), indent=1) + "\n")
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "MetricsRegistry":
+        """A fresh registry holding exactly ``payload``'s series."""
+        registry = cls()
+        registry.merge_snapshot(payload)
+        return registry
+
+    def merge_snapshot(self, payload: dict) -> None:
+        """Fold one snapshot into this registry.
+
+        Counters add, gauges take the max, histograms add bucketwise
+        (identical bounds required).  Raises ``ValueError`` on a snapshot
+        that fails :func:`validate_snapshot` or conflicts with an already
+        registered metric.
+        """
+        problems = validate_snapshot(payload)
+        if problems:
+            raise ValueError(f"invalid metrics snapshot: {problems[0]}")
+        for entry in payload["metrics"]:
+            name = entry["name"]
+            labelnames = tuple(entry["labelnames"])
+            kind = entry["type"]
+            if kind == "counter":
+                metric = self.counter(name, entry.get("help", ""), labelnames)
+                for series in entry["series"]:
+                    key = tuple(series["labels"])
+                    metric._series[key] = (metric._series.get(key, 0.0)
+                                           + float(series["value"]))
+            elif kind == "gauge":
+                metric = self.gauge(name, entry.get("help", ""), labelnames)
+                for series in entry["series"]:
+                    key = tuple(series["labels"])
+                    value = float(series["value"])
+                    metric._series[key] = max(
+                        metric._series.get(key, value), value)
+            else:
+                metric = self.histogram(name, entry.get("help", ""),
+                                        labelnames,
+                                        buckets=tuple(entry["buckets"]))
+                for series in entry["series"]:
+                    key = tuple(series["labels"])
+                    counts = list(series["counts"])
+                    if len(counts) != len(metric.buckets) + 1:
+                        raise ValueError(
+                            f"histogram {name!r} snapshot has "
+                            f"{len(counts)} bucket counts for "
+                            f"{len(metric.buckets)} bounds"
+                        )
+                    state = metric._slot(key)
+                    state[0] = [a + b for a, b in zip(state[0], counts)]
+                    state[1] += float(series["sum"])
+                    state[2] += int(series["count"])
+
+    # -- Prometheus text exposition ----------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.type}")
+            if isinstance(metric, Histogram):
+                for key, state in sorted(metric._series.items()):
+                    counts, total, count = state
+                    cumulative = 0
+                    for bound, bucket in zip(
+                            list(metric.buckets) + [math.inf],
+                            counts):
+                        cumulative += bucket
+                        suffix = _render_labels(
+                            metric.labelnames, key,
+                            (("le", _format_value(bound)),))
+                        lines.append(
+                            f"{name}_bucket{suffix} {cumulative}")
+                    plain = _render_labels(metric.labelnames, key)
+                    lines.append(f"{name}_sum{plain} {_format_value(total)}")
+                    lines.append(f"{name}_count{plain} {count}")
+            else:
+                for key, value in sorted(metric._series.items()):
+                    suffix = _render_labels(metric.labelnames, key)
+                    lines.append(f"{name}{suffix} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Process-wide default registry.  Worker processes hold their own copy
+#: (fork or fresh import); the relay carries worker snapshots back to the
+#: orchestrator for merging.
+REGISTRY = MetricsRegistry()
+
+
+def validate_snapshot(payload: object) -> list[str]:
+    """Structural problems of one JSON snapshot (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["snapshot is not an object"]
+    if payload.get("metrics_schema") != METRICS_SCHEMA:
+        problems.append(
+            f"metrics_schema is {payload.get('metrics_schema')!r}, "
+            f"expected {METRICS_SCHEMA}"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, list):
+        problems.append("'metrics' is not a list")
+        return problems
+    seen: set[str] = set()
+    for index, entry in enumerate(metrics):
+        where = f"metrics[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not _NAME.match(name):
+            problems.append(f"{where}: invalid name {name!r}")
+            continue
+        if name in seen:
+            problems.append(f"{where}: duplicate metric {name!r}")
+        seen.add(name)
+        kind = entry.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"{where} ({name}): unknown type {kind!r}")
+            continue
+        labelnames = entry.get("labelnames")
+        if (not isinstance(labelnames, list)
+                or any(not isinstance(l, str) or not _LABEL.match(l)
+                       for l in labelnames)):
+            problems.append(f"{where} ({name}): invalid labelnames")
+            continue
+        series = entry.get("series")
+        if not isinstance(series, list):
+            problems.append(f"{where} ({name}): 'series' is not a list")
+            continue
+        bounds = None
+        if kind == "histogram":
+            bounds = entry.get("buckets")
+            if (not isinstance(bounds, list) or not bounds
+                    or any(not isinstance(b, (int, float)) for b in bounds)
+                    or [float(b) for b in bounds]
+                    != sorted({float(b) for b in bounds})):
+                problems.append(f"{where} ({name}): invalid bucket bounds")
+                continue
+        for sindex, sample in enumerate(series):
+            swhere = f"{where} ({name}) series[{sindex}]"
+            if not isinstance(sample, dict):
+                problems.append(f"{swhere}: not an object")
+                continue
+            labels = sample.get("labels")
+            if (not isinstance(labels, list)
+                    or len(labels) != len(labelnames)
+                    or any(not isinstance(v, str) for v in labels)):
+                problems.append(f"{swhere}: labels do not match labelnames")
+            if kind == "histogram":
+                counts = sample.get("counts")
+                if (not isinstance(counts, list)
+                        or len(counts) != len(bounds) + 1
+                        or any(not isinstance(c, int) or c < 0
+                               for c in counts)):
+                    problems.append(f"{swhere}: invalid bucket counts")
+                if not isinstance(sample.get("sum"), (int, float)):
+                    problems.append(f"{swhere}: missing numeric 'sum'")
+                count = sample.get("count")
+                if not isinstance(count, int) or count < 0:
+                    problems.append(f"{swhere}: missing 'count'")
+                elif isinstance(counts, list) and all(
+                        isinstance(c, int) for c in counts) and (
+                        sum(counts) != count):
+                    problems.append(
+                        f"{swhere}: bucket counts sum to {sum(counts)}, "
+                        f"'count' says {count}"
+                    )
+            else:
+                if not isinstance(sample.get("value"), (int, float)):
+                    problems.append(f"{swhere}: missing numeric 'value'")
+    return problems
+
+
+#: One sample line: ``name{labels} value`` (labels optional).
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse text exposition back into ``{family: {type, samples}}``.
+
+    ``samples`` maps ``(sample_name, sorted_label_items)`` to the numeric
+    value; histogram ``_bucket``/``_sum``/``_count`` samples file under
+    their family name.  Used by the round-trip tests and as a minimal
+    scrape-side reference; raises ``ValueError`` on lines that are neither
+    comments nor well-formed samples.
+    """
+    families: dict[str, dict] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {"type": kind.strip(), "samples": {}})
+            families[name]["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line: {raw!r}")
+        sample_name = match.group("name")
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and base in families:
+                family = base
+                break
+        labels = []
+        if match.group("labels"):
+            labels = [
+                (name, value.replace('\\"', '"').replace("\\n", "\n")
+                 .replace("\\\\", "\\"))
+                for name, value in _LABEL_PAIR.findall(match.group("labels"))
+            ]
+        raw_value = match.group("value")
+        value = math.inf if raw_value == "+Inf" else float(raw_value)
+        entry = families.setdefault(family, {"type": "untyped",
+                                             "samples": {}})
+        entry["samples"][(sample_name, tuple(sorted(labels)))] = value
+    return families

@@ -1,0 +1,352 @@
+"""Live run monitoring: a shared heartbeat file and the ``repro top`` view.
+
+Long batch sessions (``run_many`` over a process backend, checkpoint-
+parallel fan-outs) were previously silent until the final summary.  This
+module gives them a pulse:
+
+* A :class:`StatusBoard` is an append-only JSONL file every participant
+  heartbeats into — one small ``O_APPEND``-atomic line per state change
+  (``queued``/``warming``/``measuring``/``stitching``/``cached``/
+  ``done``/``failed``), cheap enough to write from workers and safe under
+  concurrent writers without locks.  Orchestrators create one and export
+  its path as ``$REPRO_STATUS``; pool workers inherit the variable and
+  beat through :meth:`StatusBoard.from_env` (``None`` when unset — the
+  zero-cost-off contract, same shape as telemetry and the relay).
+* :func:`read_board` folds the file into a :class:`BoardState` — latest
+  state per spec, per-worker activity, session throughput — tolerating a
+  truncated final line from a crashing writer.
+* :func:`render_status` draws the per-spec table ``repro top`` shows
+  (records/sec, ETA, cache-hit rate, worker utilization);
+  :func:`render_summary` is the one-paragraph degradation for dumb
+  terminals and session-end reporting.
+* :func:`top` is the tail loop behind ``repro top``: on a TTY it
+  redraws in place; on anything else it degrades to printing the final
+  summary once the board goes quiet.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Environment variable naming the status-board file.
+STATUS_ENV = "REPRO_STATUS"
+
+#: Heartbeat states, in lifecycle order.  ``cached``/``done``/``failed``
+#: are terminal.
+STATES = ("queued", "warming", "measuring", "stitching",
+          "cached", "done", "failed")
+
+_TERMINAL = {"cached", "done", "failed"}
+
+
+class StatusBoard:
+    """Append-only heartbeat file shared by every process of a session."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def from_env(cls) -> "StatusBoard | None":
+        """The board named by ``$REPRO_STATUS``, or ``None`` when unset."""
+        path = os.environ.get(STATUS_ENV, "").strip()
+        if not path:
+            return None
+        return cls(path)
+
+    def activate(self) -> None:
+        """Export this board's path as ``$REPRO_STATUS`` for workers."""
+        os.environ[STATUS_ENV] = str(self.path)
+
+    def beat(self, spec: str, state: str, worker: str | None = None,
+             done: int = 0, total: int = 0, **extra) -> None:
+        """Append one heartbeat line (atomic for lines under PIPE_BUF).
+
+        ``spec`` names the unit of work (e.g. ``TPF/zEC12-2``), ``state``
+        one of :data:`STATES`, ``done``/``total`` its record progress.
+        A board must never take a run down with it: filesystem errors
+        are swallowed.
+        """
+        record = {
+            "t": time.time(),
+            "spec": spec,
+            "state": state,
+            "worker": worker or multiprocessing.current_process().name,
+            "done": done,
+            "total": total,
+        }
+        record.update(extra)
+        try:
+            with open(self.path, "a") as stream:
+                stream.write(json.dumps(record) + "\n")
+        except OSError:
+            pass
+
+
+@dataclass
+class SpecStatus:
+    """Latest known state of one spec on the board."""
+
+    spec: str
+    state: str
+    worker: str
+    done: int = 0
+    total: int = 0
+    #: Timestamp of the latest beat.
+    t: float = 0.0
+    #: Timestamp of the first beat ever seen for this spec.
+    first_t: float = 0.0
+    #: Optional extras carried by terminal beats.
+    instructions: int = 0
+    seconds: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        """True once the spec reached a final state."""
+        return self.state in _TERMINAL
+
+
+@dataclass
+class BoardState:
+    """One tolerant fold of a status file."""
+
+    specs: dict[str, SpecStatus] = field(default_factory=dict)
+    #: worker -> beat count (activity attribution).
+    workers: dict[str, int] = field(default_factory=dict)
+    #: worker -> simulated seconds reported by its terminal beats.
+    worker_seconds: dict[str, float] = field(default_factory=dict)
+    started: float = 0.0
+    updated: float = 0.0
+    beats: int = 0
+    #: Unparseable lines skipped (typically one truncated tail line).
+    skipped: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds between the first and latest beat."""
+        return max(0.0, self.updated - self.started)
+
+    @property
+    def finished(self) -> int:
+        """Specs in a terminal state."""
+        return sum(1 for s in self.specs.values() if s.terminal)
+
+    @property
+    def cached(self) -> int:
+        """Specs served from the result cache."""
+        return sum(1 for s in self.specs.values() if s.state == "cached")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over terminal specs (0 when none finished)."""
+        finished = self.finished
+        return self.cached / finished if finished else 0.0
+
+    @property
+    def records_per_second(self) -> float:
+        """Aggregate simulated records/sec over terminal beats."""
+        seconds = sum(s.seconds for s in self.specs.values() if s.terminal)
+        records = sum(s.instructions for s in self.specs.values()
+                      if s.terminal)
+        return records / seconds if seconds > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float | None:
+        """Naive session ETA from the finished-spec rate (None when cold)."""
+        remaining = len(self.specs) - self.finished
+        if remaining <= 0:
+            return 0.0
+        if not self.finished or self.elapsed <= 0:
+            return None
+        return remaining * (self.elapsed / self.finished)
+
+    def utilization(self, workers: int | None = None) -> float:
+        """Busy fraction: simulated seconds over workers x wall time."""
+        lanes = workers if workers else max(1, len(self.worker_seconds))
+        if self.elapsed <= 0:
+            return 0.0
+        busy = sum(self.worker_seconds.values())
+        return min(1.0, busy / (lanes * self.elapsed))
+
+    @property
+    def all_done(self) -> bool:
+        """True when every known spec reached a terminal state."""
+        return bool(self.specs) and self.finished == len(self.specs)
+
+
+def read_board(path) -> BoardState | None:
+    """Fold a status file into a :class:`BoardState`, tolerantly.
+
+    ``None`` when the file does not exist yet.  A truncated or corrupt
+    line (a writer crashed mid-append, or the reader raced the tail)
+    increments ``skipped`` and is otherwise ignored.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    state = BoardState()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            state.skipped += 1
+            continue
+        if not isinstance(record, dict) or "spec" not in record:
+            state.skipped += 1
+            continue
+        t = float(record.get("t", 0.0))
+        spec = str(record["spec"])
+        worker = str(record.get("worker", "?"))
+        state.beats += 1
+        state.started = t if state.started == 0.0 else min(state.started, t)
+        state.updated = max(state.updated, t)
+        state.workers[worker] = state.workers.get(worker, 0) + 1
+        previous = state.specs.get(spec)
+        status = SpecStatus(
+            spec=spec,
+            state=str(record.get("state", "?")),
+            worker=worker,
+            done=int(record.get("done", 0) or 0),
+            total=int(record.get("total", 0) or 0),
+            t=t,
+            first_t=previous.first_t if previous else t,
+            instructions=int(record.get("instructions", 0) or 0),
+            seconds=float(record.get("seconds", 0.0) or 0.0),
+        )
+        if previous is not None:
+            status.total = status.total or previous.total
+            status.instructions = status.instructions or previous.instructions
+            status.seconds = status.seconds or previous.seconds
+        state.specs[spec] = status
+        if status.terminal and status.seconds:
+            state.worker_seconds[worker] = (
+                state.worker_seconds.get(worker, 0.0) + status.seconds)
+    return state
+
+
+def _bar(fraction: float, width: int = 16) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _eta_text(state: BoardState) -> str:
+    eta = state.eta_seconds
+    if eta is None:
+        return "eta --"
+    if eta <= 0:
+        return "eta done"
+    if eta < 90:
+        return f"eta {eta:.0f}s"
+    return f"eta {eta / 60:.1f}m"
+
+
+def render_status(state: BoardState, width: int = 80,
+                  max_specs: int = 24) -> str:
+    """The live multi-line ``repro top`` panel for one board fold."""
+    head = (
+        f"specs {state.finished}/{len(state.specs)} done "
+        f"({state.cached} cached, "
+        f"{100 * state.cache_hit_rate:.0f}% hit rate)  "
+        f"{state.records_per_second:,.0f} rec/s  "
+        f"{_eta_text(state)}  "
+        f"elapsed {state.elapsed:.1f}s"
+    )
+    lines = [head[:width], "-" * min(width, len(head))]
+    active = sorted(state.specs.values(),
+                    key=lambda s: (s.terminal, -s.t))
+    for status in active[:max_specs]:
+        fraction = (status.done / status.total) if status.total else (
+            1.0 if status.terminal else 0.0)
+        progress = (f"{status.done:,}/{status.total:,}"
+                    if status.total else "")
+        lines.append(
+            f"{status.spec[:32]:32s} {status.state:9s} "
+            f"[{_bar(fraction)}] {progress:>17s}  {status.worker[:18]}"
+        )
+    if len(active) > max_specs:
+        lines.append(f"... {len(active) - max_specs} more spec(s)")
+    busy = ", ".join(
+        f"{name}: {count}" for name, count in sorted(state.workers.items())
+    )
+    lines.append(
+        f"workers [{busy}]  utilization {100 * state.utilization():.0f}%"
+    )
+    if state.skipped:
+        lines.append(f"({state.skipped} unreadable heartbeat line(s) skipped)")
+    return "\n".join(line[:width] for line in lines)
+
+
+def render_summary(state: BoardState) -> str:
+    """One-line final summary (dumb-terminal degradation)."""
+    return (
+        f"session: {state.finished}/{len(state.specs)} specs done, "
+        f"{state.cached} cached "
+        f"({100 * state.cache_hit_rate:.0f}% hit rate), "
+        f"{state.records_per_second:,.0f} rec/s over "
+        f"{len(state.workers)} worker(s), "
+        f"utilization {100 * state.utilization():.0f}%, "
+        f"elapsed {state.elapsed:.1f}s"
+    )
+
+
+def top(path, interval: float = 1.0, once: bool = False,
+        stream=None, width: int = 80, idle_limit: float = 30.0) -> int:
+    """Tail a status board and render it until the session completes.
+
+    On a TTY the panel redraws in place each ``interval``; on a dumb
+    terminal (pipes, CI logs) only state-count changes print, ending with
+    the final summary.  Exits 0 once every spec is terminal (after one
+    final render), or when the board has been idle for ``idle_limit``
+    seconds; exits 1 when the file never appears.  ``once`` renders a
+    single fold and returns immediately.
+    """
+    stream = stream if stream is not None else sys.stdout
+    is_tty = bool(getattr(stream, "isatty", lambda: False)())
+    last_signature = None
+    last_change = time.monotonic()
+    while True:
+        state = read_board(path)
+        if state is None:
+            if once:
+                print(f"no status board at {path}", file=stream)
+                return 1
+            if time.monotonic() - last_change > idle_limit:
+                print(f"no status board at {path}", file=stream)
+                return 1
+            time.sleep(interval)
+            continue
+        signature = (state.beats, state.finished)
+        if is_tty and not once:
+            stream.write("\x1b[H\x1b[2J" + render_status(state, width)
+                         + "\n")
+            stream.flush()
+        elif signature != last_signature:
+            if once:
+                print(render_status(state, width), file=stream)
+            else:
+                print(
+                    f"[{state.finished}/{len(state.specs)} done] "
+                    + render_summary(state),
+                    file=stream,
+                )
+        if signature != last_signature:
+            last_change = time.monotonic()
+        last_signature = signature
+        if once:
+            return 0
+        if state.all_done or (time.monotonic() - last_change > idle_limit):
+            if not is_tty:
+                print(render_summary(state), file=stream)
+            else:
+                stream.write(render_summary(state) + "\n")
+            return 0
+        time.sleep(interval)

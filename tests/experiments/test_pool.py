@@ -228,6 +228,38 @@ class TestSessionSummaryRendering:
 
         assert render_run_summary(ExecutionLog()) == ["_runs: none requested._"]
 
+    def test_registry_adds_per_backend_dispatch_lines(
+            self, tmp_path, monkeypatch):
+        """With the session REGISTRY passed in, the summary reports each
+        backend's dispatched count, utilization, and queue-vs-execute
+        split sourced from the pool's recorded histograms."""
+        from repro.metrics.report import render_run_summary
+        from repro.telemetry.metrics import REGISTRY
+
+        monkeypatch.setenv("REPRO_RESULTS_CACHE", str(tmp_path))
+        REGISTRY.reset()
+        log = ExecutionLog()
+        run_many([RunSpec(SPEC, ZEC12_CONFIG_1, scale=SCALE),
+                  RunSpec(SPEC, ZEC12_CONFIG_2, scale=SCALE)],
+                 log=log, jobs=2, backend="process")
+        lines = render_run_summary(log, REGISTRY)
+        backend_lines = [l for l in lines if "backend process:" in l]
+        assert len(backend_lines) == 1
+        assert "2 dispatched" in backend_lines[0]
+        assert "utilization" in backend_lines[0]
+        assert "queue wait" in backend_lines[0]
+        assert "execute" in backend_lines[0]
+        assert all(line.startswith("_") and line.endswith("_")
+                   for line in lines)
+
+    def test_registry_without_dispatch_metrics_adds_nothing(self):
+        from repro.metrics.report import render_run_summary
+        from repro.telemetry.metrics import MetricsRegistry
+
+        log = ExecutionLog()
+        assert render_run_summary(log, MetricsRegistry()) \
+            == render_run_summary(log)
+
 
 class TestAuditedRuns:
     def test_audited_run_matches_unaudited(self, tmp_path, monkeypatch):

@@ -93,3 +93,81 @@ class TestChromeProblems:
         ]}))
         problems = check_trace.check_chrome_file(path)
         assert any("unknown phase" in p for p in problems)
+
+
+def _merged_trace(metadata_overrides=None, events=None):
+    """A minimal well-formed aggregated trace payload."""
+    metadata = {
+        "relay_schema": 1,
+        "run": "t",
+        "workers": ["orchestrator", "w0"],
+        "shards": [
+            {"file": "shard-t-orchestrator-s0000.jsonl",
+             "worker": "orchestrator", "slice": 0, "pid": 0, "events": 1},
+            {"file": "shard-t-w0-s0000.jsonl",
+             "worker": "w0", "slice": 0, "pid": 1, "events": 2},
+        ],
+        "missing": [],
+        "skipped": [],
+    }
+    metadata.update(metadata_overrides or {})
+    return {
+        "traceEvents": events if events is not None else [
+            {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+             "args": {"name": "orchestrator"}},
+            {"ph": "i", "pid": 0, "tid": 0, "ts": 0, "name": "interval"},
+            {"ph": "B", "pid": 1, "tid": 0, "ts": 1, "name": "preload"},
+            {"ph": "E", "pid": 1, "tid": 0, "ts": 4},
+        ],
+        "metadata": metadata,
+    }
+
+
+class TestMergedProblems:
+    def _check(self, tmp_path, payload):
+        path = tmp_path / "merged.json"
+        path.write_text(json.dumps(payload))
+        return check_trace.check_merged_file(path)
+
+    def test_well_formed_merged_trace_passes(self, tmp_path):
+        assert self._check(tmp_path, _merged_trace()) == []
+
+    def test_metadata_block_required(self, tmp_path):
+        payload = _merged_trace()
+        del payload["metadata"]
+        problems = self._check(tmp_path, payload)
+        assert problems == ["merged trace missing top-level 'metadata' object"]
+
+    def test_wrong_relay_schema_detected(self, tmp_path):
+        problems = self._check(
+            tmp_path, _merged_trace({"relay_schema": 99}))
+        assert any("relay_schema" in p for p in problems)
+
+    def test_missing_shard_fails(self, tmp_path):
+        problems = self._check(
+            tmp_path, _merged_trace({"missing": ["shard-t-w1-s0001.jsonl"]}))
+        assert any("never appeared" in p for p in problems)
+
+    def test_backwards_lane_time_detected(self, tmp_path):
+        payload = _merged_trace(events=[
+            {"ph": "B", "pid": 1, "tid": 0, "ts": 10, "name": "preload"},
+            {"ph": "E", "pid": 1, "tid": 0, "ts": 3},
+        ])
+        problems = self._check(tmp_path, payload)
+        assert any("time went backwards" in p for p in problems)
+
+    def test_unaccounted_shard_lane_detected(self, tmp_path):
+        payload = _merged_trace()
+        payload["metadata"]["shards"][1]["pid"] = 7
+        problems = self._check(tmp_path, payload)
+        assert any("lane 7 is empty" in p for p in problems)
+
+    def test_main_accepts_merged_and_metrics(self, tmp_path):
+        merged = tmp_path / "merged.json"
+        merged.write_text(json.dumps(_merged_trace()))
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps({"metrics_schema": 1, "metrics": []}))
+        assert check_trace.main(["--merged", str(merged),
+                                 "--metrics", str(metrics)]) == 0
+        metrics.write_text(json.dumps({"metrics_schema": 2, "metrics": []}))
+        assert check_trace.main(["--metrics", str(metrics)]) == 1

@@ -1,0 +1,277 @@
+"""The metrics registry: merge algebra, snapshots, Prometheus export.
+
+The distributed contract rests on the merge semantics being a proper
+commutative monoid per metric type — shard arrival order must never
+change a total — so the merge laws are property-tested with Hypothesis
+on top of the example-based round-trip and golden-format pins.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    validate_snapshot,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+BOUNDS = (1.0, 10.0, 100.0)
+
+
+def _registry_with(observations, counter_bumps=(), gauge_sets=()):
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "test", ("who",), buckets=BOUNDS)
+    for who, value in observations:
+        hist.observe(value, who=who)
+    counter = registry.counter("c", "test", ("who",))
+    for who, amount in counter_bumps:
+        counter.inc(amount, who=who)
+    gauge = registry.gauge("g", "test")
+    for value in gauge_sets:
+        gauge.set(value)
+    return registry
+
+
+#: One worker's worth of activity: labeled observations, counter bumps,
+#: and gauge settings.
+_WHO = st.sampled_from(["a", "b"])
+_SHARD = st.tuples(
+    st.lists(st.tuples(_WHO, st.floats(0, 1000, allow_nan=False)),
+             max_size=8),
+    st.lists(st.tuples(_WHO, st.floats(0, 100, allow_nan=False)),
+             max_size=8),
+    st.lists(st.floats(-50, 50, allow_nan=False), max_size=4),
+)
+
+
+def _merged(shards, order):
+    target = MetricsRegistry()
+    for index in order:
+        target.merge_snapshot(_registry_with(*shards[index]).snapshot())
+    return target.snapshot()
+
+
+def _assert_snapshots_close(left, right):
+    """Snapshot equality up to float summation order.
+
+    Merge is associative/commutative over the *observations*; float
+    addition regroups, so sums and counter values compare with approx
+    while every structural field and integer count compares exactly.
+    """
+    assert [m["name"] for m in left["metrics"]] \
+        == [m["name"] for m in right["metrics"]]
+    for mine, theirs in zip(left["metrics"], right["metrics"]):
+        assert mine["type"] == theirs["type"]
+        assert mine["labelnames"] == theirs["labelnames"]
+        assert mine.get("buckets") == theirs.get("buckets")
+        assert len(mine["series"]) == len(theirs["series"])
+        for a, b in zip(mine["series"], theirs["series"]):
+            assert a["labels"] == b["labels"]
+            if mine["type"] == "histogram":
+                assert a["counts"] == b["counts"]
+                assert a["count"] == b["count"]
+                assert a["sum"] == pytest.approx(b["sum"])
+            else:
+                assert a["value"] == pytest.approx(b["value"])
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(shards=st.lists(_SHARD, min_size=2, max_size=4))
+    def test_merge_is_commutative(self, shards):
+        forward = _merged(shards, range(len(shards)))
+        backward = _merged(shards, reversed(range(len(shards))))
+        _assert_snapshots_close(forward, backward)
+
+    @settings(max_examples=50, deadline=None)
+    @given(shards=st.lists(_SHARD, min_size=3, max_size=3))
+    def test_merge_is_associative(self, shards):
+        # (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), via intermediate registries.
+        ab = MetricsRegistry()
+        ab.merge_snapshot(_registry_with(*shards[0]).snapshot())
+        ab.merge_snapshot(_registry_with(*shards[1]).snapshot())
+        left = MetricsRegistry()
+        left.merge_snapshot(ab.snapshot())
+        left.merge_snapshot(_registry_with(*shards[2]).snapshot())
+
+        bc = MetricsRegistry()
+        bc.merge_snapshot(_registry_with(*shards[1]).snapshot())
+        bc.merge_snapshot(_registry_with(*shards[2]).snapshot())
+        right = MetricsRegistry()
+        right.merge_snapshot(_registry_with(*shards[0]).snapshot())
+        right.merge_snapshot(bc.snapshot())
+        _assert_snapshots_close(left.snapshot(), right.snapshot())
+
+    @settings(max_examples=50, deadline=None)
+    @given(shards=st.lists(_SHARD, min_size=1, max_size=4))
+    def test_merged_totals_equal_single_process_run(self, shards):
+        """K shards merged == one registry fed every event (the relay pin)."""
+        serial = _registry_with(
+            [obs for shard in shards for obs in shard[0]],
+            [bump for shard in shards for bump in shard[1]],
+            # Gauge merge is max, so the serial equivalent is the max too.
+            [max(v for shard in shards for v in shard[2])]
+            if any(shard[2] for shard in shards) else [],
+        )
+        merged = _merged(shards, range(len(shards)))
+        for fresh, entry in zip(serial.snapshot()["metrics"],
+                                merged["metrics"]):
+            assert fresh["name"] == entry["name"]
+            if entry["type"] == "histogram":
+                for mine, theirs in zip(fresh["series"], entry["series"]):
+                    assert mine["counts"] == theirs["counts"]
+                    assert mine["count"] == theirs["count"]
+                    assert mine["sum"] == pytest.approx(theirs["sum"])
+            elif entry["type"] == "counter":
+                for mine, theirs in zip(fresh["series"], entry["series"]):
+                    assert mine["value"] == pytest.approx(theirs["value"])
+
+
+class TestMetricTypes:
+    def test_counter_refuses_to_decrease(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labels_must_match_declaration(self):
+        counter = Counter("c", labelnames=("result",))
+        counter.inc(result="hit")
+        with pytest.raises(ValueError):
+            counter.inc(backend="serial")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_histogram_needs_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_histogram_totals_and_mean(self):
+        hist = Histogram("h", buckets=BOUNDS)
+        for value in (0.5, 5.0, 500.0):
+            hist.observe(value)
+        total, count = hist.totals()
+        assert (total, count) == (505.5, 3)
+        assert hist.mean() == pytest.approx(505.5 / 3)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("0bad")
+        with pytest.raises(ValueError):
+            Gauge("g", labelnames=("bad-label",))
+
+    def test_registry_get_or_create_checks_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("x",))
+        assert registry.counter("c", labelnames=("x",)) is registry.get("c")
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+        with pytest.raises(ValueError):
+            registry.counter("c", labelnames=("y",))
+        registry.histogram("h", buckets=BOUNDS)
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(2.0,))
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        registry = _registry_with([("a", 0.5), ("b", 50.0)],
+                                  [("a", 3.0)], [7.0])
+        path = tmp_path / "metrics.json"
+        registry.write_snapshot(path)
+        payload = json.loads(path.read_text())
+        assert validate_snapshot(payload) == []
+        assert payload["metrics_schema"] == METRICS_SCHEMA
+        restored = MetricsRegistry.from_snapshot(payload)
+        assert restored.snapshot() == registry.snapshot()
+
+    def test_validate_rejects_damage(self):
+        good = _registry_with([("a", 1.0)]).snapshot()
+        assert validate_snapshot(good) == []
+        assert validate_snapshot([]) != []
+        assert validate_snapshot({"metrics_schema": 99, "metrics": []}) != []
+
+        hist_index = next(i for i, m in enumerate(good["metrics"])
+                          if m["type"] == "histogram")
+        bad = json.loads(json.dumps(good))
+        bad["metrics"][hist_index]["series"][0]["counts"] = [1]
+        assert any("bucket counts" in p for p in validate_snapshot(bad))
+
+        bad = json.loads(json.dumps(good))
+        bad["metrics"][hist_index]["series"][0]["count"] = 99
+        assert any("'count' says" in p for p in validate_snapshot(bad))
+
+        bad = json.loads(json.dumps(good))
+        bad["metrics"].append(bad["metrics"][0])
+        assert any("duplicate" in p for p in validate_snapshot(bad))
+
+    def test_merge_rejects_invalid_snapshot(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot({"metrics_schema": 2})
+
+
+class TestPrometheus:
+    def test_golden_format(self):
+        """The exposition shape is pinned verbatim: HELP/TYPE comments,
+        cumulative le-buckets with +Inf, _sum/_count, label escaping."""
+        registry = MetricsRegistry()
+        registry.counter("repro_runs_total", "runs by result",
+                         ("result",)).inc(2, result="cached")
+        hist = registry.histogram("repro_run_seconds", "wall seconds",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        assert registry.to_prometheus() == (
+            "# HELP repro_run_seconds wall seconds\n"
+            "# TYPE repro_run_seconds histogram\n"
+            'repro_run_seconds_bucket{le="0.1"} 1\n'
+            'repro_run_seconds_bucket{le="1"} 2\n'
+            'repro_run_seconds_bucket{le="+Inf"} 3\n'
+            "repro_run_seconds_sum 5.55\n"
+            "repro_run_seconds_count 3\n"
+            "# HELP repro_runs_total runs by result\n"
+            "# TYPE repro_runs_total counter\n"
+            'repro_runs_total{result="cached"} 2\n'
+        )
+
+    def test_parse_round_trip(self):
+        registry = _registry_with([("a", 0.5), ("a", 50.0)],
+                                  [("b", 4.0)], [2.5])
+        families = parse_prometheus(registry.to_prometheus())
+        assert families["c"]["type"] == "counter"
+        assert families["c"]["samples"][("c", (("who", "b"),))] == 4.0
+        assert families["g"]["samples"][("g", ())] == 2.5
+        hist = families["h"]
+        assert hist["type"] == "histogram"
+        # Cumulative buckets: le=1 holds 1, le=+Inf holds all 2.
+        assert hist["samples"][
+            ("h_bucket", (("le", "1"), ("who", "a")))] == 1
+        assert hist["samples"][
+            ("h_bucket", (("le", "+Inf"), ("who", "a")))] == 2
+        assert hist["samples"][("h_count", (("who", "a"),))] == 2
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a sample line at all {")
+
+    def test_label_escaping_survives_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "", ("path",)).inc(
+            path='tricky"quote\\back\nnewline')
+        families = parse_prometheus(registry.to_prometheus())
+        ((_, labels),) = families["c"]["samples"]
+        assert dict(labels)["path"] == 'tricky"quote\\back\nnewline'
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

@@ -1,0 +1,169 @@
+"""The status board: heartbeats, tolerant folds, rendering, ``repro top``."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.config import ZEC12_CONFIG_1
+from repro.experiments.pool import ExecutionLog, RunSpec, run_many
+from repro.telemetry.monitor import (
+    STATUS_ENV,
+    BoardState,
+    StatusBoard,
+    read_board,
+    render_status,
+    render_summary,
+    top,
+)
+from repro.workloads.catalog import workload_by_name
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_board(monkeypatch):
+    monkeypatch.delenv(STATUS_ENV, raising=False)
+
+
+def _board_with(tmp_path, beats):
+    board = StatusBoard(tmp_path / "status.jsonl")
+    for beat in beats:
+        board.beat(**beat)
+    return board
+
+
+class TestStatusBoard:
+    def test_from_env_is_none_when_unset(self):
+        assert StatusBoard.from_env() is None
+
+    def test_activate_round_trips_through_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STATUS_ENV, "")  # keep monkeypatch cleanup
+        board = StatusBoard(tmp_path / "s.jsonl")
+        board.activate()
+        found = StatusBoard.from_env()
+        assert found is not None and found.path == board.path
+
+    def test_beat_appends_one_json_line(self, tmp_path):
+        board = _board_with(tmp_path, [
+            dict(spec="TPF/c1", state="measuring", done=10, total=100),
+        ])
+        (line,) = board.path.read_text().splitlines()
+        record = json.loads(line)
+        assert record["spec"] == "TPF/c1"
+        assert record["state"] == "measuring"
+        assert record["done"] == 10
+
+    def test_beat_swallows_filesystem_errors(self, tmp_path):
+        board = StatusBoard(tmp_path / "missing-dir" / "s.jsonl")
+        board.beat("x", "queued")  # must not raise
+
+
+class TestReadBoard:
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_board(tmp_path / "nope.jsonl") is None
+
+    def test_latest_state_wins_and_totals_carry_forward(self, tmp_path):
+        board = _board_with(tmp_path, [
+            dict(spec="a", state="measuring", done=10, total=100),
+            dict(spec="a", state="done", done=100,
+                 instructions=5000, seconds=2.0),
+            dict(spec="b", state="cached", instructions=100, seconds=0.5),
+        ])
+        state = read_board(board.path)
+        assert state.specs["a"].state == "done"
+        assert state.specs["a"].total == 100  # carried from earlier beat
+        assert state.finished == 2
+        assert state.cached == 1
+        assert state.cache_hit_rate == 0.5
+        assert state.records_per_second == pytest.approx(5100 / 2.5)
+        assert state.all_done
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        board = _board_with(tmp_path, [
+            dict(spec="a", state="done", instructions=10, seconds=1.0),
+        ])
+        with open(board.path, "a") as stream:
+            stream.write('{"spec": "b", "state": "meas')  # torn write
+        state = read_board(board.path)
+        assert state.skipped == 1
+        assert list(state.specs) == ["a"]
+
+    def test_eta_progression(self, tmp_path):
+        state = BoardState()
+        assert state.eta_seconds == 0.0  # nothing known, nothing left
+        board = _board_with(tmp_path, [
+            dict(spec="a", state="done"),
+            dict(spec="b", state="queued"),
+        ])
+        folded = read_board(board.path)
+        # One finished, one pending: ETA extrapolates from elapsed/finished.
+        assert folded.eta_seconds is not None
+
+
+class TestRendering:
+    def _state(self, tmp_path):
+        board = _board_with(tmp_path, [
+            dict(spec="TPF/zEC12-1", state="measuring", done=50, total=200),
+            dict(spec="CB84/zEC12-1", state="done",
+                 instructions=1000, seconds=1.0),
+        ])
+        return read_board(board.path)
+
+    def test_status_panel_shows_specs_and_progress(self, tmp_path):
+        panel = render_status(self._state(tmp_path), width=100)
+        assert "TPF/zEC12-1" in panel
+        assert "measuring" in panel
+        assert "50/200" in panel
+        assert "1/2 done" in panel
+        assert "utilization" in panel
+
+    def test_width_is_respected(self, tmp_path):
+        panel = render_status(self._state(tmp_path), width=40)
+        assert all(len(line) <= 40 for line in panel.splitlines())
+
+    def test_summary_is_one_line(self, tmp_path):
+        summary = render_summary(self._state(tmp_path))
+        assert "\n" not in summary
+        assert "1/2 specs done" in summary
+
+
+class TestTop:
+    def test_once_renders_single_frame(self, tmp_path):
+        board = _board_with(tmp_path, [
+            dict(spec="a", state="done", instructions=10, seconds=0.1),
+        ])
+        out = io.StringIO()
+        assert top(board.path, once=True, stream=out) == 0
+        assert "1/1 done" in out.getvalue()
+
+    def test_once_exits_nonzero_when_board_absent(self, tmp_path):
+        out = io.StringIO()
+        assert top(tmp_path / "never.jsonl", once=True, stream=out) == 1
+        assert "no status board" in out.getvalue()
+
+    def test_tail_ends_with_summary_when_all_done(self, tmp_path):
+        board = _board_with(tmp_path, [
+            dict(spec="a", state="done", instructions=10, seconds=0.1),
+        ])
+        out = io.StringIO()
+        assert top(board.path, interval=0.01, stream=out) == 0
+        assert "session:" in out.getvalue()
+
+
+class TestRunManyIntegration:
+    def test_run_many_heartbeats_lifecycle(self, tmp_path, monkeypatch):
+        """A process-backend session heartbeats queued -> done, then a
+        rerun reports the cache hit — the `repro top` data source."""
+        board = StatusBoard(tmp_path / "status.jsonl")
+        monkeypatch.setenv(STATUS_ENV, str(board.path))
+        spec = RunSpec(workload_by_name("TPF"), ZEC12_CONFIG_1, scale=0.04)
+
+        run_many([spec], log=ExecutionLog(), backend="process")
+        states = [json.loads(line)["state"]
+                  for line in board.path.read_text().splitlines()]
+        assert "queued" in states
+        assert "done" in states
+
+        run_many([spec], log=ExecutionLog(), backend="process")
+        final = read_board(board.path)
+        label = f"{spec.workload.name}/{ZEC12_CONFIG_1.name}"
+        assert final.specs[label].state == "cached"

@@ -91,6 +91,63 @@ def _hook_calls_with_guards(path: Path):
         yield node.lineno, guarded
 
 
+#: Distributed-observability modules: file -> the local observer names
+#: whose every method call must sit under an ``if <name> is not None``.
+DISTRIBUTED_INSTRUMENTED = {
+    SRC / "sampling" / "parallel.py": ("telemetry", "board", "session"),
+    SRC / "experiments" / "common.py": ("telemetry", "board", "session"),
+    SRC / "experiments" / "pool.py": ("board",),
+}
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The bare name at the root of an attribute chain, if any."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_name_guard(test: ast.AST, name: str) -> bool:
+    """True for a test containing ``<name> is not None``."""
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Compare)
+            and isinstance(node.left, ast.Name)
+            and node.left.id == name
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], ast.IsNot)
+            and isinstance(node.comparators[0], ast.Constant)
+            and node.comparators[0].value is None
+        ):
+            return True
+    return False
+
+
+def _local_hook_calls(path: Path, names: tuple[str, ...]):
+    """Yield (lineno, name, guarded) per call on a tracked local observer."""
+    tree = ast.parse(path.read_text())
+    parents = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        root = _root_name(node.func.value)
+        if root not in names:
+            continue
+        guarded = False
+        cursor = node
+        while cursor in parents:
+            cursor = parents[cursor]
+            if isinstance(cursor, ast.If) and _is_name_guard(cursor.test, root):
+                guarded = True
+                break
+        yield node.lineno, root, guarded
+
+
 class TestHookGuards:
     def test_every_hook_site_is_attribute_guarded(self):
         total = 0
@@ -105,6 +162,30 @@ class TestHookGuards:
         # The wiring spans the whole lifecycle; a low count means hook
         # sites were removed (or the scan broke) — both worth failing on.
         assert total >= 15
+
+    def test_every_distributed_hook_site_is_guarded(self):
+        """Relay/status hook sites obey the same bare-guard contract.
+
+        The distributed layer threads its observers as locals rather than
+        attributes — ``telemetry`` (the relayed hub), ``board`` (the
+        status heartbeat), ``session`` (the worker shard) — so the scan
+        here checks every call on those bare names sits under an
+        ``if <name> is not None`` guard.  ``relay`` is excluded: it is
+        touched once per run at orchestration boundaries, never on a
+        per-record path.
+        """
+        total = 0
+        for path, names in DISTRIBUTED_INSTRUMENTED.items():
+            for lineno, name, guarded in _local_hook_calls(path, names):
+                total += 1
+                assert guarded, (
+                    f"{path.name}:{lineno} calls {name}.* outside an "
+                    f"'if {name} is not None' guard — the off path must "
+                    f"stay a single None test"
+                )
+        # Heartbeats and relay attach/close span the whole fan-out
+        # lifecycle; a shrinking count means hook sites disappeared.
+        assert total >= 20
 
     def test_default_telemetry_is_none_everywhere(self):
         simulator = Simulator(config=small_config())

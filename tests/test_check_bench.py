@@ -1,0 +1,139 @@
+"""Tests for the benchmark regression gate (scripts/check_bench.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_bench  # noqa: E402  (path set up above)
+
+
+def _envelope(name: str, payload: dict) -> dict:
+    return {"bench_schema": 1, "bench": name, "generated_by": "test",
+            **payload}
+
+
+def _fresh(tmp_path, monkeypatch, name, payload):
+    """Point the checker's repo root at tmp_path holding one fresh file."""
+    monkeypatch.setattr(check_bench, "REPO_ROOT", tmp_path)
+    (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+def _committed(monkeypatch, payload):
+    monkeypatch.setattr(check_bench, "committed_payload",
+                        lambda name, ref: payload)
+
+
+class TestLeafExtraction:
+    def test_numeric_leaves_flatten_and_exclude_bools(self):
+        leaves = check_bench.numeric_leaves(
+            {"a": 1, "b": {"c": 2.5, "identical": True}, "d": "text"})
+        assert leaves == {"a": 1.0, "b.c": 2.5}
+
+    def test_parity_leaves_pick_flag_names_only(self):
+        leaves = check_bench.parity_leaves(
+            {"bit_identical": True, "nested": {"parity_held": False},
+             "fast": True})
+        assert leaves == {"bit_identical": True,
+                         "nested.parity_held": False}
+
+    def test_gated_selects_machine_relative_ratios(self):
+        assert check_bench.gated("warm.speedup_at_4", strict=False)
+        assert not check_bench.gated("warm.target_speedup", strict=False)
+        assert not check_bench.gated("records_per_second", strict=False)
+        assert check_bench.gated("records_per_second", strict=True)
+        assert not check_bench.gated("wall_seconds", strict=True)
+
+
+class TestEnvelope:
+    def test_clean_envelope_passes(self):
+        assert check_bench.check_envelope(
+            "x", _envelope("x", {})) == []
+
+    def test_damage_reported(self):
+        problems = check_bench.check_envelope(
+            "x", {"bench_schema": 2, "bench": "y"})
+        assert len(problems) == 3  # schema, name mismatch, generated_by
+
+
+class TestGate:
+    def test_drop_beyond_limit_fails(self, tmp_path, monkeypatch):
+        _fresh(tmp_path, monkeypatch, "p",
+               _envelope("p", {"speedup": 2.0}))
+        _committed(monkeypatch, _envelope("p", {"speedup": 4.0}))
+        problems, _ = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert any("dropped 50.0%" in p for p in problems)
+
+    def test_drop_within_limit_passes(self, tmp_path, monkeypatch):
+        _fresh(tmp_path, monkeypatch, "p",
+               _envelope("p", {"speedup": 3.6}))
+        _committed(monkeypatch, _envelope("p", {"speedup": 4.0}))
+        problems, notes = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert problems == []
+        assert any("1 gated key(s)" in n for n in notes)
+
+    def test_parity_flip_fails_regardless_of_throughput(
+            self, tmp_path, monkeypatch):
+        _fresh(tmp_path, monkeypatch, "p",
+               _envelope("p", {"speedup": 9.0, "bit_identical": False}))
+        _committed(monkeypatch,
+                   _envelope("p", {"speedup": 4.0, "bit_identical": True}))
+        problems, _ = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert any("flipped true -> false" in p for p in problems)
+
+    def test_disappearing_gated_key_fails(self, tmp_path, monkeypatch):
+        _fresh(tmp_path, monkeypatch, "p", _envelope("p", {}))
+        _committed(monkeypatch, _envelope("p", {"speedup": 4.0}))
+        problems, _ = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert any("disappeared" in p for p in problems)
+
+    def test_absolute_throughput_gated_only_under_strict(
+            self, tmp_path, monkeypatch):
+        _fresh(tmp_path, monkeypatch, "p",
+               _envelope("p", {"records_per_second": 10.0}))
+        _committed(monkeypatch,
+                   _envelope("p", {"records_per_second": 100.0}))
+        relaxed, _ = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert relaxed == []
+        strict, _ = check_bench.check_bench("p", "HEAD", 0.15, True)
+        assert any("dropped" in p for p in strict)
+
+    def test_new_bench_passes_with_note(self, tmp_path, monkeypatch):
+        _fresh(tmp_path, monkeypatch, "p", _envelope("p", {"speedup": 1.0}))
+        _committed(monkeypatch, None)
+        problems, notes = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert problems == []
+        assert any("nothing to regress against" in n for n in notes)
+
+    def test_pre_envelope_baseline_is_grandfathered(
+            self, tmp_path, monkeypatch):
+        # Fresh side also lacks the envelope; only the drop gate applies.
+        _fresh(tmp_path, monkeypatch, "p", {"speedup": 4.0})
+        _committed(monkeypatch, {"speedup": 4.0})
+        problems, notes = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert problems == []
+        assert any("predates the bench envelope" in n for n in notes)
+
+    def test_unreadable_fresh_file_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_bench, "REPO_ROOT", tmp_path)
+        problems, _ = check_bench.check_bench("p", "HEAD", 0.15, False)
+        assert any("unreadable fresh file" in p for p in problems)
+
+
+class TestMain:
+    def test_main_over_committed_repo_baselines(self):
+        """The real gate over the real repo: fresh working tree vs HEAD
+        must pass — this is exactly the nightly CI invocation."""
+        assert check_bench.main(["--against", "HEAD"]) == 0
+
+    def test_main_fails_on_regression(self, tmp_path, monkeypatch, capsys):
+        _fresh(tmp_path, monkeypatch, "p", _envelope("p", {"speedup": 1.0}))
+        _committed(monkeypatch, _envelope("p", {"speedup": 4.0}))
+        assert check_bench.main(["p"]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_main_errors_when_no_bench_files(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_bench, "REPO_ROOT", tmp_path)
+        assert check_bench.main([]) == 1
