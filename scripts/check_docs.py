@@ -54,6 +54,7 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Batched engine core",
         "## Checkpoint-parallel simulation",
         "## Distributed observability",
+        "## Simulation service",
         "## Verification",
     ),
     "docs/OBSERVABILITY.md": (
@@ -84,6 +85,13 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Auditing and fuzzing: `--audit` / `REPRO_AUDIT`",
         "## Sampled runs and checkpoints: `--sampled` / `repro checkpoint`",
         "## Checkpoint-parallel runs: `--parallel-intervals` / `--backend`",
+    ),
+    "docs/SERVICE.md": (
+        "## API reference",
+        "## Session lifecycle",
+        "## Backpressure & eviction",
+        "## Deployment notes",
+        "## Parity guarantees",
     ),
 }
 
@@ -177,7 +185,7 @@ def check_required_headings(root: Path) -> list[str]:
 #: Packages (relative to ``src/repro``) whose public surface must be
 #: fully docstringed.  The engine and BTB hierarchy are the hot-path
 #: code documented by docs/PERFORMANCE.md; their prose must not rot.
-DOCSTRING_PACKAGES: tuple[str, ...] = ("engine", "btb")
+DOCSTRING_PACKAGES: tuple[str, ...] = ("engine", "btb", "service")
 
 
 def _public_defs(body: list[ast.stmt], *, in_class: bool):

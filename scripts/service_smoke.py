@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the simulation daemon.
+
+Boots a real ``repro serve`` subprocess on an ephemeral port, then walks
+the whole session lifecycle over HTTP:
+
+1. create a session,
+2. stream a small workload trace in over a chunked request,
+3. suspend the session to the spool and resume it,
+4. stream the remainder and close,
+5. demand the counters are bit-identical to an in-process ``simulate``,
+6. scrape ``/metrics`` and validate it with ``parse_prometheus``,
+7. shut the daemon down gracefully and check it drained.
+
+Exits non-zero (with a reason on stderr) on any deviation.  Used by the
+CI fast tier; run locally with ``PYTHONPATH=src python
+scripts/service_smoke.py``.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message: str) -> None:
+    print(f"service smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="Informix")
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline in seconds")
+    args = parser.parse_args()
+
+    from repro.core.config import ZEC12_CONFIG_2
+    from repro.engine.simulator import simulate
+    from repro.service import ServiceClient
+    from repro.telemetry.metrics import parse_prometheus
+    from repro.workloads.catalog import workload_by_name
+
+    records = workload_by_name(args.workload).trace(scale=args.scale)
+    expected = simulate(records, config=ZEC12_CONFIG_2).counters.state_dict()
+    half = len(records) // 2
+    deadline = time.monotonic() + args.timeout
+
+    spool = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--backend", "thread", "--jobs", "2", "--spool", spool],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = daemon.stdout.readline()
+        match = re.search(r"http://[\w.]+:(\d+)", banner)
+        if not match:
+            fail(f"daemon did not announce a port: {banner!r}")
+        port = int(match.group(1))
+        print(f"service smoke: daemon up on port {port}, "
+              f"{len(records)} records")
+
+        client = ServiceClient(port=port)
+        client.wait_healthy(timeout=max(1.0, deadline - time.monotonic()))
+
+        sid = client.create_session(config="2", label="smoke")["id"]
+        client.stream(sid, records[:half])
+        client.wait_processed(
+            sid, half, timeout=max(1.0, deadline - time.monotonic()))
+
+        if client.suspend(sid)["state"] != "suspended":
+            fail("suspend did not reach the suspended state")
+        if client.resume(sid)["state"] != "active":
+            fail("resume did not reactivate the session")
+        print("service smoke: suspend/resume cycle ok")
+
+        client.stream(sid, records[half:])
+        closed = client.close_session(sid)
+        counters = closed["result"]["counters"]
+        if counters != expected:
+            fail(f"counter parity broken:\n  service  {counters}\n"
+                 f"  simulate {expected}")
+        print(f"service smoke: counter parity ok "
+              f"(cpi={closed['result']['cpi']:.6f})")
+
+        families = parse_prometheus(client.metrics_text())
+        for family in ("repro_service_requests_total",
+                       "repro_service_records_total",
+                       "repro_service_sessions"):
+            if family not in families:
+                fail(f"/metrics scrape is missing {family}")
+        processed = sum(
+            families["repro_service_records_total"]["samples"].values())
+        if processed != len(records):
+            fail(f"/metrics counted {processed} records, "
+                 f"expected {len(records)}")
+        print("service smoke: /metrics scrape ok")
+
+        client.shutdown()
+        daemon.wait(timeout=max(1.0, deadline - time.monotonic()))
+        if daemon.returncode != 0:
+            fail(f"daemon exited {daemon.returncode} on graceful shutdown")
+        print("service smoke: graceful shutdown ok")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    print("service smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,14 @@ Commands:
   fanning its simulation runs over ``--jobs`` worker processes.
 * ``report`` — regenerate the full paper-vs-measured report (the
   ``repro.experiments.run_all`` entry point).
+* ``serve`` — run the long-lived simulation daemon (:mod:`repro.service`):
+  an asyncio HTTP/JSON API multiplexing many concurrent sessions over a
+  bounded worker pool, with streaming trace ingest, checkpoint
+  suspend/resume via ``--spool``, Prometheus ``/metrics``, and graceful
+  drain on SIGTERM (docs/SERVICE.md).
+* ``session`` — client for a running daemon: create/list/status/ingest/
+  reports/suspend/resume/close/result/delete/shutdown against
+  ``--host``/``--port``.
 * ``top`` — live monitor for a running batch session: tails the status
   board named by ``--status`` (or ``$REPRO_STATUS``) and renders per-spec
   progress, throughput, ETA and worker utilization in place.
@@ -423,6 +431,109 @@ def _cmd_top(args) -> int:
                width=args.width)
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceLimits, ServiceServer
+
+    limits = ServiceLimits(
+        queue_records=args.queue_records,
+        chunk_records=args.chunk_records,
+        idle_timeout=args.idle_timeout,
+        sweep_interval=args.sweep_interval,
+        max_sessions=args.max_sessions,
+    )
+
+    async def _run() -> None:
+        server = ServiceServer(
+            args.host, args.port, limits=limits, backend=args.backend,
+            jobs=args.jobs, spool=args.spool,
+            spool_max_entries=args.spool_max_entries)
+        await server.start()
+        spool = args.spool or "(none: suspend/resume disabled)"
+        print(f"repro service listening on http://{server.host}:"
+              f"{server.port}  backend={args.backend} jobs={args.jobs} "
+              f"spool={spool}", flush=True)
+        await server.serve()
+        print("repro service drained and stopped", flush=True)
+
+    asyncio.run(_run())
+    return 0
+
+
+def _cmd_session(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient, ServiceError, ServiceUnavailable
+
+    client = ServiceClient(args.host, args.port)
+
+    def _records():
+        """The records named by --workload/--trace-file for ingest."""
+        if args.trace_file:
+            from repro.trace import open_trace
+
+            with open_trace(args.trace_file) as trace:
+                return list(trace)
+        if args.workload:
+            spec = workload_by_name(args.workload)
+            return spec.trace(scale=args.scale)
+        print("session ingest needs --workload NAME or --trace-file PATH",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+    def _require_id() -> str:
+        if not args.id:
+            print(f"session {args.action} needs a session id",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return args.id
+
+    try:
+        if args.action == "create":
+            payload = client.create_session(
+                config=args.config, engine=args.engine, label=args.label)
+        elif args.action == "list":
+            payload = client.list_sessions()
+        elif args.action == "status":
+            payload = client.session(_require_id())
+        elif args.action == "ingest":
+            records = _records()
+            sid = _require_id()
+            if args.one_shot:
+                payload = client.ingest(sid, records, ndjson=args.ndjson)
+            else:
+                payload = client.stream(sid, records,
+                                        chunk_records=args.chunk_records)
+            if args.wait:
+                payload = client.wait_processed(
+                    sid, payload["accepted"], timeout=args.timeout)
+        elif args.action == "reports":
+            payload = client.reports(_require_id(), since=args.since)
+        elif args.action == "metrics":
+            payload = client.session_metrics(_require_id())
+        elif args.action == "suspend":
+            payload = client.suspend(_require_id())
+        elif args.action == "resume":
+            payload = client.resume(_require_id())
+        elif args.action == "close":
+            payload = client.close_session(_require_id())
+        elif args.action == "result":
+            payload = client.result(_require_id())
+        elif args.action == "delete":
+            payload = client.delete_session(_require_id())
+        else:  # shutdown
+            payload = client.shutdown()
+    except ServiceUnavailable as problem:
+        print(problem, file=sys.stderr)
+        return 2
+    except ServiceError as error:
+        print(f"error [{error.code}] {error.message}", file=sys.stderr)
+        return 1
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from pathlib import Path
 
@@ -632,7 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
              "sampling plan's intervals in K chunks instead)",
     )
     simulate.add_argument(
-        "--backend", choices=("serial", "process"), default=None,
+        "--backend", choices=("serial", "thread", "process"), default=None,
         help="execution backend for the parallel fan-out "
              "(default: $REPRO_BACKEND or process)",
     )
@@ -695,6 +806,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_argument(report)
     _add_audit_argument(report)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived simulation service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8753,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8753)")
+    serve.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="thread",
+        help="worker pool dispatching session chunks (default: thread)")
+    serve.add_argument("--jobs", type=int, default=4,
+                       help="worker pool width (default: 4)")
+    serve.add_argument(
+        "--spool", metavar="DIR", default=None,
+        help="checkpoint spool directory enabling suspend/resume, idle "
+             "eviction and graceful drain (default: disabled)")
+    serve.add_argument(
+        "--spool-max-entries", type=int, default=None, metavar="N",
+        help="prune the spool to at most N checkpoints during idle sweeps")
+    serve.add_argument("--queue-records", type=int, default=65536,
+                       help="per-session ingest queue depth in records "
+                            "(default: 65536)")
+    serve.add_argument("--chunk-records", type=int, default=4096,
+                       help="records advanced per dispatched chunk "
+                            "(default: 4096)")
+    serve.add_argument("--idle-timeout", type=float, default=300.0,
+                       help="seconds of inactivity before an idle session "
+                            "is evicted to the spool (default: 300)")
+    serve.add_argument("--sweep-interval", type=float, default=5.0,
+                       help="housekeeping period in seconds (default: 5)")
+    serve.add_argument("--max-sessions", type=int, default=4096,
+                       help="registered-session cap (default: 4096)")
+
+    session = sub.add_parser(
+        "session", help="talk to a running simulation service daemon"
+    )
+    session.add_argument(
+        "action",
+        choices=("create", "list", "status", "ingest", "reports", "metrics",
+                 "suspend", "resume", "close", "result", "delete",
+                 "shutdown"),
+        help="what to do against the daemon")
+    session.add_argument("id", nargs="?", default=None,
+                         help="session id (required by per-session actions)")
+    session.add_argument("--host", default="127.0.0.1")
+    session.add_argument("--port", type=int, default=8753)
+    session.add_argument("--config", choices=sorted(CONFIGS), default="2",
+                         help="Table 3 configuration for create "
+                              "(default: 2)")
+    session.add_argument("--engine", choices=ENGINE_MODES, default="auto",
+                         help="engine mode for create (default: auto)")
+    session.add_argument("--label", default="",
+                         help="free-form session label for create")
+    session.add_argument("--workload", default=None,
+                         help="catalog workload to ingest (substring match)")
+    session.add_argument("--scale", type=float, default=0.35,
+                         help="workload trace scale for ingest "
+                              "(default: 0.35)")
+    session.add_argument("--trace-file", metavar="PATH", default=None,
+                         help="packed .ztrc trace file to ingest instead of "
+                              "a catalog workload")
+    session.add_argument("--one-shot", action="store_true",
+                         help="ingest as a single body instead of a "
+                              "kept-open chunked stream")
+    session.add_argument("--ndjson", action="store_true",
+                         help="with --one-shot: send NDJSON instead of "
+                              "packed binary records")
+    session.add_argument("--chunk-records", type=int, default=1024,
+                         help="records per streamed chunk (default: 1024)")
+    session.add_argument("--wait", action="store_true",
+                         help="after ingest, poll until every accepted "
+                              "record is simulated and print the status")
+    session.add_argument("--timeout", type=float, default=120.0,
+                         help="--wait timeout in seconds (default: 120)")
+    session.add_argument("--since", type=int, default=0,
+                         help="reports: return chunk reports with sequence "
+                              "number above this (default: 0)")
 
     top = sub.add_parser(
         "top", help="live monitor of a running batch session's status board"
@@ -809,7 +1000,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 4)",
     )
     verify.add_argument(
-        "--backend", choices=("serial", "process"), default=None,
+        "--backend", choices=("serial", "thread", "process"), default=None,
         help="execution backend for the parallel gate's fan-out "
              "(default: $REPRO_BACKEND or process)",
     )
@@ -828,6 +1019,8 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "figure": _cmd_figure,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "session": _cmd_session,
         "top": _cmd_top,
         "timeline": _cmd_timeline,
         "profile": _cmd_profile,

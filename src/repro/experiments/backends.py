@@ -8,6 +8,10 @@ backends exist today:
 * ``serial`` — in-process, deterministic ordering, zero setup cost.  The
   right choice for tiny batches, debugging, and environments without
   ``multiprocessing`` (or already inside a pool worker).
+* ``thread`` — a ``concurrent.futures`` thread pool.  Shares the caller's
+  memory, so tasks may carry live (unpicklable) objects; parallel speedup
+  is bounded by the GIL, which suits I/O-ish work and the simulation
+  service's session multiplexing (many small chunks, shared state).
 * ``process`` — a ``multiprocessing`` pool (fork context where available).
   The default for real batches.
 
@@ -63,6 +67,30 @@ class SerialBackend(Backend):
         return [function(item) for item in items]
 
 
+class ThreadBackend(Backend):
+    """A thread pool in this process.
+
+    Tasks share the caller's address space, so — unlike ``process`` —
+    items and results need not pickle, and mutations to shared objects
+    are visible to the dispatcher.  Degrades to plain serial execution
+    for trivial batches.
+    """
+
+    name = "thread"
+
+    def map(self, function: Callable[[T], R], items: Sequence[T],
+            jobs: int = 1) -> list[R]:
+        """Map over a thread pool, preserving order; serial when trivial."""
+        items = list(items)
+        jobs = min(max(1, jobs), len(items)) if items else 1
+        if jobs == 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(function, items))
+
+
 class ProcessBackend(Backend):
     """A ``multiprocessing`` pool (fork context where the platform has it).
 
@@ -91,7 +119,8 @@ class ProcessBackend(Backend):
 
 #: Registry of available backends, by stable name.
 BACKENDS: dict[str, Backend] = {
-    backend.name: backend for backend in (SerialBackend(), ProcessBackend())
+    backend.name: backend
+    for backend in (SerialBackend(), ThreadBackend(), ProcessBackend())
 }
 
 

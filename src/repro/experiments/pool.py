@@ -51,7 +51,7 @@ from repro.experiments.common import (
 )
 from repro.sampling import ParallelPlan, SamplingPlan
 from repro.telemetry.metrics import REGISTRY
-from repro.telemetry.monitor import StatusBoard
+from repro.telemetry.monitor import StatusBoard, shutdown_sweep
 from repro.workloads.catalog import WorkloadSpec, default_scale
 
 #: Environment variable supplying the default worker count for batch runs.
@@ -345,17 +345,20 @@ def run_many(
 
     items = [(time.time(), _spec_item(spec)) for _, spec in pooled]
     in_process = len(items) <= 1 or jobs == 1
-    if in_process:
-        timed = [_timed_simulate(item) for item in items]
-    else:
-        timed = chosen.map(_timed_simulate, items, min(jobs, len(items)))
-    for (key, _), entry in zip(pooled, timed):
-        results[key] = entry.run
-    locally = []
-    for key, spec in local:
-        entry = _timed_simulate((time.time(), _spec_item(spec)))
-        locally.append(entry)
-        results[key] = entry.run
+    miss_labels = [f"{spec.workload.name}/{spec.config.name}"
+                   for _, spec in misses]
+    with shutdown_sweep(board, miss_labels):
+        if in_process:
+            timed = [_timed_simulate(item) for item in items]
+        else:
+            timed = chosen.map(_timed_simulate, items, min(jobs, len(items)))
+        for (key, _), entry in zip(pooled, timed):
+            results[key] = entry.run
+        locally = []
+        for key, spec in local:
+            entry = _timed_simulate((time.time(), _spec_item(spec)))
+            locally.append(entry)
+            results[key] = entry.run
 
     simulated = [entry.run for entry in timed + locally]
     elapsed = time.perf_counter() - started

@@ -17,6 +17,7 @@ import gzip
 import hashlib
 import json
 import os
+import time
 import zlib
 from pathlib import Path
 
@@ -145,6 +146,59 @@ class CheckpointStore:
             return sorted(self.directory.glob("ckpt-*.json.gz"))
         except OSError:
             return []
+
+    def prune(self, max_entries: int | None = None,
+              max_age: float | None = None, *,
+              now: float | None = None) -> int:
+        """Bound the store: drop old checkpoints; return the count removed.
+
+        Long-lived stores (the simulation service's suspend/resume spool,
+        a shared sweep cache) grow without bound otherwise.  Two
+        independent limits, either or both:
+
+        * ``max_age`` — remove entries whose mtime is older than this many
+          seconds (against ``now``, default wall clock);
+        * ``max_entries`` — after the age pass, remove oldest-first until
+          at most this many remain.
+
+        Tolerant of concurrent writers and deleters exactly like
+        :meth:`clear`: a vanished file is not an error and not counted,
+        and an unstatable file is treated as oldest (it gets pruned
+        first rather than wedging the pass).
+        """
+        if max_entries is None and max_age is None:
+            return 0
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        now = time.time() if now is None else now
+        aged: list[tuple[float, Path]] = []
+        for path in self.entries():
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                mtime = float("-inf")
+            aged.append((mtime, path))
+        aged.sort()
+        doomed: list[Path] = []
+        if max_age is not None:
+            cutoff = now - max_age
+            doomed.extend(path for mtime, path in aged if mtime < cutoff)
+            aged = [(mtime, path) for mtime, path in aged if mtime >= cutoff]
+        if max_entries is not None and len(aged) > max_entries:
+            excess = len(aged) - max_entries
+            doomed.extend(path for _, path in aged[:excess])
+        removed = 0
+        for path in doomed:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            removed += 1
+        if removed:
+            _count("pruned")
+        return removed
 
     def clear(self) -> int:
         """Delete every checkpoint in the store; returns the count removed.

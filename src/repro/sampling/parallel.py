@@ -60,7 +60,7 @@ from repro.sampling.runner import (
 from repro.telemetry.distributed import ORCHESTRATOR, TelemetryRelay
 from repro.telemetry.hub import Telemetry as _Telemetry
 from repro.telemetry.metrics import REGISTRY
-from repro.telemetry.monitor import StatusBoard
+from repro.telemetry.monitor import StatusBoard, shutdown_sweep
 from repro.telemetry.tracer import Tracer as _Tracer
 from repro.trace.reader import open_trace
 from repro.workloads.catalog import WorkloadSpec, default_scale
@@ -725,7 +725,10 @@ def run_parallel(
             close()
 
     workers = len(tasks) if jobs is None else max(1, jobs)
-    outcomes = chosen.map(_run_slice, tasks, workers)
+    sweep_labels = [t.status_label for t in tasks if t.status_label]
+    sweep_labels.append(label)
+    with shutdown_sweep(board, sweep_labels):
+        outcomes = chosen.map(_run_slice, tasks, workers)
     outcomes.sort(key=lambda o: o.index)
     if board is not None:
         board.beat(label, "stitching", done=total, total=total)

@@ -1,0 +1,225 @@
+"""Wire protocol of the simulation service.
+
+Everything client and server must agree on, with no dependency on the
+server's runtime machinery so the client library stays import-light:
+
+* :class:`ServiceError` — the typed JSON error envelope.  Every failure a
+  request can provoke maps to one ``(HTTP status, stable code)`` pair and
+  renders as ``{"error": {"code": ..., "message": ...}}``; the daemon
+  never answers a malformed or out-of-order request with a crash or a
+  bare traceback.
+* Record encodings — two content types for trace ingest:
+  ``application/x-repro-trace`` is the packed 20-byte record form of
+  :mod:`repro.trace.writer` (headerless: a live stream has no up-front
+  count), decoded incrementally by
+  :class:`repro.trace.reader.TraceStreamDecoder`;
+  ``application/x-ndjson`` is one JSON object per line for hand-rolled
+  clients.
+* :class:`ServiceLimits` — the knobs bounding a daemon: ingest queue
+  depth (backpressure), chunk size, request body caps, idle eviction.
+* Session state names (:data:`SESSION_STATES`) and the subset of
+  transitions the manager accepts; anything else is an
+  ``invalid_state`` error, pinned by the out-of-order-operation tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.record import TraceRecord
+from repro.trace.writer import pack_record
+
+#: Content type of packed binary record streams (headerless RECORD structs).
+CONTENT_TYPE_BINARY = "application/x-repro-trace"
+#: Content type of newline-delimited JSON record streams.
+CONTENT_TYPE_NDJSON = "application/x-ndjson"
+#: Content type of every response body and JSON request body.
+CONTENT_TYPE_JSON = "application/json"
+
+#: Session lifecycle states.  ``suspending``/``closing`` are transient
+#: (an operation is draining the queue); ``suspended``/``closed``/
+#: ``failed`` are the stable ones clients see between operations.
+SESSION_STATES = ("active", "suspending", "suspended",
+                  "closing", "closed", "failed")
+
+
+class ServiceError(Exception):
+    """A typed, JSON-renderable request failure.
+
+    ``status`` is the HTTP status code, ``code`` a stable machine-readable
+    string (clients switch on it, tests pin it), ``message`` the human
+    line.  ``retry_after`` (seconds) rides along on backpressure errors.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    def payload(self) -> dict:
+        """The JSON error envelope for this failure."""
+        error: dict = {"code": self.code, "message": self.message}
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
+
+    # -- constructors for the taxonomy ------------------------------------
+
+    @classmethod
+    def bad_request(cls, message: str) -> "ServiceError":
+        """400: a syntactically or semantically malformed request."""
+        return cls(400, "bad_request", message)
+
+    @classmethod
+    def partial_record(cls, pending: int, kept: int) -> "ServiceError":
+        """400: an ingest body ended mid-record (complete records kept)."""
+        return cls(
+            400, "partial_record",
+            f"ingest body ended mid-record ({pending} trailing byte(s)); "
+            f"{kept} complete record(s) before the tear were accepted",
+        )
+
+    @classmethod
+    def unknown_session(cls, session_id: str) -> "ServiceError":
+        """404: no session with this id (never created, or deleted)."""
+        return cls(404, "unknown_session", f"no session {session_id!r}")
+
+    @classmethod
+    def not_found(cls, target: str) -> "ServiceError":
+        """404: no such route."""
+        return cls(404, "not_found", f"no route {target!r}")
+
+    @classmethod
+    def invalid_state(cls, message: str) -> "ServiceError":
+        """409: the operation does not apply to the session's state."""
+        return cls(409, "invalid_state", message)
+
+    @classmethod
+    def too_large(cls, message: str) -> "ServiceError":
+        """413: a request or chunk exceeded the configured byte caps."""
+        return cls(413, "too_large", message)
+
+    @classmethod
+    def saturated(cls, message: str, retry_after: float) -> "ServiceError":
+        """429: the ingest queue is full; retry after backoff."""
+        return cls(429, "saturated", message, retry_after=retry_after)
+
+    @classmethod
+    def draining(cls) -> "ServiceError":
+        """503: the daemon is shutting down and takes no new work."""
+        return cls(503, "draining", "daemon is draining for shutdown")
+
+    @classmethod
+    def internal(cls, message: str) -> "ServiceError":
+        """500: an unexpected failure (the daemon stays up regardless)."""
+        return cls(500, "internal", message)
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Resource bounds of one daemon instance.
+
+    The defaults suit tests and a single-host deployment; production
+    tuning guidance lives in docs/SERVICE.md.
+    """
+
+    #: Per-session ingest queue capacity, in records.  A one-shot ingest
+    #: that finds the queue full is answered 429 + ``retry_after``; a
+    #: kept-open streaming ingest blocks (TCP backpressure) instead.
+    queue_records: int = 65536
+    #: Records advanced per dispatched chunk — the multiplexing quantum.
+    chunk_records: int = 4096
+    #: Hard cap on any single request body.
+    max_body_bytes: int = 8 << 20
+    #: Hard cap on one transfer-encoding chunk (oversized-chunk rejection).
+    max_chunk_bytes: int = 1 << 20
+    #: Seconds of inactivity before an idle in-memory session is evicted
+    #: (suspended) to the checkpoint spool.
+    idle_timeout: float = 300.0
+    #: Dispatcher housekeeping period (idle sweep, prune) in seconds.
+    sweep_interval: float = 5.0
+    #: Per-chunk reports kept for ``GET /sessions/{id}/reports``.
+    reports_kept: int = 256
+    #: Registered sessions (any state) a daemon will hold at once.
+    max_sessions: int = 4096
+
+    def __post_init__(self) -> None:
+        """Reject non-positive bounds up front."""
+        for name in ("queue_records", "chunk_records", "max_body_bytes",
+                     "max_chunk_bytes", "reports_kept", "max_sessions"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+#: JSON names of branch kinds (``null`` means "not a branch").
+_KIND_NAMES = {kind: kind.value for kind in BranchKind}
+_NAME_KINDS = {kind.value: kind for kind in BranchKind}
+
+
+def record_to_json(record: TraceRecord) -> dict:
+    """One trace record as its NDJSON object form."""
+    return {
+        "address": record.address,
+        "length": record.length,
+        "kind": _KIND_NAMES[record.kind] if record.kind is not None else None,
+        "taken": record.taken,
+        "target": record.target,
+    }
+
+
+def record_from_json(payload: object) -> TraceRecord:
+    """Parse one NDJSON record object; typed errors on malformed input."""
+    if not isinstance(payload, dict):
+        raise ServiceError.bad_request(
+            f"record must be a JSON object, got {type(payload).__name__}")
+    try:
+        address = payload["address"]
+        length = payload["length"]
+    except KeyError as missing:
+        raise ServiceError.bad_request(
+            f"record is missing required field {missing.args[0]!r}"
+        ) from None
+    if not isinstance(address, int) or not isinstance(length, int):
+        raise ServiceError.bad_request(
+            "record 'address' and 'length' must be integers")
+    kind_name = payload.get("kind")
+    if kind_name is None:
+        kind = None
+    else:
+        kind = _NAME_KINDS.get(kind_name)
+        if kind is None:
+            raise ServiceError.bad_request(
+                f"unknown branch kind {kind_name!r}; "
+                f"expected one of {sorted(_NAME_KINDS)} or null")
+    taken = payload.get("taken", False)
+    target = payload.get("target")
+    if not isinstance(taken, bool):
+        raise ServiceError.bad_request("record 'taken' must be a boolean")
+    if target is not None and not isinstance(target, int):
+        raise ServiceError.bad_request(
+            "record 'target' must be an integer or null")
+    record = TraceRecord(address=address, length=length, kind=kind,
+                         taken=taken, target=target)
+    try:
+        record.validate()
+    except ValueError as problem:
+        raise ServiceError.bad_request(str(problem)) from None
+    return record
+
+
+def encode_records(records) -> bytes:
+    """Pack ``records`` into the binary ingest wire form (headerless)."""
+    return b"".join(pack_record(record) for record in records)
+
+
+def encode_records_ndjson(records) -> bytes:
+    """Encode ``records`` as NDJSON ingest bytes."""
+    return "".join(
+        json.dumps(record_to_json(record), separators=(",", ":")) + "\n"
+        for record in records
+    ).encode()

@@ -356,6 +356,16 @@ class MetricsRegistry:
                     state[1] += float(series["sum"])
                     state[2] += int(series["count"])
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        Same algebra as :meth:`merge_snapshot` (counters add, gauges max,
+        histograms add bucketwise) — used by the simulation service to
+        aggregate per-session registries into the server-wide scrape
+        without touching either source registry.
+        """
+        self.merge_snapshot(other.snapshot())
+
     # -- Prometheus text exposition ----------------------------------------
 
     def to_prometheus(self) -> str:

@@ -26,10 +26,13 @@ module gives them a pulse:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
+import signal
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,12 +40,13 @@ from pathlib import Path
 #: Environment variable naming the status-board file.
 STATUS_ENV = "REPRO_STATUS"
 
-#: Heartbeat states, in lifecycle order.  ``cached``/``done``/``failed``
-#: are terminal.
+#: Heartbeat states, in lifecycle order.  ``cached``/``done``/``failed``/
+#: ``cancelled`` are terminal (``cancelled`` marks in-flight work swept by
+#: an orchestrator shutting down on a signal or a worker crash).
 STATES = ("queued", "warming", "measuring", "stitching",
-          "cached", "done", "failed")
+          "cached", "done", "failed", "cancelled")
 
-_TERMINAL = {"cached", "done", "failed"}
+_TERMINAL = {"cached", "done", "failed", "cancelled"}
 
 
 class StatusBoard:
@@ -104,6 +108,8 @@ class SpecStatus:
     #: Optional extras carried by terminal beats.
     instructions: int = 0
     seconds: float = 0.0
+    #: Why the spec reached ``failed``/``cancelled`` (shutdown sweeps).
+    reason: str = ""
 
     @property
     def terminal(self) -> bool:
@@ -157,7 +163,15 @@ class BoardState:
 
     @property
     def eta_seconds(self) -> float | None:
-        """Naive session ETA from the finished-spec rate (None when cold)."""
+        """Naive session ETA from the finished-spec rate (None when cold).
+
+        Guarded against every degenerate board: no specs at all (an empty
+        or still-cold board has no ETA, not "done"), zero completed runs,
+        and an all-cached session whose beats share one timestamp
+        (``elapsed`` 0) — none of these may divide by zero.
+        """
+        if not self.specs:
+            return None
         remaining = len(self.specs) - self.finished
         if remaining <= 0:
             return 0.0
@@ -221,6 +235,7 @@ def read_board(path) -> BoardState | None:
             first_t=previous.first_t if previous else t,
             instructions=int(record.get("instructions", 0) or 0),
             seconds=float(record.get("seconds", 0.0) or 0.0),
+            reason=str(record.get("reason", "") or ""),
         )
         if previous is not None:
             status.total = status.total or previous.total
@@ -231,6 +246,81 @@ def read_board(path) -> BoardState | None:
             state.worker_seconds[worker] = (
                 state.worker_seconds.get(worker, 0.0) + status.seconds)
     return state
+
+
+def sweep_incomplete(board: StatusBoard, labels, state: str = "cancelled",
+                     reason: str | None = None) -> int:
+    """Drive every non-terminal ``label`` on ``board`` to a final state.
+
+    The orchestrator-side half of graceful shutdown: when a batch aborts
+    (SIGINT/SIGTERM, a crashed worker) the board would otherwise keep
+    stale ``queued``/``measuring`` entries forever — ``repro top`` shows a
+    session that never ends.  This folds the board once and appends one
+    terminal beat (default ``cancelled``) for each known label that has
+    not already finished.  Returns the number of beats written.  Labels
+    that never appeared on the board are swept too: their work was
+    requested and will not happen.
+    """
+    folded = read_board(board.path)
+    swept = 0
+    for label in labels:
+        status = folded.specs.get(label) if folded is not None else None
+        if status is not None and status.terminal:
+            continue
+        extra = {"reason": reason} if reason else {}
+        board.beat(label, state, **extra)
+        swept += 1
+    return swept
+
+
+@contextlib.contextmanager
+def shutdown_sweep(board: StatusBoard | None, labels):
+    """Guarantee every ``label`` reaches a terminal state on ``board``.
+
+    Wrap a fan-out's dispatch in this: on SIGTERM/SIGINT the in-flight
+    labels are swept to ``cancelled`` (then the usual
+    ``SystemExit``/``KeyboardInterrupt`` propagates); on any other
+    exception — a crashed worker surfacing through the backend — they are
+    swept to ``failed`` with the reason.  A clean exit writes nothing:
+    the work beats its own terminal states.  Sweeping is idempotent
+    (already-terminal labels are skipped) so nested guards and
+    handler-plus-except double fires are safe.
+
+    Signal handlers only install from the main thread (Python's rule) and
+    only for this block — the previous handlers are restored on exit.
+    With ``board`` ``None`` (no ``$REPRO_STATUS``) the block runs bare.
+    """
+    if board is None:
+        yield
+        return
+    labels = list(labels)
+    previous: dict[int, object] = {}
+
+    def _on_signal(signum: int, _frame) -> None:
+        sweep_incomplete(board, labels, "cancelled",
+                         reason=f"signal {signal.Signals(signum).name}")
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _on_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                break
+    try:
+        yield
+    except (KeyboardInterrupt, SystemExit):
+        sweep_incomplete(board, labels, "cancelled", reason="interrupted")
+        raise
+    except BaseException as problem:
+        sweep_incomplete(board, labels, "failed",
+                         reason=f"{type(problem).__name__}: {problem}")
+        raise
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _bar(fraction: float, width: int = 16) -> str:

@@ -28,6 +28,7 @@ from repro.trace.writer import (
     SUPPORTED_VERSIONS,
     TAKEN_BIT,
     TARGET_VALID_BIT,
+    VERSION,
 )
 
 
@@ -191,3 +192,63 @@ class TraceFile:
 def open_trace(path) -> TraceFile:
     """Open the trace at ``path`` for streaming / random access."""
     return TraceFile(path)
+
+
+class TraceStreamDecoder:
+    """Incremental decoder for a byte stream of packed trace records.
+
+    The network-facing sibling of :func:`iter_trace`: bytes arrive in
+    arbitrary fragments (socket reads, HTTP chunks) and complete records
+    are yielded as they become decodable, with any partial tail buffered
+    until the next :meth:`feed`.  The stream is *headerless* — a live
+    session has no up-front record count — and decoded with the current
+    format version unless another supported one is requested.
+
+    Used by the ``repro.service`` ingest path; also handy for piped
+    "live" trace frontends (ROADMAP item 3).
+    """
+
+    def __init__(self, version: int = VERSION) -> None:
+        if version not in SUPPORTED_VERSIONS:
+            raise TraceFormatError(f"unsupported trace version {version}")
+        self.version = version
+        self._buffer = bytearray()
+        #: Complete records decoded so far.
+        self.decoded = 0
+
+    def feed(self, data: bytes) -> list[TraceRecord]:
+        """Decode every complete record in ``buffered + data``.
+
+        Returns the (possibly empty) list of newly complete records; a
+        trailing partial record stays buffered for the next call.
+        """
+        self._buffer.extend(data)
+        size = RECORD.size
+        usable = len(self._buffer) - (len(self._buffer) % size)
+        if not usable:
+            return []
+        view = bytes(self._buffer[:usable])
+        del self._buffer[:usable]
+        records = [
+            _decode(view[offset:offset + size], self.version)
+            for offset in range(0, usable, size)
+        ]
+        self.decoded += len(records)
+        return records
+
+    @property
+    def pending(self) -> int:
+        """Bytes of an incomplete trailing record currently buffered."""
+        return len(self._buffer)
+
+    def finish(self) -> None:
+        """Assert the stream ended on a record boundary.
+
+        Raises :class:`TraceFormatError` when a partial record is still
+        buffered — the sender stopped mid-record.
+        """
+        if self._buffer:
+            raise TraceFormatError(
+                f"stream ended mid-record: {len(self._buffer)} trailing "
+                f"byte(s) after {self.decoded} complete record(s)"
+            )

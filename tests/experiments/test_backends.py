@@ -38,7 +38,7 @@ def _process_name(_value) -> str:
 
 class TestBackendRegistry:
     def test_registry_names(self):
-        assert set(BACKENDS) == {"serial", "process"}
+        assert set(BACKENDS) == {"serial", "thread", "process"}
 
     def test_resolve_precedence(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
@@ -58,7 +58,7 @@ class TestBackendRegistry:
 
 
 class TestBackendMap:
-    @pytest.mark.parametrize("name", ["serial", "process"])
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
     def test_order_preserving(self, name):
         items = list(range(8))
         assert BACKENDS[name].map(_square, items, jobs=3) == \
@@ -73,6 +73,13 @@ class TestBackendMap:
             [multiprocessing.current_process().name]
         names = ProcessBackend().map(_process_name, [0, 1], jobs=1)
         assert names == [multiprocessing.current_process().name] * 2
+
+    def test_thread_backend_shares_the_address_space(self):
+        from repro.experiments.backends import ThreadBackend
+
+        seen = []
+        ThreadBackend().map(seen.append, list(range(6)), jobs=3)
+        assert sorted(seen) == list(range(6))
 
     def test_process_backend_actually_forks(self):
         names = ProcessBackend().map(_process_name, list(range(4)), jobs=2)

@@ -138,3 +138,103 @@ def test_clear_tolerates_losing_the_unlink_race(tmp_path, monkeypatch):
     assert store.clear() == 2  # counts only what *this* call removed
     monkeypatch.undo()
     assert store.entries() == []
+
+
+class TestPrune:
+    """``prune(max_entries|max_age)``: bounding long-lived stores."""
+
+    def _aged_store(self, tmp_path):
+        """A store with entries whose mtimes step 100s apart."""
+        store = CheckpointStore(tmp_path)
+        import os
+
+        for index in range(5):
+            path = store.save("m", "t", ("p",), index, {"version": 1})
+            os.utime(path, (1000.0 + index * 100, 1000.0 + index * 100))
+        return store
+
+    def test_noop_without_limits(self, tmp_path):
+        store = self._aged_store(tmp_path)
+        assert store.prune() == 0
+        assert len(store.entries()) == 5
+
+    def test_max_entries_keeps_the_newest(self, tmp_path):
+        import os
+
+        store = self._aged_store(tmp_path)
+        assert store.prune(max_entries=2) == 3
+        survivors = sorted(os.path.getmtime(p) for p in store.entries())
+        assert survivors == [1300.0, 1400.0]
+
+    def test_max_age_drops_the_stale(self, tmp_path):
+        store = self._aged_store(tmp_path)
+        # Against now=1500, a 250s horizon keeps mtimes >= 1250.
+        assert store.prune(max_age=250, now=1500.0) == 3
+        assert len(store.entries()) == 2
+
+    def test_limits_compose(self, tmp_path):
+        store = self._aged_store(tmp_path)
+        assert store.prune(max_entries=1, max_age=350, now=1500.0) == 4
+        assert len(store.entries()) == 1
+
+    def test_negative_limits_are_rejected(self, tmp_path):
+        import pytest
+
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.prune(max_entries=-1)
+        with pytest.raises(ValueError):
+            store.prune(max_age=-0.5)
+
+    def test_prune_tolerates_the_unlink_race(self, tmp_path, monkeypatch):
+        """A file vanishing between listing and unlink is not counted."""
+        store = self._aged_store(tmp_path)
+        original_entries = CheckpointStore.entries
+
+        def racing_entries(self):
+            listed = original_entries(self)
+            listed[0].unlink()  # the "other process" wins the oldest
+            return listed
+
+        monkeypatch.setattr(CheckpointStore, "entries", racing_entries)
+        assert store.prune(max_entries=0) == 4
+        monkeypatch.undo()
+        assert store.entries() == []
+
+
+def _racing_writer(args):
+    """Worker: hammer one store key with saves tagged by writer id."""
+    directory, writer, rounds = args
+    store = CheckpointStore(directory)
+    identity = ("m", "race", ("p",), 0)
+    for round_index in range(rounds):
+        store.save(*identity, {"version": 1, "writer": writer,
+                               "round": round_index,
+                               "payload": list(range(200))})
+    return store.load(*identity)
+
+
+def test_concurrent_writers_racing_one_key(tmp_path):
+    """Two processes hammering the same key never corrupt the entry.
+
+    The atomic ``os.replace`` protocol means every read observes some
+    writer's *complete* state — a torn or interleaved file would either
+    fail to gunzip (load -> ``None``) or decode to a mixed payload,
+    and both are asserted against here.
+    """
+    import multiprocessing
+
+    rounds = 25
+    with multiprocessing.get_context("spawn").Pool(2) as pool:
+        finals = pool.map(
+            _racing_writer,
+            [(str(tmp_path), "a", rounds), (str(tmp_path), "b", rounds)])
+    store = CheckpointStore(tmp_path)
+    state = store.load("m", "race", ("p",), 0)
+    for observed in [*finals, state]:
+        assert observed is not None, "a read saw a torn checkpoint"
+        assert observed["version"] == 1
+        assert observed["writer"] in ("a", "b")
+        assert observed["payload"] == list(range(200))
+    assert store.skipped == []
+    assert len(store.entries()) == 1

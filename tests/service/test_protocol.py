@@ -1,0 +1,110 @@
+"""Service wire protocol: error taxonomy, record codecs, limits."""
+
+import json
+
+import pytest
+
+from repro.isa.opcodes import BranchKind
+from repro.service.protocol import (
+    ServiceError,
+    ServiceLimits,
+    encode_records,
+    encode_records_ndjson,
+    record_from_json,
+    record_to_json,
+)
+from repro.trace.reader import TraceStreamDecoder
+from repro.trace.record import TraceRecord
+
+RECORDS = [
+    TraceRecord(address=0x4000, length=4, kind=None),
+    TraceRecord(address=0x4004, length=6, kind=BranchKind.COND,
+                taken=True, target=0x5000),
+    TraceRecord(address=0x5000, length=2, kind=BranchKind.CALL,
+                taken=True, target=0x6000),
+]
+
+
+class TestServiceError:
+    def test_taxonomy_is_stable(self):
+        """(status, code) pairs are API: clients and tests switch on them."""
+        cases = [
+            (ServiceError.bad_request("x"), 400, "bad_request"),
+            (ServiceError.partial_record(3, 7), 400, "partial_record"),
+            (ServiceError.unknown_session("s"), 404, "unknown_session"),
+            (ServiceError.not_found("/x"), 404, "not_found"),
+            (ServiceError.invalid_state("x"), 409, "invalid_state"),
+            (ServiceError.too_large("x"), 413, "too_large"),
+            (ServiceError.saturated("x", retry_after=1.5), 429, "saturated"),
+            (ServiceError.draining(), 503, "draining"),
+            (ServiceError.internal("x"), 500, "internal"),
+        ]
+        for error, status, code in cases:
+            assert error.status == status
+            assert error.code == code
+            payload = error.payload()
+            assert payload["error"]["code"] == code
+            assert payload["error"]["message"]
+            json.dumps(payload)  # envelope is always JSON-serializable
+
+    def test_retry_after_rides_the_envelope(self):
+        error = ServiceError.saturated("full", retry_after=2.5)
+        assert error.payload()["error"]["retry_after"] == 2.5
+        assert "retry_after" not in \
+            ServiceError.bad_request("x").payload()["error"]
+
+    def test_partial_record_names_both_counts(self):
+        error = ServiceError.partial_record(13, 42)
+        assert "13" in error.message
+        assert "42" in error.message
+
+
+class TestLimits:
+    def test_defaults_are_positive_and_frozen(self):
+        limits = ServiceLimits()
+        assert limits.queue_records > limits.chunk_records
+        with pytest.raises(AttributeError):
+            limits.queue_records = 1
+
+    def test_nonpositive_bounds_are_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceLimits(queue_records=0)
+        with pytest.raises(ValueError):
+            ServiceLimits(max_chunk_bytes=-1)
+
+
+class TestRecordCodecs:
+    def test_json_round_trip(self):
+        for record in RECORDS:
+            assert record_from_json(record_to_json(record)) == record
+
+    def test_binary_encoding_matches_stream_decoder(self):
+        decoder = TraceStreamDecoder()
+        assert decoder.feed(encode_records(RECORDS)) == RECORDS
+        decoder.finish()
+
+    def test_ndjson_encoding_is_line_per_record(self):
+        lines = encode_records_ndjson(RECORDS).decode().splitlines()
+        assert len(lines) == len(RECORDS)
+        assert [record_from_json(json.loads(line)) for line in lines] \
+            == RECORDS
+
+    @pytest.mark.parametrize("payload, match", [
+        ([1, 2], "JSON object"),
+        ({"length": 4}, "missing required field"),
+        ({"address": "x", "length": 4}, "must be integers"),
+        ({"address": 1, "length": 4, "kind": "sideways"}, "unknown branch"),
+        ({"address": 1, "length": 4, "taken": "yes"}, "must be a boolean"),
+        ({"address": 1, "length": 4, "target": "there"}, "integer or null"),
+    ])
+    def test_malformed_json_records_are_typed_errors(self, payload, match):
+        with pytest.raises(ServiceError, match=match) as excinfo:
+            record_from_json(payload)
+        assert excinfo.value.code == "bad_request"
+
+    def test_semantically_invalid_records_are_typed_errors(self):
+        # Passes field typing but fails TraceRecord.validate().
+        payload = {"address": 1, "length": 3, "kind": "cond", "taken": False}
+        with pytest.raises(ServiceError) as excinfo:
+            record_from_json(payload)
+        assert excinfo.value.status == 400

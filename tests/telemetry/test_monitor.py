@@ -89,7 +89,7 @@ class TestReadBoard:
 
     def test_eta_progression(self, tmp_path):
         state = BoardState()
-        assert state.eta_seconds == 0.0  # nothing known, nothing left
+        assert state.eta_seconds is None  # an empty board has no ETA
         board = _board_with(tmp_path, [
             dict(spec="a", state="done"),
             dict(spec="b", state="queued"),
@@ -167,3 +167,152 @@ class TestRunManyIntegration:
         final = read_board(board.path)
         label = f"{spec.workload.name}/{ZEC12_CONFIG_1.name}"
         assert final.specs[label].state == "cached"
+
+
+class TestEtaGuards:
+    """Division-by-zero guards in the ETA/utilization math (regressions)."""
+
+    def test_empty_board_has_no_eta(self):
+        """A cold board is 'no ETA yet', never 'done in 0s'."""
+        assert BoardState().eta_seconds is None
+
+    def test_zero_completed_runs_have_no_eta(self, tmp_path):
+        board = _board_with(tmp_path, [
+            {"spec": "a", "state": "measuring"},
+            {"spec": "b", "state": "queued"},
+        ])
+        state = read_board(board.path)
+        assert state.eta_seconds is None
+        assert state.records_per_second == 0.0
+        assert state.cache_hit_rate == 0.0
+
+    def test_all_cached_session_is_safe(self, tmp_path):
+        """An all-cached board can share one timestamp: elapsed 0."""
+        board = _board_with(tmp_path, [
+            {"spec": "a", "state": "cached"},
+            {"spec": "b", "state": "cached"},
+        ])
+        state = read_board(board.path)
+        assert state.eta_seconds == 0.0
+        assert state.cache_hit_rate == 1.0
+        assert state.utilization() == 0.0
+        # Rendering the degenerate board also never divides by zero.
+        assert "a" in render_status(state)
+        assert render_summary(state)
+
+    def test_top_once_on_empty_board_file(self, tmp_path, capsys):
+        """A board file with zero parseable lines renders, not crashes."""
+        path = tmp_path / "status.jsonl"
+        path.write_text("not json\n")
+        assert top(path, once=True, stream=io.StringIO()) == 0
+
+
+class TestShutdownSweep:
+    """``sweep_incomplete``/``shutdown_sweep``: no stale board entries."""
+
+    def test_sweep_marks_only_incomplete_labels(self, tmp_path):
+        from repro.telemetry.monitor import sweep_incomplete
+
+        board = _board_with(tmp_path, [
+            {"spec": "done-one", "state": "done"},
+            {"spec": "stuck", "state": "measuring"},
+        ])
+        swept = sweep_incomplete(board, ["done-one", "stuck", "never-ran"],
+                                 reason="test")
+        assert swept == 2
+        state = read_board(board.path)
+        assert state.specs["done-one"].state == "done"
+        assert state.specs["stuck"].state == "cancelled"
+        assert state.specs["never-ran"].state == "cancelled"
+
+    def test_sweep_is_idempotent(self, tmp_path):
+        from repro.telemetry.monitor import sweep_incomplete
+
+        board = _board_with(tmp_path, [{"spec": "x", "state": "warming"}])
+        assert sweep_incomplete(board, ["x"]) == 1
+        assert sweep_incomplete(board, ["x"]) == 0
+
+    def test_context_sweeps_failed_on_exception(self, tmp_path):
+        from repro.telemetry.monitor import shutdown_sweep
+
+        board = _board_with(tmp_path, [{"spec": "x", "state": "measuring"}])
+        with pytest.raises(RuntimeError):
+            with shutdown_sweep(board, ["x", "y"]):
+                raise RuntimeError("worker exploded")
+        state = read_board(board.path)
+        assert state.specs["x"].state == "failed"
+        assert state.specs["y"].state == "failed"
+        assert "worker exploded" in state.specs["x"].reason
+
+    def test_context_sweeps_cancelled_on_interrupt(self, tmp_path):
+        from repro.telemetry.monitor import shutdown_sweep
+
+        board = _board_with(tmp_path, [{"spec": "x", "state": "queued"}])
+        with pytest.raises(KeyboardInterrupt):
+            with shutdown_sweep(board, ["x"]):
+                raise KeyboardInterrupt
+        assert read_board(board.path).specs["x"].state == "cancelled"
+
+    def test_context_restores_signal_handlers(self, tmp_path):
+        import signal
+
+        from repro.telemetry.monitor import shutdown_sweep
+
+        board = _board_with(tmp_path, [{"spec": "x", "state": "queued"}])
+        before = signal.getsignal(signal.SIGTERM)
+        with shutdown_sweep(board, ["x"]):
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_sigterm_mid_block_sweeps_and_exits(self, tmp_path):
+        """A real signal delivered inside the guarded block cancels."""
+        import os
+        import signal
+
+        from repro.telemetry.monitor import shutdown_sweep
+
+        board = _board_with(tmp_path, [{"spec": "x", "state": "measuring"}])
+        with pytest.raises(SystemExit) as excinfo:
+            with shutdown_sweep(board, ["x"]):
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert excinfo.value.code == 128 + signal.SIGTERM
+        state = read_board(board.path)
+        assert state.specs["x"].state == "cancelled"
+        assert "SIGTERM" in state.specs["x"].reason
+
+    def test_clean_exit_writes_nothing(self, tmp_path):
+        from repro.telemetry.monitor import shutdown_sweep
+
+        board = _board_with(tmp_path, [{"spec": "x", "state": "done"}])
+        lines = board.path.read_text().count("\n")
+        with shutdown_sweep(board, ["x"]):
+            pass
+        assert board.path.read_text().count("\n") == lines
+
+    def test_none_board_is_a_no_op_guard(self):
+        from repro.telemetry.monitor import shutdown_sweep
+
+        with shutdown_sweep(None, ["x"]):
+            pass
+
+
+class TestRunManyShutdownSweep:
+    def test_killed_worker_leaves_no_stale_entries(self, tmp_path,
+                                                   monkeypatch):
+        """A worker dying mid-batch sweeps its board entries to failed."""
+        import repro.experiments.pool as pool_module
+
+        board = StatusBoard(tmp_path / "status.jsonl")
+        monkeypatch.setenv(STATUS_ENV, str(board.path))
+        spec = RunSpec(workload_by_name("TPF"), ZEC12_CONFIG_1, scale=0.04)
+
+        def _dying(_item):
+            raise SystemExit(137)  # the shape a killed worker surfaces as
+
+        monkeypatch.setattr(pool_module, "_timed_simulate", _dying)
+        with pytest.raises(SystemExit):
+            run_many([spec], log=ExecutionLog(), backend="serial")
+        state = read_board(board.path)
+        label = f"{spec.workload.name}/{ZEC12_CONFIG_1.name}"
+        assert state.specs[label].state == "cancelled"
+        assert state.all_done

@@ -286,3 +286,58 @@ class TestVerifyEndToEnd:
         # stitched checkpoint-parallel run on every workload.
         assert ("parallel gate: 13 workload(s) bit-identical serial vs "
                 "4 checkpoint-parallel slices" in out)
+
+
+class TestServiceCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8753
+        assert args.backend == "thread"
+        assert args.jobs == 4
+        assert args.spool is None
+        assert args.queue_records == 65536
+        assert args.chunk_records == 4096
+        assert args.idle_timeout == 300.0
+        assert args.max_sessions == 4096
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "warp"])
+
+    def test_session_parser_ingest_flags(self):
+        args = build_parser().parse_args(
+            ["session", "ingest", "abc123", "--workload", "TPF",
+             "--scale", "0.02", "--one-shot", "--ndjson", "--wait"])
+        assert args.command == "session"
+        assert args.action == "ingest"
+        assert args.id == "abc123"
+        assert args.workload == "TPF"
+        assert args.one_shot and args.ndjson and args.wait
+
+    def test_session_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["session", "explode"])
+
+    def test_session_status_requires_an_id(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["session", "status"])
+        assert excinfo.value.code == 2
+        assert "needs a session id" in capsys.readouterr().err
+
+    def test_session_ingest_requires_a_source(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["session", "ingest", "abc123"])
+        assert excinfo.value.code == 2
+        assert "--workload NAME or --trace-file" in capsys.readouterr().err
+
+    def test_session_without_a_daemon_exits_2(self, capsys):
+        # An ephemeral port nothing listens on: bind, learn it, release.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        assert main(["session", "list", "--port", str(port)]) == 2
+        assert "no daemon at" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""``TraceStreamDecoder``: incremental decode of headerless record bytes."""
+
+import pytest
+
+from repro.isa.opcodes import BranchKind
+from repro.trace.reader import TraceFormatError, TraceStreamDecoder
+from repro.trace.record import TraceRecord
+from repro.trace.writer import RECORD, pack_record
+
+
+def _records():
+    return [
+        TraceRecord(address=0x1000, length=4, kind=None),
+        TraceRecord(address=0x1004, length=6, kind=BranchKind.COND,
+                    taken=True, target=0x2000),
+        TraceRecord(address=0x2000, length=2, kind=BranchKind.RETURN,
+                    taken=True, target=0x1008),
+    ]
+
+
+def _wire(records):
+    return b"".join(pack_record(record) for record in records)
+
+
+def test_whole_stream_in_one_feed():
+    records = _records()
+    decoder = TraceStreamDecoder()
+    assert decoder.feed(_wire(records)) == records
+    assert decoder.pending == 0
+    assert decoder.decoded == len(records)
+    decoder.finish()  # clean end: no-op
+
+
+def test_byte_at_a_time_reassembly():
+    """Any fragmentation of the stream decodes to the same records."""
+    records = _records()
+    wire = _wire(records)
+    decoder = TraceStreamDecoder()
+    out = []
+    for index in range(len(wire)):
+        out.extend(decoder.feed(wire[index:index + 1]))
+    assert out == records
+    decoder.finish()
+
+
+def test_feed_straddling_record_boundaries():
+    records = _records()
+    wire = _wire(records)
+    cut = RECORD.size + 7  # mid-second-record
+    decoder = TraceStreamDecoder()
+    first = decoder.feed(wire[:cut])
+    assert first == records[:1]
+    assert decoder.pending == 7
+    rest = decoder.feed(wire[cut:])
+    assert rest == records[1:]
+    assert decoder.pending == 0
+
+
+def test_mid_record_end_raises_typed_error():
+    """A stream torn mid-record reports pending bytes and decoded count."""
+    wire = _wire(_records())
+    decoder = TraceStreamDecoder()
+    decoder.feed(wire[:-5])
+    assert decoder.decoded == 2
+    assert decoder.pending == RECORD.size - 5
+    with pytest.raises(TraceFormatError, match="mid-record"):
+        decoder.finish()
+
+
+def test_unsupported_version_is_rejected():
+    with pytest.raises(TraceFormatError, match="unsupported"):
+        TraceStreamDecoder(version=99)
+
+
+def test_empty_feeds_are_free():
+    decoder = TraceStreamDecoder()
+    assert decoder.feed(b"") == []
+    assert decoder.pending == 0
+    decoder.finish()
