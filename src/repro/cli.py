@@ -506,8 +506,12 @@ def _cmd_session(args) -> int:
                 payload = client.stream(sid, records,
                                         chunk_records=args.chunk_records)
             if args.wait:
+                # processed_records is cumulative across the session's
+                # lifetime, so wait on the cumulative ingested total —
+                # this call's accepted count alone would return early
+                # after any prior ingest.
                 payload = client.wait_processed(
-                    sid, payload["accepted"], timeout=args.timeout)
+                    sid, payload["ingested"], timeout=args.timeout)
         elif args.action == "reports":
             payload = client.reports(_require_id(), since=args.since)
         elif args.action == "metrics":

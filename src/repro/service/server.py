@@ -79,6 +79,13 @@ class _Request:
         self.path = split.path
         self.query = {key: values[-1]
                       for key, values in parse_qs(split.query).items()}
+        #: Whether the request body has been read off the socket in
+        #: full.  An error raised while this is still False leaves
+        #: unread body bytes on the connection, so keep-alive must be
+        #: dropped or the next head parse reads garbage.
+        self.body_consumed = (not self.chunked and
+                              headers.get("content-length", "0").strip()
+                              in ("", "0"))
 
     @property
     def chunked(self) -> bool:
@@ -244,7 +251,7 @@ class ServiceServer:
         except ServiceError as error:
             status = error.status
             await self._respond_error(writer, error)
-            if error.code in ("partial_record", "too_large"):
+            if error.code == "partial_record" or not request.body_consumed:
                 keep_alive = False  # body framing is no longer trustworthy
         except _CONNECTION_TORN:
             raise
@@ -283,10 +290,14 @@ class ServiceServer:
                 f"body of {length} bytes exceeds the "
                 f"{self.limits.max_body_bytes}-byte cap")
         if length == 0:
+            request.body_consumed = True
             return b""
-        return await reader.readexactly(length)
+        body = await reader.readexactly(length)
+        request.body_consumed = True
+        return body
 
-    async def _iter_chunks(self, reader: asyncio.StreamReader):
+    async def _iter_chunks(self, request: _Request,
+                           reader: asyncio.StreamReader):
         """Yield ``Transfer-Encoding: chunked`` body chunks (capped)."""
         while True:
             line = await reader.readline()
@@ -299,6 +310,7 @@ class ServiceServer:
                     f"malformed chunk size line {line!r}") from None
             if size == 0:
                 await reader.readline()  # final CRLF; trailers unsupported
+                request.body_consumed = True
                 return
             if size > self.limits.max_chunk_bytes:
                 raise ServiceError.too_large(
@@ -397,6 +409,8 @@ class ServiceServer:
                              reader: asyncio.StreamReader):
         """Routes under ``/sessions/{id}``."""
         parts = request.path.strip("/").split("/")
+        if len(parts) < 2 or not parts[1]:
+            raise ServiceError.not_found(request.path)
         session = self.manager.get(parts[1])
         action = parts[2] if len(parts) > 2 else None
         method = request.method
@@ -469,7 +483,7 @@ class ServiceServer:
         decoder = TraceStreamDecoder() if binary else _NdjsonDecoder()
         accepted = 0
         if request.chunked:
-            async for chunk in self._iter_chunks(reader):
+            async for chunk in self._iter_chunks(request, reader):
                 records = self._decode(decoder, chunk)
                 accepted += await self.manager.enqueue(
                     session, records, wait=True)
@@ -481,6 +495,7 @@ class ServiceServer:
         if decoder.pending:
             raise ServiceError.partial_record(decoder.pending, accepted)
         return 200, {"accepted": accepted,
+                     "ingested": session.ingested,
                      "pending": len(session.pending),
                      "free": self.manager.free_capacity(session)}, \
             CONTENT_TYPE_JSON

@@ -353,11 +353,22 @@ class SessionManager:
         retry never double-ingests.  ``wait=True`` (kept-open streaming
         ingest) blocks until the dispatcher makes room — the natural
         TCP backpressure for a live feed.  Returns the records accepted.
+
+        A draining daemon refuses new records (typed 503), including
+        from a kept-open stream that was mid-flight when shutdown began
+        — otherwise a live feed could outrun the dispatcher's exit and
+        deadlock the graceful drain.
         """
+        if self._stopping:
+            raise ServiceError.draining()
         self._require_active(session, "ingest into")
         if not records:
             return 0
         session.touch()
+        ingested_counter = session.registry.counter(
+            "repro_session_ingested_records_total",
+            "trace records accepted into the ingest queue",
+        )
         if not wait:
             if self.free_capacity(session) < len(records):
                 self.registry.counter(
@@ -373,11 +384,14 @@ class SessionManager:
                 )
             session.pending.extend(records)
             session.ingested += len(records)
+            ingested_counter.inc(len(records))
             session._idle.clear()
             self._work.set()
         else:
             position = 0
             while position < len(records):
+                if self._stopping:
+                    raise ServiceError.draining()
                 free = self.free_capacity(session)
                 if free <= 0:
                     session._space.clear()
@@ -388,20 +402,35 @@ class SessionManager:
                 session.pending.extend(batch)
                 position += len(batch)
                 session.ingested += len(batch)
+                ingested_counter.inc(len(batch))
                 session._idle.clear()
                 self._work.set()
-        session.registry.counter(
-            "repro_session_ingested_records_total",
-            "trace records accepted into the ingest queue",
-        ).inc(len(records))
         return len(records)
 
+    def _dispatcher_alive(self) -> bool:
+        """Whether the dispatcher task exists and is still running."""
+        return self._dispatcher is not None and not self._dispatcher.done()
+
     async def _wait_drained(self, session: Session) -> None:
-        """Block until the session has no queued or in-flight records."""
+        """Block until the session has no queued or in-flight records.
+
+        Fails fast (typed 500) instead of waiting forever when the
+        dispatcher that would drain the queue is not running — e.g. a
+        suspend racing the final phase of a graceful shutdown.
+        """
         while not session.idle:
+            if not self._dispatcher_alive():
+                raise ServiceError.internal(
+                    f"cannot drain session {session.id}: "
+                    f"the dispatcher is not running")
+            dispatcher = self._dispatcher
             session._idle.clear()
             self._work.set()
-            await session._idle.wait()
+            waiter = asyncio.ensure_future(session._idle.wait())
+            done, _ = await asyncio.wait(
+                {waiter, dispatcher}, return_when=asyncio.FIRST_COMPLETED)
+            if waiter not in done:
+                waiter.cancel()
 
     async def _snapshot_state(self, session: Session) -> dict:
         """The session's current ``state_dict`` (off-loop when live)."""
@@ -428,6 +457,10 @@ class SessionManager:
         session.state = "suspending"
         try:
             await self._wait_drained(session)
+            if session.error:
+                raise ServiceError.invalid_state(
+                    f"session {session.id} failed while draining: "
+                    f"{session.error}")
             state = await self._snapshot_state(session)
             loop = asyncio.get_running_loop()
             path = await loop.run_in_executor(
@@ -765,13 +798,17 @@ class SessionManager:
             self._dispatcher = None
         for task in list(self._housekeeping):
             task.cancel()
-        if drain and self.store is not None:
-            for session in list(self.sessions.values()):
-                if session.state == "active":
-                    self._stopping = False
-                    try:
-                        await self.suspend(session)
-                    except ServiceError:
-                        pass
-                    finally:
-                        self._stopping = True
+        if drain:
+            # A kept-open stream already past the draining gate can have
+            # queued records in the window where the dispatcher saw an
+            # empty table and exited; flush them here.  The gate rejects
+            # anything newer, so this converges.
+            while self._has_work():
+                await self._dispatch_once()
+            if self.store is not None:
+                for session in list(self.sessions.values()):
+                    if session.state == "active":
+                        try:
+                            await self.suspend(session)
+                        except ServiceError:
+                            pass

@@ -155,6 +155,22 @@ class TestLifecycleOverHttp:
             client.session(sid)
         assert excinfo.value.code == "unknown_session"
 
+    def test_ingest_response_reports_cumulative_ingested(self, daemon):
+        """``ingested`` is the session-lifetime total — what a client
+        must wait on, since ``processed_records`` is cumulative too."""
+        records = _trace(scale=0.002)
+        client = daemon.client
+        sid = client.create_session()["id"]
+        first = client.ingest(sid, records)
+        assert first["accepted"] == len(records)
+        assert first["ingested"] == len(records)
+        client.wait_processed(sid, first["ingested"])
+        second = client.ingest(sid, records)
+        assert second["accepted"] == len(records)
+        assert second["ingested"] == 2 * len(records)
+        status = client.wait_processed(sid, second["ingested"])
+        assert status["processed_records"] == 2 * len(records)
+
     def test_reports_and_session_metrics(self, daemon):
         records = _trace(scale=0.004)
         client = daemon.client
@@ -246,6 +262,37 @@ class TestEdgeCases:
             sock.sendall(head)
             response = sock.recv(65536).decode()
         assert "413" in response.splitlines()[0]
+
+    def test_error_mid_chunked_body_drops_keep_alive(self, daemon):
+        """An error answered before the body is consumed must close the
+        connection: the unread body bytes would otherwise be parsed as
+        the next request head, yielding spurious 400s."""
+        client = daemon.client
+        sid = client.create_session()["id"]
+        payload = (f"POST /sessions/{sid}/records HTTP/1.1\r\n"
+                   f"Host: x\r\nContent-Type: {CONTENT_TYPE_BINARY}\r\n"
+                   f"Transfer-Encoding: chunked\r\n\r\n"
+                   f"zz\r\n").encode()  # malformed chunk-size line
+        with socket.create_connection(("127.0.0.1", daemon.server.port),
+                                      timeout=5) as sock:
+            sock.sendall(payload)
+            data = b""
+            while True:  # server must close; a retained keep-alive hangs
+                got = sock.recv(65536)
+                if not got:
+                    break
+                data += got
+        assert b"400" in data.splitlines()[0]
+        assert data.count(b"HTTP/1.1") == 1  # one response, then close
+        assert client.health()["ok"]
+
+    def test_trailing_slash_session_path_is_typed_404(self, daemon):
+        client = daemon.client
+        for path in ("/sessions/", "/sessions//records"):
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", path)
+            assert excinfo.value.code == "not_found"
+        assert client.health()["ok"]
 
     def test_unknown_routes_and_malformed_json_are_typed(self, daemon):
         client = daemon.client

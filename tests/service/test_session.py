@@ -358,6 +358,92 @@ class TestHousekeeping:
 
         _run(body)
 
+    def test_suspend_during_failed_drain_is_typed_error(self, monkeypatch,
+                                                        tmp_path):
+        """A chunk crashing during the suspending drain must surface as a
+        typed error and a failed session — never a snapshot of the
+        corrupted mid-chunk state presented as 'suspended'."""
+        import repro.service.session as session_module
+
+        records = _trace(scale=0.002)
+
+        def exploding(task):
+            return session_module._ChunkOutcome(
+                session_id=task.session_id, records=len(task.records),
+                error="RuntimeError: engine exploded")
+
+        monkeypatch.setattr(session_module, "_advance_chunk", exploding)
+        store = CheckpointStore(tmp_path)
+
+        async def body(manager):
+            session = manager.create()
+            await manager.enqueue(session, records, wait=True)
+            with pytest.raises(ServiceError) as excinfo:
+                await manager.suspend(session)
+            assert excinfo.value.code == "invalid_state"
+            assert session.state == "failed"
+            assert "exploded" in session.error
+            # No corrupt checkpoint was spooled: resume has nothing.
+            with pytest.raises(ServiceError):
+                await manager.resume(session)
+
+        _run(body, store=store)
+
+    def test_stop_drains_despite_live_streaming_ingest(self, tmp_path):
+        """Graceful drain must not deadlock under a kept-open stream: the
+        feeder gets a typed 503 and stop() completes with everything
+        already accepted simulated and suspended."""
+        records = _trace(scale=0.005)
+        store = CheckpointStore(tmp_path)
+        limits = ServiceLimits(queue_records=64, chunk_records=16,
+                               sweep_interval=0.05)
+
+        async def body():
+            manager = SessionManager(limits=limits, backend="serial",
+                                     jobs=2, store=store)
+            manager.start()
+            session = manager.create()
+            outcome = {}
+
+            async def feeder():
+                try:
+                    while True:
+                        await manager.enqueue(session, records[:32],
+                                              wait=True)
+                except ServiceError as error:
+                    outcome["code"] = error.code
+
+            task = asyncio.get_running_loop().create_task(feeder())
+            await asyncio.sleep(0.2)  # let the stream saturate the queue
+            await asyncio.wait_for(manager.stop(drain=True), timeout=60)
+            await asyncio.wait_for(task, timeout=10)
+            assert outcome["code"] == "draining"
+            assert session.state == "suspended"
+            assert session.processed == session.ingested
+            # New ingest is refused outright while stopped.
+            with pytest.raises(ServiceError) as excinfo:
+                await manager.enqueue(session, records[:1], wait=False)
+            assert excinfo.value.code == "draining"
+
+        asyncio.run(body())
+
+    def test_wait_drained_fails_fast_without_a_dispatcher(self):
+        """A drain that nothing can service raises instead of hanging."""
+        records = _trace(scale=0.002)
+
+        async def body():
+            manager = SessionManager(limits=LIMITS, backend="serial",
+                                     jobs=1)
+            # Dispatcher never started; queued records will never move.
+            session = manager.create()
+            await manager.enqueue(session, records, wait=True)
+            with pytest.raises(ServiceError) as excinfo:
+                await asyncio.wait_for(manager._wait_drained(session),
+                                       timeout=10)
+            assert excinfo.value.code == "internal"
+
+        asyncio.run(body())
+
     def test_graceful_stop_drains_and_suspends(self, tmp_path):
         """stop(drain=True): queued records simulate, state hits the spool."""
         records = _trace(scale=0.005)
