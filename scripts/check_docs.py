@@ -55,6 +55,7 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
         "## Checkpoint-parallel simulation",
         "## Distributed observability",
         "## Simulation service",
+        "## Predictor zoo",
         "## Verification",
     ),
     "docs/OBSERVABILITY.md": (
@@ -76,11 +77,13 @@ REQUIRED_HEADINGS: dict[str, tuple[str, ...]] = {
     "docs/TESTING.md": (
         "## Test taxonomy",
         "## Tiers and markers",
+        "## The predictor conformance contract",
         "## Regenerating golden baselines",
         "## Reading a divergence report",
         "## Coverage ratchet",
     ),
     "docs/EXPERIMENTS.md": (
+        "## Cross-predictor ablations: `repro ablation`",
         "## Tracing, timelines, and profiles",
         "## Auditing and fuzzing: `--audit` / `REPRO_AUDIT`",
         "## Sampled runs and checkpoints: `--sampled` / `repro checkpoint`",
@@ -184,8 +187,11 @@ def check_required_headings(root: Path) -> list[str]:
 
 #: Packages (relative to ``src/repro``) whose public surface must be
 #: fully docstringed.  The engine and BTB hierarchy are the hot-path
-#: code documented by docs/PERFORMANCE.md; their prose must not rot.
-DOCSTRING_PACKAGES: tuple[str, ...] = ("engine", "btb", "service")
+#: code documented by docs/PERFORMANCE.md; the predictor zoo is the
+#: formal contract documented by docs/TESTING.md; their prose must not
+#: rot.
+DOCSTRING_PACKAGES: tuple[str, ...] = ("engine", "btb", "service",
+                                       "predictors")
 
 
 def _public_defs(body: list[ast.stmt], *, in_class: bool):

@@ -20,7 +20,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.audit.fuzz import FUZZ_CONFIGS, fuzz, render_failure  # noqa: E402
+from repro.audit.fuzz import (  # noqa: E402
+    CORPUS_NAMES,
+    FUZZ_CONFIGS,
+    fuzz,
+    render_failure,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,6 +36,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="campaign seed (default 0)")
     parser.add_argument("--records", type=int, default=350,
                         help="records per generated trace (default 350)")
+    parser.add_argument("--corpus", choices=CORPUS_NAMES, default="random",
+                        help="seed family: random program walks, adversarial "
+                             "BTB-probe microbenchmarks, or a mix")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report failures without ddmin minimization")
     args = parser.parse_args(argv)
@@ -42,11 +50,12 @@ def main(argv: list[str] | None = None) -> int:
         records=args.records,
         shrink_failures=not args.no_shrink,
         progress=lambda line: print(f"FAIL {line}", file=sys.stderr),
+        corpus=args.corpus,
     )
     elapsed = time.monotonic() - start
     print(
         f"fuzz_audit: {args.cases} cases x {len(FUZZ_CONFIGS)} configs "
-        f"(round robin), seed {args.seed}: "
+        f"(round robin), corpus {args.corpus!r}, seed {args.seed}: "
         f"{len(failures)} failure(s) in {elapsed:.1f}s"
     )
     for failure in failures:

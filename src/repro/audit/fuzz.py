@@ -135,6 +135,31 @@ def build_trace(seed: int, length: int = 350) -> list[TraceRecord]:
     return trace
 
 
+#: Named seed families for :func:`fuzz`'s trace corpus.  ``random`` is the
+#: historical generator (:func:`build_trace`); ``adversarial`` draws from
+#: the BTB-probe microbenchmarks; ``mixed`` alternates by seed parity.
+CORPUS_NAMES = ("random", "adversarial", "mixed")
+
+
+def corpus_builder(corpus: str) -> Callable[[int, int], list[TraceRecord]]:
+    """Resolve a named seed family to a ``builder(seed, length)`` callable."""
+    if corpus == "random":
+        return lambda seed, length: build_trace(seed, length)
+    from repro.workloads.adversarial import corpus_trace
+
+    if corpus == "adversarial":
+        return corpus_trace
+    if corpus == "mixed":
+        def mixed(seed: int, length: int) -> list[TraceRecord]:
+            if seed % 2:
+                return corpus_trace(seed, length)
+            return build_trace(seed, length)
+
+        return mixed
+    raise ValueError(
+        f"unknown corpus {corpus!r}; expected one of {CORPUS_NAMES}")
+
+
 def run_case(
     trace: list[TraceRecord],
     config: PredictorConfig,
@@ -191,22 +216,26 @@ def fuzz(
     configs: dict[str, PredictorConfig] | None = None,
     shrink_failures: bool = True,
     progress=None,
+    corpus: str = "random",
 ) -> list[FuzzFailure]:
     """Run ``cases`` seeded audited simulations; return all failures.
 
     Case ``i`` uses trace seed ``(seed << 20) ^ i`` and the ``i``-th config
     variant (round robin), so every variant sees ``cases / len(configs)``
     distinct traces and any failure is reproducible from its
-    :class:`FuzzFailure` alone.
+    :class:`FuzzFailure` alone.  ``corpus`` selects the seed family
+    (:func:`corpus_builder`); the default keeps the historical byte-exact
+    case stream.
     """
     configs = FUZZ_CONFIGS if configs is None else configs
+    builder = corpus_builder(corpus)
     names = list(configs)
     failures: list[FuzzFailure] = []
     for case in range(cases):
         case_seed = (seed << 20) ^ case
         name = names[case % len(names)]
         config = configs[name]
-        trace = build_trace(case_seed, length=records)
+        trace = builder(case_seed, records)
         violation = run_case(trace, config)
         if violation is None:
             continue

@@ -15,7 +15,8 @@ Commands:
   trace flags) relays worker-side telemetry home and the exported trace is
   the *merged* multi-lane timeline; ``--metrics`` writes the session
   metrics snapshot (docs/OBSERVABILITY.md).
-* ``workloads`` — list the Table 4 workload catalog (paper counters).
+* ``workloads`` — list the Table 4 workload catalog (paper counters) and
+  the adversarial BTB-probe families (:mod:`repro.workloads.adversarial`).
 * ``tables`` — print the paper's structural tables (1, 2, 3, 5).
 * ``figure`` — regenerate one figure (2-7) at a chosen scale, optionally
   fanning its simulation runs over ``--jobs`` worker processes.
@@ -42,7 +43,16 @@ Commands:
   per-workload baseline under ``tests/golden/``, and the
   checkpoint-parallel gate (every workload serial vs parallel, demanding
   bit-identity); ``--update-golden`` regenerates the baseline after an
-  intended behavior change.
+  intended behavior change.  ``--predictor NAME...|all`` extends the gate
+  to the predictor zoo: the conformance battery
+  (:mod:`repro.predictors.conformance`), per-predictor lockstep against
+  independent reference models plus the zoo mutation drill
+  (:mod:`repro.predictors.differential`), and the per-predictor golden
+  baseline (``tests/golden/predictors.json``).
+* ``ablation`` — run every registered predictor over a shared workload
+  slate (commercial + adversarial) and print the comparison table
+  (:mod:`repro.experiments.ablation`); ``--json`` writes the grid as the
+  nightly CI artifact.
 
 Everything the CLI does is also available as a library API; the CLI is a
 thin argparse layer over :mod:`repro.experiments` and
@@ -92,11 +102,19 @@ CONFIGS: dict[str, PredictorConfig] = {
 
 
 def _cmd_workloads(_args) -> int:
+    from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+
     print(f"{'workload':34s} {'paper uniq':>10s} {'paper taken':>11s} "
           f"{'trace len':>10s}")
     for spec in TABLE4_WORKLOADS:
         print(f"{spec.name:34s} {spec.paper_unique_branches:10,d} "
               f"{spec.paper_unique_taken:11,d} {spec.trace_length:10,d}")
+    print()
+    print(f"{'adversarial workload':34s} {'sites':>10s} {'stride':>11s} "
+          f"{'trace len':>10s}")
+    for spec in ADVERSARIAL_WORKLOADS:
+        print(f"{spec.name:34s} {spec.sites:10,d} {spec.stride:11,d} "
+              f"{spec.trace_length:10,d}")
     return 0
 
 
@@ -211,8 +229,57 @@ def _export_aggregate(args, relay, key: str, multi: bool) -> None:
         print(f"wrote {len(merged.registry.names())} metric(s) to {target}")
 
 
+def _simulate_zoo(args, spec) -> int:
+    """``simulate --predictor`` for non-paper registry entries.
+
+    Zoo predictors are decode-coupled single-engine models: full-detail
+    runs only (the sampling/parallel machinery checkpoints the paper
+    stack's pipeline state), with telemetry and the internal audit
+    self-check available as usual.
+    """
+    from repro.predictors.registry import create_predictor, predictor_info
+
+    info = predictor_info(args.predictor)
+    if args.sampled or args.parallel_intervals is not None:
+        print("--sampled/--parallel-intervals are implemented for the "
+              "paper stack only; zoo predictors run full detail",
+              file=sys.stderr)
+        return 2
+    if args.engine not in ("auto", "object"):
+        print(f"--engine {args.engine} is a paper-stack fast path; zoo "
+              f"predictors have a single engine", file=sys.stderr)
+        return 2
+    print(f"workload: {spec.name} (scale {args.scale})")
+    print(f"predictor: {info.name} — {info.summary}")
+    trace = spec.trace(scale=args.scale)
+    print(f"{len(trace):,} records\n")
+    results = []
+    multi = len(args.configs) > 1
+    for key in args.configs:
+        config = CONFIGS[key]
+        telemetry = _build_telemetry(args)
+        predictor = create_predictor(args.predictor, config=config,
+                                     audit=args.audit, telemetry=telemetry)
+        result = predictor.run(trace)
+        results.append(result)
+        print(format_result(result,
+                            title=f"{info.name} / {config.name}"))
+        if telemetry is not None:
+            _export_telemetry(args, telemetry, key, multi)
+        print()
+    if len(results) > 1:
+        base = results[0]
+        for other in results[1:]:
+            gain = cpi_improvement(base.cpi, other.cpi)
+            print(f"{other.config_name} vs {base.config_name}: "
+                  f"{gain:+.2f}% CPI")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     spec = workload_by_name(args.workload)
+    if args.predictor != "paper":
+        return _simulate_zoo(args, spec)
     print(f"workload: {spec.name} (scale {args.scale})")
     trace = spec.trace(scale=args.scale)
     print(f"{len(trace):,} records\n")
@@ -538,6 +605,81 @@ def _cmd_session(args) -> int:
     return 0
 
 
+def _verify_predictors(args, predictors: tuple[str, ...]) -> bool:
+    """The zoo legs of ``verify --predictor``; returns True on failure.
+
+    Three gates per selected registry entry: the conformance battery,
+    the lockstep differential oracle (zoo entries with a reference model,
+    plus the zoo mutation drill proving that oracle has teeth), and the
+    per-predictor golden baseline.
+    """
+    from pathlib import Path
+
+    from repro.predictors.conformance import (
+        CONFORMANCE_CHECKS,
+        conformance_problems,
+    )
+    from repro.predictors.differential import lockstep, lockstep_names
+    from repro.predictors.differential import (
+        mutation_drill as zoo_mutation_drill,
+    )
+    from repro.predictors.golden import (
+        compare_predictor_baseline,
+        load_baseline,
+    )
+
+    failed = False
+    for name in predictors:
+        problems = conformance_problems(name)
+        if problems:
+            for problem in problems:
+                print(f"conformance[{name}]: {problem}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"conformance[{name}]: {len(CONFORMANCE_CHECKS)} "
+                  f"checks passed")
+
+    lockstepped = tuple(name for name in predictors
+                        if name in lockstep_names())
+    if not args.skip_mutation_drill and lockstepped:
+        problems = zoo_mutation_drill(names=lockstepped)
+        if problems:
+            for problem in problems:
+                print(f"zoo mutation drill: {problem}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"zoo mutation drill: {len(lockstepped)} oracle(s) "
+                  f"caught the sabotaged LRU promotion")
+
+    if not args.skip_differential:
+        from repro.audit.fuzz import build_trace
+        from repro.workloads.adversarial import corpus_trace
+
+        for name in lockstepped:
+            for trace in (build_trace(11, 1200), corpus_trace(13, 600)):
+                result = lockstep(name, trace)
+                print(f"zoo differential: {result.report()}")
+                if result.diverged:
+                    failed = True
+
+    if not args.skip_golden:
+        baseline = load_baseline(Path(args.predictor_golden))
+        problems = compare_predictor_baseline(
+            baseline, jobs=args.jobs, predictors=predictors)
+        if problems:
+            for problem in problems:
+                print(f"predictor golden: {problem}", file=sys.stderr)
+            failed = True
+        else:
+            cells = sum(len(block) for name, block
+                        in baseline.get("predictors", {}).items()
+                        if name in predictors)
+            print(f"predictor golden baseline: {len(predictors)} "
+                  f"predictor(s), {cells} cell(s) within tolerance "
+                  f"(scale {baseline['scale']}, {args.predictor_golden})")
+    return failed
+
+
 def _cmd_verify(args) -> int:
     from pathlib import Path
 
@@ -550,8 +692,28 @@ def _cmd_verify(args) -> int:
         write_baseline,
     )
 
+    predictors = None
+    if args.predictor:
+        from repro.predictors.registry import predictor_info, predictor_names
+
+        if "all" in args.predictor:
+            predictors = predictor_names()
+        else:
+            predictors = tuple(
+                predictor_info(name).name for name in args.predictor)
+
     golden_path = Path(args.golden)
     if args.update_golden:
+        if predictors is not None:
+            from repro.predictors.golden import build_predictor_baseline
+
+            baseline = build_predictor_baseline(
+                scale=args.golden_scale, jobs=args.jobs)
+            write_baseline(Path(args.predictor_golden), baseline)
+            print(f"wrote predictor golden baseline: "
+                  f"{len(baseline['predictors'])} predictors at scale "
+                  f"{baseline['scale']} -> {args.predictor_golden}")
+            return 0
         baseline = build_baseline(scale=args.golden_scale, jobs=args.jobs)
         write_baseline(golden_path, baseline)
         print(f"wrote golden baseline: {len(baseline['workloads'])} "
@@ -614,10 +776,38 @@ def _cmd_verify(args) -> int:
                   f"serial vs {args.parallel_intervals} checkpoint-parallel "
                   f"slices")
 
+    if predictors is not None:
+        failed = _verify_predictors(args, predictors) or failed
+
     if failed:
         print("verify: FAILED", file=sys.stderr)
         return 1
     print("verify: all gates passed")
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments.ablation import (
+        ABLATION_WORKLOADS,
+        ablation_payload,
+        ablation_results,
+        render_ablation,
+    )
+
+    workloads = (tuple(args.workloads) if args.workloads
+                 else ABLATION_WORKLOADS)
+    predictors = tuple(args.predictors) if args.predictors else None
+    cells = ablation_results(workloads=workloads, predictors=predictors,
+                             scale=args.scale, jobs=args.jobs)
+    print(render_ablation(cells))
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as handle:
+            _json.dump(ablation_payload(cells), handle,
+                       indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote ablation grid ({len(cells)} cells) to {args.json}")
     return 0
 
 
@@ -762,6 +952,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="PATH", default=None,
         help="write the run's metrics snapshot (merged across workers for "
              "parallel runs) as JSON to PATH",
+    )
+    simulate.add_argument(
+        "--predictor", metavar="NAME", default="paper",
+        help="predictor registry entry to simulate (default: paper — the "
+             "two-level bulk-preload stack; zoo entries run full detail "
+             "only: no --sampled/--parallel-intervals/--engine fast path)",
     )
 
     checkpoint = sub.add_parser(
@@ -1008,7 +1204,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the parallel gate's fan-out "
              "(default: $REPRO_BACKEND or process)",
     )
+    verify.add_argument(
+        "--predictor", nargs="+", metavar="NAME", default=None,
+        help="extend the gate to these predictor-zoo registry entries "
+             "('all' = the whole registry): conformance battery, "
+             "zoo lockstep + mutation drill, per-predictor golden "
+             "baseline; with --update-golden, regenerates the predictor "
+             "baseline instead of the workload one",
+    )
+    verify.add_argument(
+        "--predictor-golden", metavar="PATH",
+        default="tests/golden/predictors.json",
+        help="per-predictor golden baseline file "
+             "(default: tests/golden/predictors.json)",
+    )
     _add_jobs_argument(verify)
+
+    ablation = sub.add_parser(
+        "ablation", help="compare every registered predictor over a shared "
+                         "workload slate"
+    )
+    ablation.add_argument(
+        "--workloads", nargs="+", metavar="NAME", default=None,
+        help="workload slate (catalog substring match, adversarial "
+             "included; default: the standard 5-workload slate)",
+    )
+    ablation.add_argument(
+        "--predictors", nargs="+", metavar="NAME", default=None,
+        help="predictors to compare (default: every registry entry)",
+    )
+    ablation.add_argument(
+        "--scale", type=float, default=0.02,
+        help="trace scale for every cell (default: 0.02)",
+    )
+    ablation.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the grid + per-predictor geomeans as JSON to PATH "
+             "(the nightly CI artifact)",
+    )
+    _add_jobs_argument(ablation)
+    _add_audit_argument(ablation)
 
     return parser
 
@@ -1029,6 +1264,7 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": _cmd_timeline,
         "profile": _cmd_profile,
         "verify": _cmd_verify,
+        "ablation": _cmd_ablation,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,179 @@
+"""Cross-predictor ablation: the whole zoo over a shared workload slate.
+
+The zoo exists to put the paper's two-level bulk-preload stack in context:
+how much of its CPI story is the preload hierarchy, and how much would any
+competent direction predictor recover?  This module runs every registered
+predictor (:mod:`repro.predictors.registry`) over a fixed slate of
+workloads — commercial synthetics *and* adversarial BTB probes — through
+the ordinary cached batch pool, then renders one comparison table.
+
+The default slate deliberately mixes regimes:
+
+* two large-footprint commercial traces (where the paper stack's BTB2
+  bulk preload is the differentiator),
+* one moderate-footprint trace, and
+* two adversarial probes (capacity and tracker thrash) engineered so the
+  preload machinery is respectively saturated and defeated.
+
+Entry points: :func:`ablation_results` (the measured grid),
+:func:`render_ablation` (text table for the CLI), and
+:func:`ablation_payload` (JSON-safe dict for the nightly CI artifact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import ZEC12_CONFIG_2, PredictorConfig
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.experiments.common import RunResult
+from repro.experiments.pool import RunSpec, run_many
+from repro.predictors.registry import predictor_info, predictor_names
+from repro.workloads.catalog import workload_by_name
+
+#: Default workload slate (resolved through :func:`workload_by_name`, so
+#: adversarial families participate like any catalog entry).
+ABLATION_WORKLOADS: tuple[str, ...] = (
+    "TPF airline reservations",
+    "Z/OS DayTrader DBServ",
+    "zLinux Informix",
+    "adversarial/btb-capacity",
+    "adversarial/tracker-thrash",
+)
+
+
+@dataclass(frozen=True)
+class AblationCell:
+    """One (workload, predictor) measurement of the ablation grid."""
+
+    workload: str
+    predictor: str
+    cpi: float
+    bad_fraction: float
+    instructions: int
+    branches: int
+
+    @property
+    def accuracy(self) -> float:
+        """Branch outcome accuracy (1 - bad outcome fraction)."""
+        return 1.0 - self.bad_fraction
+
+
+def _geomean(values: Sequence[float]) -> float:
+    """Geometric mean (0.0 for an empty or non-positive sequence)."""
+    positive = [value for value in values if value > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positive) / len(positive))
+
+
+def ablation_results(
+    workloads: Sequence[str] = ABLATION_WORKLOADS,
+    predictors: Sequence[str] | None = None,
+    config: PredictorConfig = ZEC12_CONFIG_2,
+    timing: TimingParams = DEFAULT_TIMING,
+    scale: float | None = None,
+    jobs: int | None = None,
+) -> list[AblationCell]:
+    """Measure the full (workload x predictor) grid, cache-first.
+
+    Every cell is an ordinary :class:`~repro.experiments.pool.RunSpec`
+    through :func:`~repro.experiments.pool.run_many`, so repeated ablation
+    runs are free after the first and the grid parallelizes like any batch.
+    Returns cells in (workload-major, predictor-minor) order.
+    """
+    if predictors is None:
+        predictors = predictor_names()
+    for name in predictors:
+        predictor_info(name)  # fail fast on typos before any simulation
+    specs = [
+        RunSpec(workload=workload_by_name(workload), config=config,
+                timing=timing, scale=scale, predictor=predictor)
+        for workload in workloads
+        for predictor in predictors
+    ]
+    runs = run_many(specs, jobs=jobs)
+    return [
+        AblationCell(
+            workload=spec.workload.name,
+            predictor=spec.predictor,
+            cpi=run.cpi,
+            bad_fraction=run.bad_fraction,
+            instructions=run.instructions,
+            branches=run.branches,
+        )
+        for spec, run in zip(specs, runs)
+    ]
+
+
+def _grid(cells: Sequence[AblationCell]) -> tuple[
+        list[str], list[str], dict[tuple[str, str], AblationCell]]:
+    """Unique workloads / predictors (first-seen order) plus a cell index."""
+    workloads: list[str] = []
+    predictors: list[str] = []
+    index: dict[tuple[str, str], AblationCell] = {}
+    for cell in cells:
+        if cell.workload not in workloads:
+            workloads.append(cell.workload)
+        if cell.predictor not in predictors:
+            predictors.append(cell.predictor)
+        index[(cell.workload, cell.predictor)] = cell
+    return workloads, predictors, index
+
+
+def render_ablation(cells: Sequence[AblationCell]) -> str:
+    """Markdown-style comparison table: CPI (accuracy) per grid cell.
+
+    One row per workload, one column per predictor, plus a geometric-mean
+    footer over CPI (the standard cross-workload summary statistic).
+    """
+    workloads, predictors, index = _grid(cells)
+    header = "| workload | " + " | ".join(predictors) + " |"
+    rule = "|---" * (len(predictors) + 1) + "|"
+    lines = ["Ablation: CPI (accuracy) by predictor", "", header, rule]
+    for workload in workloads:
+        row = [workload]
+        for predictor in predictors:
+            cell = index.get((workload, predictor))
+            row.append(
+                f"{cell.cpi:.4f} ({cell.accuracy:.4f})"
+                if cell is not None else "-")
+        lines.append("| " + " | ".join(row) + " |")
+    footer = ["geomean CPI"]
+    for predictor in predictors:
+        column = [index[(w, predictor)].cpi for w in workloads
+                  if (w, predictor) in index]
+        footer.append(f"{_geomean(column):.4f}" if column else "-")
+    lines.append("| " + " | ".join(footer) + " |")
+    return "\n".join(lines)
+
+
+def ablation_payload(cells: Sequence[AblationCell]) -> dict:
+    """JSON-safe artifact for CI: the grid plus per-predictor summaries."""
+    workloads, predictors, index = _grid(cells)
+    return {
+        "schema": 1,
+        "workloads": workloads,
+        "predictors": predictors,
+        "cells": [
+            {
+                "workload": cell.workload,
+                "predictor": cell.predictor,
+                "cpi": cell.cpi,
+                "accuracy": cell.accuracy,
+                "bad_outcome_fraction": cell.bad_fraction,
+                "instructions": cell.instructions,
+                "branches": cell.branches,
+            }
+            for cell in cells
+        ],
+        "geomean_cpi": {
+            predictor: _geomean([
+                index[(w, predictor)].cpi for w in workloads
+                if (w, predictor) in index
+            ])
+            for predictor in predictors
+        },
+    }

@@ -80,6 +80,11 @@ class RunResult:
     branches: int
     outcome_fractions: dict[str, float]
     preload_stats: dict[str, int]
+    #: Registry name of the predictor that produced the run.  Part of
+    #: equality — a zoo run is a different scientific object from a paper
+    #: run.  Defaults to the paper stack so pre-zoo cache entries (which
+    #: lack the key) load as what they are.
+    predictor: str = "paper"
     #: Sampled-run provenance (plan description, interval count, CI
     #: halfwidths, checkpoint traffic); ``None`` for full-detail runs.
     #: Part of equality: a sampled estimate is a different scientific
@@ -132,7 +137,8 @@ def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
                     sampling: SamplingPlan | None = None,
                     engine_mode: str = "object",
                     parallel: ParallelPlan | None = None,
-                    backend: str | None = None) -> str:
+                    backend: str | None = None,
+                    predictor: str = "paper") -> str:
     """Stable cache key of one (workload, config, timing, scale) run.
 
     Any change to the workload's generator parameters, the configuration's
@@ -158,6 +164,11 @@ def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
     proves, not something the cache presumes.  ``backend`` extends the
     payload only alongside ``parallel``: for serial runs it is pure
     execution plumbing with no bearing on the result.
+
+    ``predictor`` is append-only too: the default paper stack adds nothing
+    (historical keys survive), while every zoo predictor extends the
+    payload with its registry name — a zoo run can never collide with a
+    cached paper-stack slot, or with another zoo predictor's.
     """
     payload = repr((spec, _config_key(config), dataclasses.astuple(timing), scale))
     if sampling is not None:
@@ -167,6 +178,8 @@ def run_fingerprint(spec: WorkloadSpec, config: PredictorConfig,
     if parallel is not None:
         payload += repr(("parallel", parallel.cache_key(),
                          resolve_backend(backend).name))
+    if predictor != "paper":
+        payload += repr(("predictor", predictor))
     return hashlib.sha256(payload.encode()).hexdigest()[:20]
 
 
@@ -262,7 +275,7 @@ def _sampled_info(sampled) -> dict:
 
 def _simulate(spec, config, timing, scale, auditor, sampling,
               checkpoint_dir, engine_mode, parallel, backend,
-              relay, telemetry, label):
+              relay, telemetry, label, predictor="paper"):
     """Dispatch one cache-missed run to its execution strategy.
 
     Returns ``(result, sampling_info, parallel_info)`` — the simulation
@@ -298,6 +311,13 @@ def _simulate(spec, config, timing, scale, auditor, sampling,
     trace = spec.trace(scale)
     if not trace:
         raise RuntimeError(f"empty trace for {spec.name} at scale {scale}")
+    if predictor != "paper":
+        from repro.predictors.registry import create_predictor
+
+        instance = create_predictor(
+            predictor, config=config, timing=timing,
+            audit=auditor is not None, telemetry=telemetry)
+        return instance.run(trace), None, None
     if sampling is not None:
         store = (CheckpointStore(checkpoint_dir)
                  if checkpoint_dir is not None else None)
@@ -325,6 +345,7 @@ def run_workload(
     engine_mode: str = "object",
     parallel: ParallelPlan | None = None,
     backend: str | None = None,
+    predictor: str = "paper",
 ) -> RunResult:
     """Simulate ``spec`` under ``config``, using the on-disk result cache.
 
@@ -359,6 +380,12 @@ def run_workload(
     Parallel runs cannot be audited: per-record audit hooks do not cross
     worker process boundaries, and silently skipping them would defeat
     the point of ``audit``.
+
+    ``predictor`` selects a registered zoo predictor instead of the paper
+    stack (``repro.predictors``).  Zoo runs are serial full-detail only:
+    sampling, checkpoint-parallel execution, and alternate engine modes
+    are paper-stack machinery and are rejected rather than silently
+    ignored.  ``audit`` enables the zoo's counter-conservation self-check.
     """
     if scale is None:
         scale = default_scale()
@@ -370,9 +397,24 @@ def run_workload(
             "per-record and do not cross worker process boundaries; drop "
             "--parallel-intervals or the audit flag"
         )
+    if predictor != "paper":
+        from repro.predictors.registry import predictor_info
+
+        predictor_info(predictor)  # fail fast on unknown names
+        if sampling is not None or parallel is not None:
+            raise ValueError(
+                "sampled and checkpoint-parallel execution are implemented "
+                "for the paper stack only; drop the sampling/parallel plan "
+                "or use predictor='paper'"
+            )
+        if engine_mode != "object":
+            raise ValueError(
+                "alternate engine modes exist for the paper stack only; "
+                "zoo predictors have a single engine"
+            )
     key = run_fingerprint(spec, config, timing, scale, sampling,
                           engine_mode=engine_mode, parallel=parallel,
-                          backend=backend)
+                          backend=backend, predictor=predictor)
     board = StatusBoard.from_env()
     label = f"{spec.name}/{config.name}"
     if not audit:
@@ -408,7 +450,8 @@ def run_workload(
     try:
         result, sampling_info, parallel_info = _simulate(
             spec, config, timing, scale, auditor, sampling, checkpoint_dir,
-            engine_mode, parallel, backend, relay, telemetry, label)
+            engine_mode, parallel, backend, relay, telemetry, label,
+            predictor=predictor)
     except BaseException:
         if session is not None:
             session.close()
@@ -427,6 +470,7 @@ def run_workload(
             for kind, fraction in result.counters.outcome_fractions().items()
         },
         preload_stats=dict(result.preload_stats),
+        predictor=predictor,
         sampling=sampling_info,
         parallel=parallel_info,
         wall_seconds=elapsed,

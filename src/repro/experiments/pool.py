@@ -93,6 +93,10 @@ class RunSpec:
     #: ``REPRO_BACKEND``/``process``).  Fingerprinted only alongside
     #: ``parallel``.
     backend: str | None = None
+    #: Predictor registry name (:mod:`repro.predictors.registry`).  Part of
+    #: the fingerprint when not the paper stack — each zoo member gets its
+    #: own cache slot.
+    predictor: str = "paper"
 
     def resolved_scale(self) -> float:
         """The concrete scale (``None`` defers to ``REPRO_SCALE``/1.0)."""
@@ -108,6 +112,7 @@ class RunSpec:
             self.workload, self.config, self.timing, self.resolved_scale(),
             self.sampling, engine_mode=self.engine_mode,
             parallel=self.parallel, backend=self.backend,
+            predictor=self.predictor,
         )
 
 
@@ -203,7 +208,7 @@ session_log = ExecutionLog()
 def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig, TimingParams,
                                float, bool, SamplingPlan | None,
                                str | None, str, ParallelPlan | None,
-                               str | None]) -> RunResult:
+                               str | None, str]) -> RunResult:
     """Pool worker body: one cached simulation run.
 
     Must stay a module-level function so it pickles under every
@@ -212,18 +217,18 @@ def _simulate_spec(item: tuple[WorkloadSpec, PredictorConfig, TimingParams,
     published is not repeated.
     """
     (spec, config, timing, scale, audit, sampling, checkpoint_dir, engine,
-     parallel, backend) = item
+     parallel, backend, predictor) = item
     return run_workload(spec, config, timing, scale, audit=audit,
                         sampling=sampling, checkpoint_dir=checkpoint_dir,
                         engine_mode=engine, parallel=parallel,
-                        backend=backend)
+                        backend=backend, predictor=predictor)
 
 
 def _spec_item(spec: RunSpec) -> tuple:
     """The picklable ``_simulate_spec`` argument for one spec."""
     return (spec.workload, spec.config, spec.timing, spec.resolved_scale(),
             spec.resolved_audit(), spec.sampling, spec.checkpoint_dir,
-            spec.engine_mode, spec.parallel, spec.backend)
+            spec.engine_mode, spec.parallel, spec.backend, spec.predictor)
 
 
 @dataclass

@@ -1,0 +1,38 @@
+"""The predictor zoo: a formal interface over competing branch predictors.
+
+``repro.predictors`` extracts the surface the experiments layer and CLI
+drive on the paper's two-level bulk-preload stack into a formal
+:class:`~repro.predictors.base.Predictor` contract, registers the paper
+stack as one implementation among several (TAGE-like, LDBP-style,
+Bullseye-style), and carries the shared verification machinery: the
+conformance battery, the per-predictor differential references, and the
+per-predictor golden gate.  See docs/ARCHITECTURE.md ("Predictor zoo").
+"""
+
+from repro.predictors.base import (
+    Predictor,
+    SetAssociativeTable,
+    ZooPrediction,
+    ZooPredictor,
+)
+from repro.predictors.registry import (
+    DEFAULT_PREDICTOR,
+    PredictorInfo,
+    create_predictor,
+    predictor_info,
+    predictor_names,
+    register_predictor,
+)
+
+__all__ = [
+    "DEFAULT_PREDICTOR",
+    "Predictor",
+    "PredictorInfo",
+    "SetAssociativeTable",
+    "ZooPrediction",
+    "ZooPredictor",
+    "create_predictor",
+    "predictor_info",
+    "predictor_names",
+    "register_predictor",
+]

@@ -1,0 +1,146 @@
+"""Bullseye-style hard-to-predict-branch specialist.
+
+Bullseye (arXiv:2506.06773) spends a small, heavily specialized structure
+on the few *hard-to-predict* (H2P) branches that dominate mispredictions,
+leaving the easy majority to a cheap base predictor.  This implementation
+keeps that shape: every branch starts on a 2-bit bimodal base; a branch
+whose observed base-mispredict rate crosses a threshold after enough
+executions is *promoted* into a bounded specialist file, where it gets a
+private 12-bit local-history pattern table.  The file is LRU-managed —
+promoting into a full file demotes the least recently trained specialist
+back to its base predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import BranchKind
+from repro.predictors.base import ZooPredictor, ZooPrediction, saturate
+from repro.trace.record import TraceRecord
+
+#: Executions a branch needs before it can be judged hard-to-predict.
+H2P_MIN_EXECS = 64
+#: Promotion threshold on the base-mispredict rate, as a ratio (3/20 = 15%).
+H2P_MISS_NUMERATOR = 3
+H2P_MISS_DENOMINATOR = 20
+#: Specialist-file capacity (branches with a private pattern table).
+SPECIALIST_CAPACITY = 64
+#: Local-history length of a specialist's pattern table.
+LOCAL_HISTORY_BITS = 12
+
+
+@dataclass(slots=True)
+class HardBranchEntry:
+    """Per-branch Bullseye state: base counter, H2P stats, specialist table."""
+
+    address: int
+    target: int | None = None
+    #: 2-bit bimodal base counter.
+    counter: int = 1
+    #: Resolved executions observed (conditionals only).
+    execs: int = 0
+    #: Executions the base predictor got wrong.
+    misses: int = 0
+    #: Local outcome history, newest bit at position 0.
+    history: int = 0
+    #: Pattern table (local history -> 2-bit counter) once promoted.
+    patterns: dict[int, int] | None = None
+
+
+class BullseyePredictor(ZooPredictor):
+    """Bimodal base plus a bounded LRU file of promoted H2P specialists."""
+
+    name = "bullseye"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Specialist file, MRU first (addresses of promoted entries).
+        self._specialists: list[int] = []
+
+    def predict(self, record: TraceRecord, entry: HardBranchEntry):
+        """Pattern-table direction for specialists, bimodal otherwise."""
+        if record.kind.always_taken:
+            return ZooPrediction(True, entry.target)
+        taken = entry.counter >= 2
+        if entry.patterns is not None:
+            pattern = entry.patterns.get(entry.history)
+            if pattern is not None:
+                taken = pattern >= 2
+        return ZooPrediction(taken, entry.target if taken else None)
+
+    def train(self, record: TraceRecord) -> None:
+        """Update base stats, specialist patterns, and promotion state."""
+        entry = self._ensure_entry(record)
+        if record.kind is not BranchKind.COND:
+            return
+        base_taken = entry.counter >= 2
+        entry.execs += 1
+        if base_taken != record.taken:
+            entry.misses += 1
+        entry.counter = saturate(entry.counter, record.taken, 3)
+        if entry.patterns is not None:
+            pattern = entry.patterns.get(entry.history, 1)
+            entry.patterns[entry.history] = saturate(pattern, record.taken, 3)
+            self._touch_specialist(entry.address)
+        elif (entry.execs >= H2P_MIN_EXECS
+              and entry.misses * H2P_MISS_DENOMINATOR
+              >= entry.execs * H2P_MISS_NUMERATOR):
+            self._promote(entry)
+        entry.history = (((entry.history << 1) | int(record.taken))
+                         & ((1 << LOCAL_HISTORY_BITS) - 1))
+
+    # -- specialist file management ------------------------------------------
+
+    def _promote(self, entry: HardBranchEntry) -> None:
+        if entry.address in self._specialists:
+            self._specialists.remove(entry.address)
+        while len(self._specialists) >= SPECIALIST_CAPACITY:
+            victim_address = self._specialists.pop()
+            victim = self.bit.lookup(victim_address)
+            if victim is not None:
+                victim.patterns = None
+        entry.patterns = {}
+        self._specialists.insert(0, entry.address)
+
+    def _touch_specialist(self, address: int) -> None:
+        if self._specialists and self._specialists[0] == address:
+            return
+        try:
+            self._specialists.remove(address)
+        except ValueError:
+            return
+        self._specialists.insert(0, address)
+
+    def _on_evict(self, victim: HardBranchEntry) -> None:
+        """A promoted branch evicted from the BIT frees its specialist slot."""
+        if victim.patterns is not None:
+            try:
+                self._specialists.remove(victim.address)
+            except ValueError:
+                pass
+
+    # -- zoo checkpoint hooks ------------------------------------------------
+
+    def _new_entry(self, address: int) -> HardBranchEntry:
+        return HardBranchEntry(address)
+
+    def _encode_entry(self, entry: HardBranchEntry) -> list:
+        patterns = (None if entry.patterns is None
+                    else sorted(entry.patterns.items()))
+        return [entry.address, entry.target, entry.counter, entry.execs,
+                entry.misses, entry.history, patterns]
+
+    def _decode_entry(self, state: list) -> HardBranchEntry:
+        patterns = (None if state[6] is None
+                    else {history: counter for history, counter in state[6]})
+        return HardBranchEntry(state[0], state[1], state[2], state[3],
+                               state[4], state[5], patterns)
+
+    def tables_state(self) -> dict:
+        """Specialist-file LRU order (addresses, MRU first)."""
+        return {"specialists": list(self._specialists)}
+
+    def load_tables(self, state: dict) -> None:
+        """Restore the specialist-file LRU order."""
+        self._specialists = list(state["specialists"])

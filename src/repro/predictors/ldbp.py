@@ -1,0 +1,86 @@
+"""LDBP-style load/loop-driven predictor.
+
+The load-driven branch predictor (LDBP) resolves hard-to-predict branches
+whose outcome is a pure function of an earlier load by computing the branch
+early on the load's data path.  The dominant beneficiaries are
+loop-exit-style branches whose trip counts a history predictor cannot
+capture.  Our traces carry no load values, so this implementation keeps the
+LDBP *spirit* with the information a trace does expose: a per-branch
+trip-count detector that learns "taken N times, then falls through" loop
+shapes and predicts the exit exactly, with a bimodal counter as the
+fallback for everything else.
+
+Everything lives in the BIT entry — the per-branch state is exactly the
+bounded per-branch tracking hardware an LDBP table would hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import BranchKind
+from repro.predictors.base import ZooPredictor, ZooPrediction, saturate
+from repro.trace.record import TraceRecord
+
+#: Confidence (consecutive identical trip counts) needed before the
+#: trip-count predictor overrides the bimodal fallback.
+TRIP_CONFIDENCE = 2
+
+
+@dataclass(slots=True)
+class LoopEntry:
+    """Per-branch LDBP state: target, bimodal fallback, trip tracking."""
+
+    address: int
+    target: int | None = None
+    #: 2-bit bimodal fallback counter.
+    counter: int = 1
+    #: Taken streak since the last not-taken resolution.
+    run: int = 0
+    #: Learned trip count (taken executions per loop visit), or ``None``.
+    trip: int | None = None
+    #: Saturating confidence in ``trip`` (0..3).
+    confidence: int = 0
+
+
+class LdbpPredictor(ZooPredictor):
+    """Trip-count loop-exit specialist with a bimodal fallback."""
+
+    name = "ldbp"
+
+    def predict(self, record: TraceRecord, entry: LoopEntry):
+        """Exact loop-exit prediction when confident, else bimodal."""
+        if record.kind.always_taken:
+            return ZooPrediction(True, entry.target)
+        if entry.trip is not None and entry.confidence >= TRIP_CONFIDENCE:
+            taken = entry.run < entry.trip
+        else:
+            taken = entry.counter >= 2
+        return ZooPrediction(taken, entry.target if taken else None)
+
+    def train(self, record: TraceRecord) -> None:
+        """Update the bimodal fallback and the trip-count detector."""
+        entry = self._ensure_entry(record)
+        if record.kind is not BranchKind.COND:
+            return
+        entry.counter = saturate(entry.counter, record.taken, 3)
+        if record.taken:
+            entry.run += 1
+            return
+        trip = entry.run
+        if trip == entry.trip:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.trip = trip
+            entry.confidence = 0
+        entry.run = 0
+
+    def _new_entry(self, address: int) -> LoopEntry:
+        return LoopEntry(address)
+
+    def _encode_entry(self, entry: LoopEntry) -> list:
+        return [entry.address, entry.target, entry.counter, entry.run,
+                entry.trip, entry.confidence]
+
+    def _decode_entry(self, state: list) -> LoopEntry:
+        return LoopEntry(*state)

@@ -1,0 +1,102 @@
+"""The paper's two-level bulk-preload stack as a registered predictor.
+
+:class:`PaperPredictor` is a thin adapter putting
+:class:`repro.engine.simulator.Simulator` behind the formal
+:class:`~repro.predictors.base.Predictor` contract.  It delegates every
+call, so a run through the adapter is *bit-identical* to driving the
+simulator directly (the registry tests assert this), and its
+``model_fingerprint`` is the simulator's own — keeping every historical
+result-cache slot and golden baseline valid for ``predictor="paper"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.config import PredictorConfig, ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING, TimingParams
+from repro.engine.simulator import SimulationResult, Simulator
+from repro.predictors.base import Predictor
+from repro.trace.record import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.telemetry.hub import Telemetry
+
+
+class PaperPredictor(Predictor):
+    """The first-level/second-level bulk-preload stack behind the contract."""
+
+    name = "paper"
+    STATE_VERSION = Simulator.STATE_VERSION
+
+    def __init__(
+        self,
+        config: PredictorConfig = ZEC12_CONFIG_2,
+        timing: TimingParams = DEFAULT_TIMING,
+        *,
+        audit: bool = False,
+        telemetry: "Telemetry | None" = None,
+        engine_mode: str = "object",
+    ) -> None:
+        from repro.audit.auditor import Auditor
+
+        self.config = config
+        self.timing = timing
+        self.simulator = Simulator(
+            config,
+            timing,
+            audit=Auditor() if audit else None,
+            telemetry=telemetry,
+            engine_mode=engine_mode,
+        )
+
+    @property
+    def counters(self):
+        """The live simulator counters."""
+        return self.simulator.counters
+
+    @property
+    def probe(self):
+        """The simulator's structured probe (see ``repro.oracle.differential``)."""
+        return self.simulator.probe
+
+    @probe.setter
+    def probe(self, value) -> None:
+        """Install an observer on the underlying simulator."""
+        self.simulator.probe = value
+
+    def step(self, record: TraceRecord) -> None:
+        """Delegate one detailed step to the simulator."""
+        self.simulator.step(record)
+
+    def warm_step(self, record: TraceRecord) -> None:
+        """Delegate one functional-warming step to the simulator."""
+        self.simulator.warm_step(record)
+
+    def warm_run(self, records: Iterable[TraceRecord]) -> None:
+        """Delegate functional warming (the simulator batches block preloads)."""
+        self.simulator.warm_run(records)
+
+    def run(self, records: Iterable[TraceRecord]) -> SimulationResult:
+        """Delegate a full run (keeps the batched engine path eligible)."""
+        return self.simulator.run(records)
+
+    def begin_interval(self, address: int) -> None:
+        """Delegate a sampled-interval boundary to the simulator."""
+        self.simulator.begin_interval(address)
+
+    def finish(self) -> SimulationResult:
+        """Seal the simulator run."""
+        return self.simulator.finish()
+
+    def state_dict(self) -> dict:
+        """The simulator's own versioned snapshot."""
+        return self.simulator.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a simulator snapshot."""
+        self.simulator.load_state_dict(state)
+
+    def model_fingerprint(self) -> str:
+        """The simulator's historical fingerprint (cache compatibility)."""
+        return self.simulator.model_fingerprint()

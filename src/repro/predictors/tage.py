@@ -1,0 +1,184 @@
+"""TAGE-like conditional baseline predictor.
+
+A scaled-down TAGE (TAgged GEometric history length) conditional direction
+predictor behind the shared zoo engine: a bimodal base table plus four
+partially-tagged tables indexed by geometrically increasing global-history
+folds.  The longest-history tag match provides the prediction; allocation
+happens on mispredicts into a longer table whose entry is not useful.
+
+This is the conventional state-of-the-art baseline the paper's bulk-preload
+stack is ablated against: strong conditional direction accuracy, but only a
+flat bounded target store (the BIT) — no second-level bulk preload — so
+adversarial capacity/aliasing workloads hit it hard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import BranchKind
+from repro.predictors.base import ZooPredictor, ZooPrediction, saturate
+from repro.trace.record import TraceRecord
+
+#: Geometric global-history lengths of the four tagged tables.
+GHIST_LENGTHS = (5, 15, 44, 130)
+#: Entries per tagged table (10 index bits).
+TAGGED_ENTRIES = 1024
+#: Partial-tag width of the tagged tables.
+TAG_BITS = 8
+#: Entries in the bimodal base table.
+BIMODAL_ENTRIES = 4096
+#: History bits retained (longest table's requirement).
+MAX_HISTORY = GHIST_LENGTHS[-1]
+
+
+@dataclass(slots=True)
+class TageEntry:
+    """BIT entry of the TAGE predictor: identity plus last-seen target."""
+
+    address: int
+    target: int | None = None
+
+
+class TagePredictor(ZooPredictor):
+    """TAGE-like conditional baseline behind the zoo engine.
+
+    Tagged entries are ``[tag, counter, useful]`` triples stored sparsely
+    (``dict`` keyed by index) — behaviorally identical to a dense table
+    whose untouched entries never match a tag.  Counters are 3-bit
+    (taken at >= 4); usefulness is 2-bit and gates allocation.
+    """
+
+    name = "tage"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._bimodal = [1] * BIMODAL_ENTRIES
+        self._tables: list[dict[int, list[int]]] = [
+            {} for _ in GHIST_LENGTHS]
+        #: Global outcome history, newest bit at position 0.
+        self._history = 0
+
+    # -- index/tag arithmetic (address bits below the relabel granule) -------
+
+    @staticmethod
+    def _bimodal_index(address: int) -> int:
+        return (address >> 1) % BIMODAL_ENTRIES
+
+    def _fold(self, length: int, bits: int) -> int:
+        """XOR-fold the newest ``length`` history bits down to ``bits`` bits."""
+        value = self._history & ((1 << length) - 1)
+        mask = (1 << bits) - 1
+        folded = 0
+        while value:
+            folded ^= value & mask
+            value >>= bits
+        return folded
+
+    def _table_index(self, address: int, table: int) -> int:
+        length = GHIST_LENGTHS[table]
+        return ((address >> 1) ^ self._fold(length, 10)
+                ^ (table * 0x2545)) % TAGGED_ENTRIES
+
+    def _table_tag(self, address: int, table: int) -> int:
+        length = GHIST_LENGTHS[table]
+        return ((address >> 11) ^ self._fold(length, TAG_BITS)
+                ^ (self._fold(length, TAG_BITS - 1) << 1)) % (1 << TAG_BITS)
+
+    # -- direction machinery -------------------------------------------------
+
+    def _direction(self, address: int):
+        """Predicted direction plus (provider, alternate prediction).
+
+        Returns ``(taken, provider, alt_taken)`` where ``provider`` is
+        ``(table, entry)`` for the longest-history tag match or ``None``
+        when the bimodal table provides.
+        """
+        provider = None
+        alternate = None
+        for table in reversed(range(len(GHIST_LENGTHS))):
+            entry = self._tables[table].get(self._table_index(address, table))
+            if entry is not None and entry[0] == self._table_tag(address, table):
+                if provider is None:
+                    provider = (table, entry)
+                else:
+                    alternate = entry
+                    break
+        bimodal_taken = self._bimodal[self._bimodal_index(address)] >= 2
+        if provider is None:
+            return bimodal_taken, None, bimodal_taken
+        alt_taken = alternate[1] >= 4 if alternate is not None else bimodal_taken
+        return provider[1][1] >= 4, provider, alt_taken
+
+    def _train_direction(self, address: int, taken: bool) -> None:
+        predicted, provider, alt_taken = self._direction(address)
+        if provider is not None:
+            table, entry = provider
+            entry[1] = saturate(entry[1], taken, 7)
+            if predicted != alt_taken:
+                if predicted == taken:
+                    entry[2] = min(3, entry[2] + 1)
+                else:
+                    entry[2] = max(0, entry[2] - 1)
+        else:
+            index = self._bimodal_index(address)
+            self._bimodal[index] = saturate(self._bimodal[index], taken, 3)
+        if predicted != taken:
+            start = provider[0] + 1 if provider is not None else 0
+            self._allocate(address, taken, start)
+
+    def _allocate(self, address: int, taken: bool, start: int) -> None:
+        """Allocate a fresh entry in the first non-useful longer table."""
+        for table in range(start, len(GHIST_LENGTHS)):
+            index = self._table_index(address, table)
+            entry = self._tables[table].get(index)
+            if entry is None or entry[2] == 0:
+                self._tables[table][index] = [
+                    self._table_tag(address, table), 4 if taken else 3, 0]
+                return
+        for table in range(start, len(GHIST_LENGTHS)):
+            entry = self._tables[table][self._table_index(address, table)]
+            entry[2] = max(0, entry[2] - 1)
+
+    # -- zoo hooks -----------------------------------------------------------
+
+    def predict(self, record: TraceRecord, entry: TageEntry):
+        """TAGE direction for conditionals; always-taken kinds redirect."""
+        if record.kind.always_taken:
+            return ZooPrediction(True, entry.target)
+        taken, _, _ = self._direction(record.address)
+        return ZooPrediction(taken, entry.target if taken else None)
+
+    def train(self, record: TraceRecord) -> None:
+        """Update BIT, direction tables, and the global history."""
+        self._ensure_entry(record)
+        if record.kind is BranchKind.COND:
+            self._train_direction(record.address, record.taken)
+        self._history = (((self._history << 1) | int(record.taken))
+                         & ((1 << MAX_HISTORY) - 1))
+
+    def _new_entry(self, address: int) -> TageEntry:
+        return TageEntry(address)
+
+    def _encode_entry(self, entry: TageEntry) -> list:
+        return [entry.address, entry.target]
+
+    def _decode_entry(self, state: list) -> TageEntry:
+        return TageEntry(state[0], state[1])
+
+    def tables_state(self) -> dict:
+        """Bimodal, tagged tables, and global history as JSON-safe lists."""
+        return {
+            "bimodal": list(self._bimodal),
+            "history": self._history,
+            "tagged": [sorted([index, *entry] for index, entry in table.items())
+                       for table in self._tables],
+        }
+
+    def load_tables(self, state: dict) -> None:
+        """Restore the :meth:`tables_state` snapshot."""
+        self._bimodal = list(state["bimodal"])
+        self._history = state["history"]
+        self._tables = [
+            {row[0]: list(row[1:]) for row in table}
+            for table in state["tagged"]]

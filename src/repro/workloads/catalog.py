@@ -310,10 +310,21 @@ TABLE4_WORKLOADS: tuple[WorkloadSpec, ...] = (
 )
 
 
-def workload_by_name(name: str) -> WorkloadSpec:
-    """Look up a catalog workload by (case-insensitive substring) name."""
+def workload_by_name(name: str):
+    """Look up a catalog workload by (case-insensitive substring) name.
+
+    Searches the Table 4 synthetics first, then the adversarial
+    microbenchmark family (:mod:`repro.workloads.adversarial`), so both
+    populations resolve through one name space everywhere a workload can
+    be named (``simulate``, ``RunSpec``, golden gates, ablations).
+    """
     lowered = name.lower()
     for spec in TABLE4_WORKLOADS:
+        if lowered in spec.name.lower():
+            return spec
+    from repro.workloads.adversarial import ADVERSARIAL_WORKLOADS
+
+    for spec in ADVERSARIAL_WORKLOADS:
         if lowered in spec.name.lower():
             return spec
     raise KeyError(f"no workload matching {name!r}")

@@ -1,0 +1,112 @@
+"""Cross-predictor ablation grid: rendering, payload, and pool plumbing.
+
+The grid math (first-seen ordering, geometric means, markdown layout)
+is tested on hand-built cells; one small end-to-end grid checks the
+``RunSpec.predictor`` plumbing through the cached batch pool.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import ZEC12_CONFIG_2
+from repro.experiments.ablation import (
+    ABLATION_WORKLOADS,
+    AblationCell,
+    _geomean,
+    ablation_payload,
+    ablation_results,
+    render_ablation,
+)
+from repro.experiments.pool import RunSpec, run_many
+from repro.workloads.catalog import workload_by_name
+
+CELLS = [
+    AblationCell("w1", "paper", 2.0, 0.10, 1000, 100),
+    AblationCell("w1", "tage", 4.0, 0.25, 1000, 100),
+    AblationCell("w2", "paper", 8.0, 0.50, 2000, 200),
+    AblationCell("w2", "tage", 16.0, 0.75, 2000, 200),
+]
+
+
+class TestSlate:
+    def test_default_slate_shape(self):
+        # The acceptance bar: at least four workloads, at least one of
+        # them adversarial, all resolvable through the catalog.
+        assert len(ABLATION_WORKLOADS) >= 4
+        assert any(name.startswith("adversarial/")
+                   for name in ABLATION_WORKLOADS)
+        for name in ABLATION_WORKLOADS:
+            assert workload_by_name(name).name == name
+
+
+class TestGridMath:
+    def test_accuracy_is_one_minus_bad_fraction(self):
+        assert CELLS[0].accuracy == pytest.approx(0.90)
+
+    def test_geomean(self):
+        assert _geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert _geomean([]) == 0.0
+        assert _geomean([0.0, -1.0]) == 0.0
+
+    def test_render_layout(self):
+        table = render_ablation(CELLS)
+        lines = table.splitlines()
+        assert "| workload | paper | tage |" in lines
+        assert any(line.startswith("| w1 | 2.0000 (0.9000) |")
+                   for line in lines)
+        assert lines[-1].startswith("| geomean CPI | 4.0000 |")
+
+    def test_render_marks_missing_cells(self):
+        table = render_ablation(CELLS[:3])  # no (w2, tage) cell
+        assert "| w2 | 8.0000 (0.5000) | - |" in table
+
+    def test_payload(self):
+        payload = ablation_payload(CELLS)
+        assert payload["schema"] == 1
+        assert payload["workloads"] == ["w1", "w2"]
+        assert payload["predictors"] == ["paper", "tage"]
+        assert len(payload["cells"]) == 4
+        assert payload["cells"][0]["bad_outcome_fraction"] == 0.10
+        assert payload["geomean_cpi"]["paper"] == pytest.approx(
+            math.sqrt(2.0 * 8.0))
+
+
+class TestEndToEnd:
+    def test_unknown_predictor_fails_before_simulating(self):
+        with pytest.raises(ValueError, match="registered"):
+            ablation_results(predictors=("nope",))
+
+    def test_small_grid_through_the_pool(self):
+        cells = ablation_results(
+            workloads=("adversarial/target-aliasing",),
+            predictors=("paper", "tage"),
+            scale=0.001, jobs=0)
+        assert [(cell.workload, cell.predictor) for cell in cells] == [
+            ("adversarial/target-aliasing", "paper"),
+            ("adversarial/target-aliasing", "tage"),
+        ]
+        assert all(cell.cpi > 0 for cell in cells)
+        assert all(0.0 <= cell.bad_fraction <= 1.0 for cell in cells)
+        # Distinct predictors on the same trace must measure differently
+        # in at least one dimension (they are different machines).
+        assert (cells[0].cpi, cells[0].bad_fraction) != (
+            cells[1].cpi, cells[1].bad_fraction)
+
+
+class TestPoolPlumbing:
+    def test_run_result_carries_the_predictor(self):
+        spec = RunSpec(workload=workload_by_name("adversarial/btb-assoc"),
+                       config=ZEC12_CONFIG_2, scale=0.001, predictor="ldbp")
+        run, = run_many([spec], jobs=0)
+        assert run.predictor == "ldbp"
+        assert run.cpi > 0
+
+    def test_zoo_results_round_trip_through_the_cache(self):
+        spec = RunSpec(workload=workload_by_name("adversarial/btb-assoc"),
+                       config=ZEC12_CONFIG_2, scale=0.001, predictor="tage")
+        first, = run_many([spec], jobs=0)
+        second, = run_many([spec], jobs=0)  # served from the result cache
+        assert second.cpi == first.cpi
+        assert second.predictor == "tage"
+        assert second.outcome_fractions == first.outcome_fractions

@@ -1,0 +1,97 @@
+"""Conformance battery, parametrized over every registry entry.
+
+This is the enforcement point of the predictor contract: the battery in
+``repro.predictors.conformance`` runs against *every* name the registry
+exposes, so registering a new predictor without passing determinism,
+checkpoint bit-identity, warm/detail parity, relabel invariance, and an
+audit-clean run is impossible — the parametrization picks it up
+automatically.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.config import ZEC12_CONFIG_2
+from repro.engine.params import DEFAULT_TIMING
+from repro.predictors import registry
+from repro.predictors.conformance import (
+    CONFORMANCE_CHECKS,
+    check_determinism,
+    conformance_problems,
+    conformance_trace,
+)
+from repro.predictors.registry import PredictorInfo, predictor_names
+from repro.predictors.tage import TagePredictor
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """One shared battery trace (pure generation, no cache access)."""
+    return conformance_trace()
+
+
+class TestBattery:
+    @pytest.mark.parametrize("check", list(CONFORMANCE_CHECKS))
+    @pytest.mark.parametrize("name", predictor_names())
+    def test_every_registry_entry_conforms(self, name, check, trace):
+        problems = CONFORMANCE_CHECKS[check](
+            name, trace, ZEC12_CONFIG_2, DEFAULT_TIMING)
+        assert problems == []
+
+    def test_trace_is_deterministic(self):
+        assert conformance_trace(seed=3) == conformance_trace(seed=3)
+        assert conformance_trace(seed=3) != conformance_trace(seed=4)
+
+    def test_battery_covers_the_contract(self):
+        assert list(CONFORMANCE_CHECKS) == [
+            "determinism", "checkpoint", "warm-parity", "relabel",
+            "audit-clean",
+        ]
+
+
+class _Flaky(TagePredictor):
+    """Deliberately broken: every snapshot carries a fresh nonce."""
+
+    _nonce = itertools.count()
+
+    def state_dict(self):
+        state = super().state_dict()
+        state["nonce"] = next(self._nonce)
+        return state
+
+
+class TestBatteryTeeth:
+    def test_problems_are_prefixed_with_the_check_name(
+        self, monkeypatch, trace
+    ):
+        monkeypatch.setitem(
+            CONFORMANCE_CHECKS, "determinism",
+            lambda name, records, config, timing: ["boom"])
+        problems = conformance_problems("tage", trace=list(trace)[:40])
+        assert "determinism: boom" in problems
+
+
+@pytest.fixture
+def flaky_registered(monkeypatch):
+    def factory(config, timing, *, audit=False, telemetry=None,
+                engine_mode="object"):
+        return _Flaky(config, timing, audit=audit, telemetry=telemetry)
+
+    monkeypatch.setitem(
+        registry._REGISTRY, "flaky",
+        PredictorInfo("flaky", "broken on purpose (test double)", factory))
+
+
+class TestBatteryTeethRegistered:
+    def test_flaky_predictor_fails_determinism(self, flaky_registered):
+        trace = conformance_trace(seed=5, length=60)
+        problems = check_determinism(
+            "flaky", trace, ZEC12_CONFIG_2, DEFAULT_TIMING)
+        assert any("different model state" in problem
+                   for problem in problems)
+
+    def test_healthy_predictor_passes_the_same_check(self):
+        trace = conformance_trace(seed=5, length=60)
+        assert check_determinism(
+            "tage", trace, ZEC12_CONFIG_2, DEFAULT_TIMING) == []

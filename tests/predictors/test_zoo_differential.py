@@ -1,0 +1,89 @@
+"""Zoo lockstep differential oracle: clean runs, teeth, and shrinking.
+
+The production zoo predictors and their independently written reference
+models must agree branch for branch on random and adversarial traces;
+the mutation drill proves the oracle notices a sabotaged replacement
+policy; and a planted row-aliasing bug demonstrates the full workflow —
+detect, then ddmin-shrink to a minimal still-diverging trace.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.audit.fuzz import build_trace
+from repro.core.config import ZEC12_CONFIG_2
+from repro.predictors.base import SetAssociativeTable
+from repro.predictors.differential import (
+    ZooDivergence,
+    ZooLockstepResult,
+    lockstep,
+    lockstep_names,
+    mutation_drill,
+    shrink_divergence,
+)
+from repro.workloads.adversarial import corpus_trace
+
+#: Small BIT geometry: heavy eviction pressure on short traces.
+SMALL = replace(ZEC12_CONFIG_2, btb1_rows=8, btb1_ways=2, name="small BIT")
+
+
+class TestLockstep:
+    def test_reference_models_cover_the_whole_zoo(self):
+        assert lockstep_names() == ("bullseye", "ldbp", "tage")
+
+    @pytest.mark.parametrize("name", lockstep_names())
+    def test_random_trace_runs_clean(self, name):
+        result = lockstep(name, build_trace(3, 400))
+        assert not result.diverged
+        assert result.branches > 0
+        assert "no divergence" in result.report()
+
+    @pytest.mark.parametrize("name", lockstep_names())
+    def test_adversarial_trace_runs_clean(self, name):
+        result = lockstep(name, corpus_trace(2, 400))
+        assert not result.diverged
+
+    @pytest.mark.parametrize("name", lockstep_names())
+    def test_eviction_pressure_runs_clean(self, name):
+        assert not lockstep(name, build_trace(5, 400), config=SMALL).diverged
+
+    def test_paper_stack_is_refused(self):
+        # The paper stack has its own event-level oracle; asking this one
+        # for it must fail loudly, not silently compare nothing.
+        with pytest.raises(ValueError, match="no zoo reference model"):
+            lockstep("paper", build_trace(1, 50))
+
+    def test_divergence_report_is_actionable(self):
+        divergence = ZooDivergence(3, 0x4000, "taken", True, False)
+        report = ZooLockstepResult(
+            predictor="tage", records=4, branches=2, diverged=True,
+            divergence=divergence).report()
+        assert "record 3" in report
+        assert "0x4000" in report
+        assert "production=True" in report and "reference=False" in report
+
+
+class TestMutationDrill:
+    def test_oracle_catches_sabotaged_lru_promotion(self):
+        assert mutation_drill() == []
+
+
+class TestPlantedAliasingBug:
+    def test_detect_then_shrink_to_minimal_trace(self, monkeypatch):
+        # Plant a row-aliasing bug in the production BIT only: the row
+        # index collapses two congruence classes, so eviction decisions
+        # drift from the (unpatched) reference model.
+        monkeypatch.setattr(
+            SetAssociativeTable, "row_index",
+            lambda self, address: (address >> self.shift) % (self.rows // 2))
+        trace = build_trace(7, 500)
+        result = lockstep("tage", trace, config=SMALL)
+        assert result.diverged
+        shrunk = shrink_divergence("tage", trace, config=SMALL)
+        assert 0 < len(shrunk) < len(trace)
+        assert lockstep("tage", shrunk, config=SMALL).diverged
+
+    def test_clean_again_after_the_bug_is_fixed(self):
+        assert not lockstep("tage", build_trace(7, 500),
+                            config=SMALL).diverged

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import _suffixed, build_parser, main
+from repro.core.config import ZEC12_CONFIG_2
 from repro.telemetry import validate_jsonl
 
 
@@ -286,6 +287,116 @@ class TestVerifyEndToEnd:
         # stitched checkpoint-parallel run on every workload.
         assert ("parallel gate: 13 workload(s) bit-identical serial vs "
                 "4 checkpoint-parallel slices" in out)
+
+
+class TestPredictorCli:
+    def test_simulate_predictor_default_is_paper(self):
+        assert build_parser().parse_args(
+            ["simulate", "TPF"]).predictor == "paper"
+
+    def test_simulate_predictor_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "TPF", "--predictor", "tage"])
+        assert args.predictor == "tage"
+
+    def test_verify_predictor_flags(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.predictor is None
+        assert args.predictor_golden == "tests/golden/predictors.json"
+        args = build_parser().parse_args(
+            ["verify", "--predictor", "tage", "ldbp"])
+        assert args.predictor == ["tage", "ldbp"]
+
+    def test_workloads_lists_the_adversarial_family(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "adversarial/btb-capacity" in out
+        assert "adversarial/tracker-thrash" in out
+
+    def test_simulate_zoo_predictor_runs(self, capsys):
+        assert main(["simulate", "target-aliasing", "--predictor", "tage",
+                     "--scale", "0.001", "--configs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "predictor: tage" in out
+        assert "tage / 2. BTB2 enabled" in out
+        assert "CPI" in out
+
+    def test_simulate_zoo_compares_configs(self, capsys):
+        assert main(["simulate", "target-aliasing", "--predictor", "ldbp",
+                     "--scale", "0.001", "--configs", "1", "2"]) == 0
+        assert "% CPI" in capsys.readouterr().out
+
+    def test_simulate_zoo_refuses_sampling(self, capsys):
+        code = main(["simulate", "TPF", "--predictor", "tage", "--sampled",
+                     "--scale", "0.02"])
+        assert code == 2
+        assert "paper stack only" in capsys.readouterr().err
+
+    def test_simulate_zoo_refuses_parallel_intervals(self, capsys):
+        code = main(["simulate", "TPF", "--predictor", "bullseye",
+                     "--parallel-intervals", "2", "--scale", "0.02"])
+        assert code == 2
+        assert "paper stack only" in capsys.readouterr().err
+
+    def test_simulate_zoo_refuses_alternate_engines(self, capsys):
+        code = main(["simulate", "TPF", "--predictor", "tage",
+                     "--engine", "batched", "--scale", "0.02"])
+        assert code == 2
+        assert "single engine" in capsys.readouterr().err
+
+    def test_simulate_unknown_predictor_raises(self):
+        with pytest.raises(ValueError, match="registered"):
+            main(["simulate", "TPF", "--predictor", "nope",
+                  "--scale", "0.02"])
+
+    def test_verify_conformance_leg_alone(self, capsys):
+        code = main(["verify", "--skip-differential", "--skip-golden",
+                     "--skip-mutation-drill", "--skip-parallel",
+                     "--predictor", "ldbp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conformance[ldbp]: 5 checks passed" in out
+        assert "verify: all gates passed" in out
+
+    def test_verify_update_predictor_golden(self, tmp_path, monkeypatch):
+        from repro.oracle.golden import GOLDEN_SCHEMA
+        from repro.predictors import golden
+
+        def fake_build(scale, config=ZEC12_CONFIG_2, jobs=None):
+            return {"schema": GOLDEN_SCHEMA, "config": config.name,
+                    "scale": scale, "tolerances": {"relative": 1e-9},
+                    "predictors": {"paper": {"W": {"cpi": 1.0}}}}
+
+        monkeypatch.setattr(golden, "build_predictor_baseline", fake_build)
+        path = tmp_path / "predictors.json"
+        assert main(["verify", "--predictor", "all", "--update-golden",
+                     "--predictor-golden", str(path),
+                     "--golden-scale", "0.04"]) == 0
+        assert golden.load_baseline(path)["scale"] == 0.04
+
+
+class TestAblationCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["ablation"])
+        assert args.command == "ablation"
+        assert args.scale == 0.02
+        assert args.workloads is None
+        assert args.predictors is None
+        assert args.json is None
+
+    def test_small_grid_renders_and_exports(self, tmp_path, capsys):
+        payload_path = tmp_path / "ablation.json"
+        assert main(["ablation", "--workloads", "adversarial/target-aliasing",
+                     "--predictors", "paper", "tage", "--scale", "0.001",
+                     "--json", str(payload_path)]) == 0
+        out = capsys.readouterr().out
+        assert "| workload | paper | tage |" in out
+        assert "geomean CPI" in out
+        assert "wrote ablation grid (2 cells)" in out
+        payload = json.loads(payload_path.read_text())
+        assert payload["schema"] == 1
+        assert payload["predictors"] == ["paper", "tage"]
+        assert len(payload["cells"]) == 2
 
 
 class TestServiceCli:
